@@ -1,0 +1,313 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (see EXPERIMENTS.md for the measured numbers and
+// the paper-vs-replica comparison), plus ablation benches for the
+// design choices called out in DESIGN.md and micro-benchmarks of the
+// hot substrates.
+//
+// The table benches do a full experiment per iteration; run them with
+// the default -benchtime (they self-calibrate to one iteration) and
+// read the custom metrics: products/op or cost/op is solution quality,
+// optimal/op how many instances were certified.
+package ucp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucp/internal/bdd"
+	"ucp/internal/benchmarks"
+	"ucp/internal/harness"
+	"ucp/internal/lagrangian"
+	"ucp/internal/scg"
+	"ucp/internal/zdd"
+)
+
+// BenchmarkFigure1Bounds regenerates Figure 1: the bound chain
+// LB_MIS < LB_DA < LB_LR on the witness matrix.
+func BenchmarkFigure1Bounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.Figure1()
+		if r.MIS != 1 || r.DualAscent != 2 || r.Optimum != 3 {
+			b.Fatalf("bound chain broken: %+v", r)
+		}
+	}
+}
+
+// BenchmarkEasyCyclic regenerates the first experiment of §5: the 49
+// easy cyclic instances, reporting the total-cost metrics the paper
+// quotes (total 5225 vs bound 5213, 0.22% gap, on the originals).
+func BenchmarkEasyCyclic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := harness.EasyCyclic()
+		b.ReportMetric(float64(s.TotalSCG), "totalcost/op")
+		b.ReportMetric(float64(s.TotalSCG-s.TotalLB), "gap/op")
+		b.ReportMetric(float64(s.SolvedOptimal), "optimal/op")
+		b.ReportMetric(float64(s.TotalEsp-s.TotalSCG), "esp-excess/op")
+		b.ReportMetric(float64(s.TotalEspStrong-s.TotalSCG), "espstrong-excess/op")
+	}
+}
+
+func benchHeuristicTable(b *testing.B, rows func() []harness.HeuristicRow) {
+	for i := 0; i < b.N; i++ {
+		tbl := rows()
+		scgTotal, espTotal, strongTotal, optimal := 0, 0, 0, 0
+		for _, r := range tbl {
+			scgTotal += r.SCGSol
+			espTotal += r.EspSol
+			strongTotal += r.EspStrongSol
+			if r.SCGOptimal {
+				optimal++
+			}
+		}
+		b.ReportMetric(float64(scgTotal), "scg-products/op")
+		b.ReportMetric(float64(espTotal), "esp-products/op")
+		b.ReportMetric(float64(strongTotal), "espstrong-products/op")
+		b.ReportMetric(float64(optimal), "optimal/op")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: ZDD_SCG vs Espresso
+// normal/strong on the seven difficult cyclic instances.
+func BenchmarkTable1(b *testing.B) { benchHeuristicTable(b, harness.Table1) }
+
+// BenchmarkTable2 regenerates Table 2: the sixteen challenging
+// instances.
+func BenchmarkTable2(b *testing.B) { benchHeuristicTable(b, harness.Table2) }
+
+func benchExactTable(b *testing.B, rows func(int, int64) []harness.ExactRow) {
+	for i := 0; i < b.N; i++ {
+		tbl := rows(2, 50_000)
+		scgTotal, exTotal := 0, 0
+		var nodes int64
+		certified := 0
+		for _, r := range tbl {
+			scgTotal += r.SCGSol
+			exTotal += r.ExactSol
+			nodes += r.ExactNodes
+			if r.ExactOptimal {
+				certified++
+			}
+		}
+		b.ReportMetric(float64(scgTotal), "scg-cost/op")
+		b.ReportMetric(float64(exTotal), "exact-cost/op")
+		b.ReportMetric(float64(nodes), "exact-nodes/op")
+		b.ReportMetric(float64(certified), "exact-certified/op")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: heuristic vs exact on the
+// difficult cyclic covering problems (exact capped at 50k nodes; the
+// paper let Scherzo run for hours).
+func BenchmarkTable3(b *testing.B) { benchExactTable(b, harness.Table3) }
+
+// BenchmarkTable4 regenerates Table 4: the challenging subset.
+func BenchmarkTable4(b *testing.B) { benchExactTable(b, harness.Table4) }
+
+// BenchmarkBoundsStudy regenerates the Proposition 1 comparison on 20
+// random covering instances.
+func BenchmarkBoundsStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.BoundsStudy(20)
+		strict := 0
+		for _, r := range rows {
+			if r.DualAscent > float64(r.MIS) && r.LinearRel > r.DualAscent {
+				strict++
+			}
+		}
+		b.ReportMetric(float64(strict), "strict-chains/op")
+	}
+}
+
+// ----- ablation benches (DESIGN.md §5) -----
+
+// BenchmarkAblationAlpha sweeps the fixing weight α of σ = c̃ − α·μ.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range harness.AblationAlpha() {
+			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
+		}
+	}
+}
+
+// BenchmarkAblationGamma compares the four greedy rating functions.
+func BenchmarkAblationGamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, g := range harness.AblationGamma() {
+			b.ReportMetric(float64(g.Total), g.Label+"/op")
+		}
+	}
+}
+
+// BenchmarkAblationPenalties measures the penalty and promising-column
+// fixing machinery.
+func BenchmarkAblationPenalties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range harness.AblationPenalties() {
+			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
+		}
+	}
+}
+
+// BenchmarkAblationRestarts sweeps the stochastic restart count.
+func BenchmarkAblationRestarts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range harness.AblationRestarts() {
+			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
+		}
+	}
+}
+
+// BenchmarkAblationWarmStart contrasts dual-ascent vs zero multiplier
+// initialisation under a tight iteration budget.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.AblationWarmStart()
+		b.ReportMetric(rows[0].TotalLB, "warm-LB/op")
+		b.ReportMetric(rows[1].TotalLB, "cold-LB/op")
+	}
+}
+
+// BenchmarkAblationSolverWarmStart compares inheriting multipliers
+// across fixing phases against cold dual-ascent restarts.
+func BenchmarkAblationSolverWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range harness.AblationSolverWarmStart() {
+			b.ReportMetric(r.Time.Seconds(), r.Label+"-sec/op")
+			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
+		}
+	}
+}
+
+// BenchmarkAblationImplicit compares ZDD-implicit against purely
+// explicit reductions inside ZDD_SCG.
+func BenchmarkAblationImplicit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range harness.AblationImplicit() {
+			b.ReportMetric(r.Time.Seconds(), r.Label+"-sec/op")
+		}
+	}
+}
+
+// ----- micro-benchmarks of the substrates -----
+
+// BenchmarkZDDReductions measures the implicit reduction of a 300x120
+// cyclic covering matrix to its core.
+func BenchmarkZDDReductions(b *testing.B) {
+	p := benchmarks.CyclicCovering(9, 300, 120, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir := scg.ImplicitReduce(p, 1, 1)
+		if ir.Infeasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkZDDUnion measures raw family construction: inserting 2000
+// random triples into one ZDD.
+func BenchmarkZDDUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]int, 2000)
+	for i := range sets {
+		sets[i] = []int{rng.Intn(200), rng.Intn(200), rng.Intn(200)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := zdd.New()
+		f := zdd.Empty
+		for _, s := range sets {
+			f = m.Union(f, m.Set(s))
+		}
+		if m.Count(f) == 0 {
+			b.Fatal("empty family")
+		}
+	}
+}
+
+// BenchmarkSubgradient measures one full subgradient ascent phase on a
+// 200x100 cyclic core.
+func BenchmarkSubgradient(b *testing.B) {
+	p := benchmarks.CyclicCovering(11, 200, 100, 3)
+	q, _ := p.Compact()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := lagrangian.Subgradient(q, lagrangian.Params{}, nil, 0)
+		if res.Best == nil {
+			b.Fatal("no solution")
+		}
+	}
+}
+
+// BenchmarkSCGCore measures ZDD_SCG end to end on one mid-size cyclic
+// covering matrix.
+func BenchmarkSCGCore(b *testing.B) {
+	p := benchmarks.CyclicCovering(13, 250, 120, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := scg.Solve(p, scg.Options{Seed: int64(i)})
+		if res.Solution == nil {
+			b.Fatal("no solution")
+		}
+	}
+}
+
+// BenchmarkPrimesAndCovering measures the Quine–McCluskey front end on
+// the t1 replica.
+func BenchmarkPrimesAndCovering(b *testing.B) {
+	var inst benchmarks.Instance
+	for _, in := range benchmarks.DifficultCyclic() {
+		if in.Name == "t1" {
+			inst = in
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		p := harness.Covering(inst)
+		if len(p.Rows) == 0 {
+			b.Fatal("empty covering")
+		}
+	}
+}
+
+// BenchmarkImplicitEncodingZDD vs ...BDD reproduce the paper's §2
+// observation that ZDDs suit the covering structures better than the
+// earlier BDD encoding (references [18] vs [22]): the same covering
+// matrix is loaded as a ZDD family of rows and, for comparison, each
+// instance's ON-set minterms are encoded as a characteristic BDD.
+func BenchmarkImplicitEncodingZDD(b *testing.B) {
+	p := benchmarks.CyclicCovering(17, 400, 150, 3)
+	nodes := 0
+	for i := 0; i < b.N; i++ {
+		m := zdd.New()
+		f := zdd.Empty
+		for _, r := range p.Rows {
+			f = m.Union(f, m.Set(r))
+		}
+		if m.Count(f) == 0 {
+			b.Fatal("empty family")
+		}
+		nodes = m.NodeCount()
+	}
+	b.ReportMetric(float64(nodes), "nodes/op")
+}
+
+// BenchmarkImplicitEncodingBDD measures the characteristic-function
+// encoding of the t1 replica's ON-set minterms.
+func BenchmarkImplicitEncodingBDD(b *testing.B) {
+	var inst benchmarks.Instance
+	for _, in := range benchmarks.DifficultCyclic() {
+		if in.Name == "t1" {
+			inst = in
+		}
+	}
+	f := inst.PLA()
+	nodes := 0
+	for i := 0; i < b.N; i++ {
+		m := bdd.New()
+		g := bdd.FromCover(m, f.F, 0)
+		if g == bdd.False {
+			b.Fatal("empty function")
+		}
+		nodes = m.NodeCount()
+	}
+	b.ReportMetric(float64(nodes), "nodes/op")
+}

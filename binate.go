@@ -1,0 +1,41 @@
+package ucp
+
+import "ucp/internal/bcp"
+
+// The binate covering problem generalises unate covering: rows become
+// clauses of *signed* column literals, so choosing a column can also
+// forbid other choices.  The paper's introduction points to BCP as the
+// wider model its techniques feed into (state minimisation, technology
+// mapping, boolean relations); this library includes an exact
+// DPLL-style solver for it.
+
+// BinateLit is a signed column literal of a binate clause; a negated
+// literal is satisfied by leaving the column out of the solution.
+type BinateLit = bcp.Lit
+
+// BinateProblem is a binate covering instance.
+type BinateProblem = bcp.Problem
+
+// BinateOptions controls the binate search.
+type BinateOptions = bcp.Options
+
+// BinateResult is a binate solve outcome.  Unlike the unate problem,
+// binate instances can be infeasible (check Feasible).
+type BinateResult = bcp.Result
+
+// NewBinateProblem builds and normalises a binate covering instance:
+// duplicate literals collapse and tautological clauses are dropped.  A
+// nil cost vector means unit costs.
+func NewBinateProblem(rows [][]BinateLit, ncols int, costs []int) (*BinateProblem, error) {
+	return bcp.New(rows, ncols, costs)
+}
+
+// SolveBinate finds a minimum-cost satisfying assignment by branch and
+// bound with unit propagation.
+func SolveBinate(p *BinateProblem, opt BinateOptions) *BinateResult {
+	return bcp.Solve(p, opt)
+}
+
+// BinateFromUnate lifts a unate covering problem into binate form (all
+// literals positive); the optima coincide.
+func BinateFromUnate(p *Problem) *BinateProblem { return bcp.FromUnate(p) }

@@ -1,0 +1,76 @@
+package ucp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinateAPI(t *testing.T) {
+	// Choose a cover of {0,1} and {2,3}, with 0 and 2 mutually
+	// exclusive.
+	p, err := NewBinateProblem([][]BinateLit{
+		{{Col: 0}, {Col: 1}},
+		{{Col: 2}, {Col: 3}},
+		{{Col: 0, Neg: true}, {Col: 2, Neg: true}},
+	}, 4, []int{1, 3, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SolveBinate(p, BinateOptions{})
+	if !res.Feasible || !res.Optimal || res.Cost != 4 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestBinateFromUnateAgrees(t *testing.T) {
+	u, err := NewProblem([][]int{{0, 1}, {1, 2}, {0, 2}}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := SolveExact(u, ExactOptions{})
+	b := SolveBinate(BinateFromUnate(u), BinateOptions{})
+	if !b.Feasible || b.Cost != exact.Cost {
+		t.Fatalf("binate lift cost %d, unate optimum %d", b.Cost, exact.Cost)
+	}
+}
+
+func TestBinateInfeasibleAPI(t *testing.T) {
+	p, err := NewBinateProblem([][]BinateLit{
+		{{Col: 0}},
+		{{Col: 0, Neg: true}},
+	}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SolveBinate(p, BinateOptions{})
+	if res.Feasible || !res.Optimal {
+		t.Fatalf("got %+v, want proved infeasible", res)
+	}
+}
+
+func TestORLibRoundTripAPI(t *testing.T) {
+	src := "2 3\n1 2 3\n2\n1 2\n1\n3\n"
+	p, err := ReadORLibProblem(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 2 || p.NCol != 3 {
+		t.Fatalf("shape %dx%d", len(p.Rows), p.NCol)
+	}
+	res := SolveExact(p, ExactOptions{})
+	if res.Cost != 1+3 {
+		t.Fatalf("optimum %d, want 4", res.Cost)
+	}
+	var buf bytes.Buffer
+	if err := WriteORLibProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadORLibProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 2 || q.NCol != 3 {
+		t.Fatal("round trip changed shape")
+	}
+}

@@ -1,0 +1,107 @@
+// Command plagen writes the replica benchmark PLAs (or a custom
+// synthetic function) to disk in Berkeley PLA format, so they can be
+// fed to ucpsolve or external tools.
+//
+// Usage:
+//
+//	plagen -name test2 -o test2.pla
+//	plagen -class difficult -dir ./bench
+//	plagen -inputs 9 -outputs 2 -kernels 4 -kvars 5 -seed 7 -o custom.pla
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ucp/internal/benchmarks"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "", "replica instance name (e.g. bench1, test2)")
+		class   = flag.String("class", "", "emit a whole tier: easy | difficult | challenging")
+		dir     = flag.String("dir", ".", "output directory for -class")
+		out     = flag.String("o", "", "output file for -name or custom parameters")
+		inputs  = flag.Int("inputs", 0, "custom: input variables")
+		outputs = flag.Int("outputs", 1, "custom: output functions")
+		kernels = flag.Int("kernels", 3, "custom: symmetric kernels")
+		kvars   = flag.Int("kvars", 5, "custom: variables per kernel")
+		dck     = flag.Int("dc", 1, "custom: don't-care cubes")
+		seed    = flag.Int64("seed", 1, "custom: generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *name != "":
+		in, ok := findInstance(*name)
+		if !ok {
+			fatal("unknown instance %q", *name)
+		}
+		writePLA(in, orDefault(*out, *name+".pla"))
+	case *class != "":
+		var set []benchmarks.Instance
+		switch *class {
+		case "easy":
+			set = benchmarks.EasyCyclic()
+		case "difficult":
+			set = benchmarks.DifficultCyclic()
+		case "challenging":
+			set = benchmarks.Challenging()
+		default:
+			fatal("unknown class %q", *class)
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal("%v", err)
+		}
+		for _, in := range set {
+			writePLA(in, filepath.Join(*dir, in.Name+".pla"))
+		}
+	case *inputs > 0:
+		in := benchmarks.Instance{
+			Name: "custom", Inputs: *inputs, Outputs: *outputs,
+			Kernels: *kernels, KernelVars: *kvars, DCKernels: *dck, Seed: *seed,
+		}
+		writePLA(in, orDefault(*out, "custom.pla"))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func orDefault(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+func findInstance(name string) (benchmarks.Instance, bool) {
+	all := append(append(benchmarks.DifficultCyclic(), benchmarks.Challenging()...), benchmarks.EasyCyclic()...)
+	for _, in := range all {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return benchmarks.Instance{}, false
+}
+
+func writePLA(in benchmarks.Instance, path string) {
+	f := in.PLA()
+	w, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer w.Close()
+	if err := f.Write(w); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s (%d inputs, %d outputs, %d ON cubes, %d DC cubes)\n",
+		path, f.Space.Inputs(), f.Space.Outputs(), f.F.Len(), f.D.Len())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "plagen: "+format+"\n", args...)
+	os.Exit(1)
+}

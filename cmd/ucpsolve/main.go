@@ -1,0 +1,160 @@
+// Command ucpsolve minimises a two-level function (Berkeley PLA
+// format) or solves a unate covering problem (the package's matrix
+// text format) with a selectable solver.
+//
+// Usage:
+//
+//	ucpsolve -pla file.pla  [-solver scg|exact|espresso|espresso-strong] [-o out.pla]
+//	ucpsolve -matrix f.ucp  [-solver scg|exact|greedy] [-bounds]
+//	ucpsolve -orlib scp41.txt [-solver scg|exact|greedy] [-bounds]
+//
+// The default solver is scg (the paper's ZDD_SCG heuristic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ucp"
+)
+
+func main() {
+	var (
+		plaPath    = flag.String("pla", "", "input PLA file (two-level minimisation)")
+		matrixPath = flag.String("matrix", "", "input covering-matrix file")
+		orlibPath  = flag.String("orlib", "", "input set-covering file in Beasley OR-Library format")
+		solver     = flag.String("solver", "scg", "scg | exact | greedy | espresso | espresso-strong")
+		out        = flag.String("o", "", "write the minimised PLA here (pla mode)")
+		seed       = flag.Int64("seed", 1, "seed for the stochastic runs")
+		numIter    = flag.Int("numiter", 1, "ZDD_SCG constructive runs")
+		maxNodes   = flag.Int64("maxnodes", 0, "node cap for the exact solver (0 = unlimited)")
+		bounds     = flag.Bool("bounds", false, "also print the four lower bounds (matrix mode)")
+	)
+	flag.Parse()
+	inputs := 0
+	for _, v := range []string{*plaPath, *matrixPath, *orlibPath} {
+		if v != "" {
+			inputs++
+		}
+	}
+	switch {
+	case inputs != 1:
+		fatal("pass exactly one of -pla, -matrix and -orlib")
+	case *plaPath != "":
+		runPLA(*plaPath, *solver, *out, *seed, *numIter, *maxNodes)
+	case *matrixPath != "":
+		runMatrix(*matrixPath, false, *solver, *seed, *numIter, *maxNodes, *bounds)
+	default:
+		runMatrix(*orlibPath, true, *solver, *seed, *numIter, *maxNodes, *bounds)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ucpsolve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64) {
+	f, err := ucp.ParsePLAFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var res *ucp.TwoLevelResult
+	switch solver {
+	case "scg":
+		res, err = ucp.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter})
+	case "exact":
+		res, err = ucp.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes})
+	case "espresso":
+		res = ucp.MinimizeEspresso(f, ucp.EspressoNormal)
+	case "espresso-strong":
+		res = ucp.MinimizeEspresso(f, ucp.EspressoStrong)
+	default:
+		fatal("unknown pla solver %q", solver)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !ucp.Equivalent(f, res.Cover) {
+		fatal("internal error: result does not implement the function")
+	}
+	fmt.Printf("products: %d", res.Products)
+	if res.ProvedOptimal {
+		fmt.Printf(" (proved optimal)")
+	} else if res.LB > 0 {
+		fmt.Printf(" (lower bound %d)", int(math.Ceil(res.LB-1e-9)))
+	}
+	fmt.Printf("\nprimes: %d   covering rows: %d   cyclic core: %dx%d\n",
+		res.Primes, res.Rows, res.CoreRows, res.CoreCols)
+	fmt.Printf("time: %v (cyclic core %v)\n", res.TotalTime.Round(1e6), res.CyclicCoreTime.Round(1e6))
+	if out != "" {
+		g := &ucp.PLA{Space: f.Space, F: res.Cover, D: f.D, R: f.R, Type: "fd",
+			InputLabels: f.InputLabels, OutputLabels: f.OutputLabels}
+		w, err := os.Create(out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer w.Close()
+		if err := g.Write(w); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func runMatrix(path string, orlib bool, solver string, seed int64, numIter int, maxNodes int64, bounds bool) {
+	r, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var p *ucp.Problem
+	if orlib {
+		p, err = ucp.ReadORLibProblem(r)
+	} else {
+		p, err = ucp.ReadProblem(r)
+	}
+	r.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("problem: %d rows, %d columns\n", len(p.Rows), p.NCol)
+	if bounds {
+		b := ucp.LowerBounds(p)
+		fmt.Printf("bounds: MIS=%d  dual-ascent=%.3f  lagrangian=%.3f", b.MIS, b.DualAscent, b.Lagrangian)
+		if b.LPExact {
+			fmt.Printf("  LP=%.3f", b.LinearRelaxation)
+		}
+		fmt.Println()
+	}
+	switch solver {
+	case "scg":
+		res := ucp.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter})
+		if res.Solution == nil {
+			fatal("problem is infeasible")
+		}
+		opt := ""
+		if res.ProvedOptimal {
+			opt = " (proved optimal)"
+		}
+		fmt.Printf("scg: cost %d%s, LB %.3f, columns %v\n", res.Cost, opt, res.LB, res.Solution)
+		fmt.Printf("core %dx%d, %d fixing steps, %v\n",
+			res.Stats.CoreRows, res.Stats.CoreCols, res.Stats.FixSteps, res.Stats.TotalTime.Round(1e6))
+	case "exact":
+		res := ucp.SolveExact(p, ucp.ExactOptions{MaxNodes: maxNodes})
+		if res.Solution == nil {
+			fatal("no solution found (infeasible, or node budget exhausted)")
+		}
+		fmt.Printf("exact: cost %d (optimal=%v), %d nodes, columns %v\n",
+			res.Cost, res.Optimal, res.Nodes, res.Solution)
+	case "greedy":
+		sol := ucp.SolveGreedy(p)
+		if sol == nil {
+			fatal("problem is infeasible")
+		}
+		fmt.Printf("greedy: cost %d, columns %v\n", p.CostOf(sol), sol)
+	default:
+		fatal("unknown matrix solver %q", solver)
+	}
+}

@@ -1,0 +1,55 @@
+package ucp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ucp"
+)
+
+// The odd-cycle covering problem: three rows that pairwise share a
+// column need two columns, and the heuristic certifies it.
+func ExampleSolveSCG() {
+	p, _ := ucp.NewProblem([][]int{{0, 1}, {1, 2}, {0, 2}}, 3, nil)
+	res := ucp.SolveSCG(p, ucp.SCGOptions{})
+	fmt.Println(res.Cost, res.ProvedOptimal)
+	// Output: 2 true
+}
+
+// The paper's Figure 1 witness: the three bound families in strictly
+// increasing strength.
+func ExampleLowerBounds() {
+	p, _ := ucp.NewProblem(
+		[][]int{{0, 3, 4}, {1, 4}, {2, 4}, {1, 2, 3}},
+		5,
+		[]int{1, 1, 1, 2, 2},
+	)
+	b := ucp.LowerBounds(p)
+	fmt.Printf("MIS=%d DA=%g LP=%g\n", b.MIS, b.DualAscent, b.LinearRelaxation)
+	// Output: MIS=1 DA=2 LP=2.5
+}
+
+// Minimising a tiny PLA exactly: xy + xy' collapses to the single
+// product x.
+func ExampleMinimizeExact() {
+	f, _ := ucp.ParsePLA(strings.NewReader(".i 2\n.o 1\n11 1\n10 1\n"))
+	res, _ := ucp.MinimizeExact(f, ucp.ExactOptions{})
+	fmt.Println(res.Products, res.ProvedOptimal)
+	fmt.Print(res.Cover)
+	// Output:
+	// 1 true
+	// 1- 1
+}
+
+// A binate clause set with an exclusion: at least one of {0,1}, and
+// not both 0 and 2.
+func ExampleSolveBinate() {
+	p, _ := ucp.NewBinateProblem([][]ucp.BinateLit{
+		{{Col: 0}, {Col: 1}},
+		{{Col: 2}},
+		{{Col: 0, Neg: true}, {Col: 2, Neg: true}},
+	}, 3, []int{1, 2, 1})
+	res := ucp.SolveBinate(p, ucp.BinateOptions{})
+	fmt.Println(res.Feasible, res.Cost, res.Solution)
+	// Output: true 3 [1 2]
+}

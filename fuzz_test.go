@@ -1,0 +1,86 @@
+package ucp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets double as robustness tests: under plain `go test`
+// they run their seed corpus; under `go test -fuzz` they explore
+// further.  The parsers must never panic and anything they accept must
+// survive a write/re-read round trip.
+
+func FuzzReadProblem(f *testing.F) {
+	f.Add("p 2 3\nr 0 1\nr 2\n")
+	f.Add("p 1 1\nc 5\nr 0\n")
+	f.Add("# only a comment\np 0 1\n")
+	f.Add("p 2 2\nr 0 0 0\nr 1\n")
+	f.Add("p -1 -1\n")
+	f.Add("r 0\np 1 1\n")
+	f.Add("p 1 1\nr 99\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadProblem(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteProblem(&buf, p); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		q, err := ReadProblem(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\n%s", err, buf.String())
+		}
+		if len(q.Rows) != len(p.Rows) || q.NCol != p.NCol {
+			t.Fatal("round trip changed the problem shape")
+		}
+	})
+}
+
+func FuzzParsePLA(f *testing.F) {
+	f.Add(".i 2\n.o 1\n11 1\n")
+	f.Add(".i 2\n.o 2\n.type fr\n10 01\n")
+	f.Add(".i 0\n.o 1\n 1\n")
+	f.Add(".i 3\n.o 1\n.ilb a b c\n.ob z\n--- 1\n.e\n")
+	f.Add(".i 1\n.o 1\n.type fdr\n1 -\n0 0\n")
+	f.Add(".i 2\n.o 1\n1z 1\n")
+	f.Add("11 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		pla, err := ParsePLA(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := pla.Write(&buf); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		again, err := ParsePLA(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\n%s", err, buf.String())
+		}
+		if !pla.F.EquivalentTo(again.F) {
+			t.Fatal("round trip changed the ON-set")
+		}
+	})
+}
+
+func FuzzReadORLibProblem(f *testing.F) {
+	f.Add("2 3\n1 2 3\n2\n1 2\n1\n3\n")
+	f.Add("1 1 1 1 1")
+	f.Add("0 1 7")
+	f.Add("2 2 1 1 0 0")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadORLibProblem(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteORLibProblem(&buf, p); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		if _, err := ReadORLibProblem(&buf); err != nil {
+			t.Fatalf("re-read of own output failed: %v", err)
+		}
+	})
+}

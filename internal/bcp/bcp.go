@@ -1,0 +1,335 @@
+// Package bcp implements the Binate Covering Problem, the
+// generalisation of unate covering the paper points to in its
+// introduction ("...or even for the more general Binate Covering
+// Problem"): every row is a clause of signed column literals, and a
+// 0/1 assignment to the columns must satisfy every clause at minimum
+// cost.  Binate covering is the natural model for problems such as
+// state minimisation with mandatory exclusions, technology mapping and
+// boolean relations, where choosing one element can forbid another.
+//
+// The solver is a DPLL-flavoured branch and bound: unit propagation,
+// clause cleanup, row dominance, a unate-subproblem independent-set
+// lower bound, and binary branching on a variable of the most
+// constrained clause.
+package bcp
+
+import (
+	"fmt"
+	"sort"
+
+	"ucp/internal/matrix"
+)
+
+// Lit is a signed column literal: column Col, negated when Neg (a
+// negated literal is satisfied by *not* choosing the column).
+type Lit struct {
+	Col int
+	Neg bool
+}
+
+// Problem is a binate covering instance.
+type Problem struct {
+	Rows [][]Lit // clauses; each must contain a satisfied literal
+	NCol int
+	Cost []int // cost of setting a column to 1 (nothing is paid for 0)
+}
+
+// New validates and normalises a problem: duplicate literals collapse,
+// clauses containing both polarities of a column are tautological and
+// dropped.  A nil cost vector means unit costs.
+func New(rows [][]Lit, ncol int, cost []int) (*Problem, error) {
+	if cost == nil {
+		cost = make([]int, ncol)
+		for j := range cost {
+			cost[j] = 1
+		}
+	}
+	if len(cost) != ncol {
+		return nil, fmt.Errorf("bcp: %d costs for %d columns", len(cost), ncol)
+	}
+	for j, c := range cost {
+		if c < 0 {
+			return nil, fmt.Errorf("bcp: column %d has negative cost", j)
+		}
+	}
+	p := &Problem{NCol: ncol, Cost: cost}
+	for i, r := range rows {
+		seen := make(map[Lit]bool, len(r))
+		taut := false
+		clause := make([]Lit, 0, len(r))
+		for _, l := range r {
+			if l.Col < 0 || l.Col >= ncol {
+				return nil, fmt.Errorf("bcp: row %d references column %d outside universe %d", i, l.Col, ncol)
+			}
+			if seen[Lit{l.Col, !l.Neg}] {
+				taut = true
+				break
+			}
+			if !seen[l] {
+				seen[l] = true
+				clause = append(clause, l)
+			}
+		}
+		if taut {
+			continue
+		}
+		sort.Slice(clause, func(a, b int) bool {
+			if clause[a].Col != clause[b].Col {
+				return clause[a].Col < clause[b].Col
+			}
+			return !clause[a].Neg && clause[b].Neg
+		})
+		p.Rows = append(p.Rows, clause)
+	}
+	return p, nil
+}
+
+// FromUnate lifts a unate covering problem into the binate form (all
+// literals positive).  Optima coincide.
+func FromUnate(u *matrix.Problem) *Problem {
+	rows := make([][]Lit, len(u.Rows))
+	for i, r := range u.Rows {
+		for _, j := range r {
+			rows[i] = append(rows[i], Lit{Col: j})
+		}
+	}
+	p, err := New(rows, u.NCol, append([]int(nil), u.Cost...))
+	if err != nil {
+		panic(err) // a valid unate problem always lifts
+	}
+	return p
+}
+
+// Options controls the search.
+type Options struct {
+	// MaxNodes caps the branch-and-bound nodes (0 = unlimited); when
+	// exhausted the best solution so far is returned with Optimal
+	// unset.
+	MaxNodes int64
+}
+
+// Result of a binate solve.
+type Result struct {
+	// Feasible reports whether any assignment satisfies all clauses.
+	Feasible bool
+	// Solution lists the columns set to 1 in the best assignment.
+	Solution []int
+	Cost     int
+	Optimal  bool
+	Nodes    int64
+}
+
+const (
+	unknown int8 = iota
+	zero
+	one
+)
+
+type solver struct {
+	p        *Problem
+	opt      Options
+	nodes    int64
+	exceeded bool
+	best     []int8
+	bestCost int
+}
+
+// Solve finds a minimum-cost satisfying assignment.
+func Solve(p *Problem, opt Options) *Result {
+	s := &solver{p: p, opt: opt, bestCost: 1 << 30}
+	assign := make([]int8, p.NCol)
+	s.search(assign, 0)
+	res := &Result{Nodes: s.nodes, Optimal: !s.exceeded}
+	if s.best == nil {
+		return res // a completed search proves infeasibility
+	}
+	res.Feasible = true
+	res.Cost = s.bestCost
+	for j, v := range s.best {
+		if v == one {
+			res.Solution = append(res.Solution, j)
+		}
+	}
+	return res
+}
+
+// propagate applies unit propagation to completion.  It returns false
+// on conflict.  assign is modified in place.
+func (s *solver) propagate(assign []int8) bool {
+	for {
+		changed := false
+		for _, clause := range s.p.Rows {
+			sat := false
+			var unit *Lit
+			unassigned := 0
+			for k := range clause {
+				l := clause[k]
+				switch assign[l.Col] {
+				case unknown:
+					unassigned++
+					unit = &clause[k]
+				case one:
+					if !l.Neg {
+						sat = true
+					}
+				case zero:
+					if l.Neg {
+						sat = true
+					}
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				return false // falsified clause
+			case 1:
+				if unit.Neg {
+					assign[unit.Col] = zero
+				} else {
+					assign[unit.Col] = one
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+// cost sums the price of the columns already set to one.
+func (s *solver) cost(assign []int8) int {
+	c := 0
+	for j, v := range assign {
+		if v == one {
+			c += s.p.Cost[j]
+		}
+	}
+	return c
+}
+
+// lowerBound computes an admissible bound for the partial assignment:
+// the paid cost plus an independent-set bound over the still
+// unsatisfied clauses that contain only positive unassigned literals
+// (a unate subproblem embedded in the remainder).
+func (s *solver) lowerBound(assign []int8) int {
+	base := s.cost(assign)
+	var unate [][]int
+	for _, clause := range s.p.Rows {
+		sat, pureUnate := false, true
+		var cols []int
+		for _, l := range clause {
+			switch assign[l.Col] {
+			case one:
+				if !l.Neg {
+					sat = true
+				}
+			case zero:
+				if l.Neg {
+					sat = true
+				}
+			case unknown:
+				if l.Neg {
+					pureUnate = false
+				} else {
+					cols = append(cols, l.Col)
+				}
+			}
+			if sat {
+				break
+			}
+		}
+		if !sat && pureUnate && len(cols) > 0 {
+			unate = append(unate, cols)
+		}
+	}
+	if len(unate) == 0 {
+		return base
+	}
+	sub, err := matrix.New(unate, s.p.NCol, s.p.Cost)
+	if err != nil {
+		return base
+	}
+	lb, _ := matrix.MISBound(sub)
+	return base + lb
+}
+
+// search explores assignments; depth counts decisions for reporting.
+func (s *solver) search(assign []int8, depth int) {
+	s.nodes++
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		s.exceeded = true
+		return
+	}
+	work := make([]int8, len(assign))
+	copy(work, assign)
+	if !s.propagate(work) {
+		return
+	}
+	if s.lowerBound(work) >= s.bestCost {
+		return
+	}
+
+	// Find the most constrained unresolved clause.
+	bestClause := -1
+	bestOpen := 1 << 30
+	for i, clause := range s.p.Rows {
+		sat := false
+		open := 0
+		for _, l := range clause {
+			switch work[l.Col] {
+			case one:
+				sat = !l.Neg
+			case zero:
+				sat = l.Neg
+			case unknown:
+				open++
+			}
+			if sat {
+				break
+			}
+		}
+		if !sat && open > 0 && open < bestOpen {
+			bestClause, bestOpen = i, open
+		}
+	}
+	if bestClause < 0 {
+		// All clauses satisfied: record the solution (unassigned
+		// columns default to zero, which is free).
+		c := s.cost(work)
+		if c < s.bestCost {
+			s.bestCost = c
+			s.best = make([]int8, len(work))
+			copy(s.best, work)
+		}
+		return
+	}
+
+	// Branch on an unknown variable of that clause: the satisfying
+	// polarity first.
+	var v int
+	var firstNeg bool
+	for _, l := range s.p.Rows[bestClause] {
+		if work[l.Col] == unknown {
+			v, firstNeg = l.Col, l.Neg
+			break
+		}
+	}
+	order := [2]int8{one, zero}
+	if firstNeg {
+		order = [2]int8{zero, one}
+	}
+	for _, val := range order {
+		work[v] = val
+		s.search(work, depth+1)
+		if s.exceeded {
+			return
+		}
+	}
+	work[v] = unknown
+}

@@ -1,0 +1,238 @@
+package bcp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucp/internal/bnb"
+	"ucp/internal/matrix"
+)
+
+// bruteForce finds the optimum by trying every assignment.
+func bruteForce(p *Problem) (int, bool) {
+	best := math.MaxInt
+	feasible := false
+	for mask := 0; mask < 1<<p.NCol; mask++ {
+		ok := true
+		for _, clause := range p.Rows {
+			sat := false
+			for _, l := range clause {
+				bit := mask>>l.Col&1 == 1
+				if bit != l.Neg {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		feasible = true
+		c := 0
+		for j := 0; j < p.NCol; j++ {
+			if mask>>j&1 == 1 {
+				c += p.Cost[j]
+			}
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best, feasible
+}
+
+func randomBCP(rng *rand.Rand, maxRows, maxCols int) *Problem {
+	nr := 1 + rng.Intn(maxRows)
+	nc := 1 + rng.Intn(maxCols)
+	rows := make([][]Lit, nr)
+	for i := range rows {
+		for j := 0; j < nc; j++ {
+			switch rng.Intn(5) {
+			case 0:
+				rows[i] = append(rows[i], Lit{Col: j})
+			case 1:
+				rows[i] = append(rows[i], Lit{Col: j, Neg: true})
+			}
+		}
+		if len(rows[i]) == 0 {
+			rows[i] = append(rows[i], Lit{Col: rng.Intn(nc), Neg: rng.Intn(2) == 0})
+		}
+	}
+	cost := make([]int, nc)
+	for j := range cost {
+		cost[j] = 1 + rng.Intn(4)
+	}
+	p, err := New(rows, nc, cost)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	infeasibles := 0
+	for trial := 0; trial < 400; trial++ {
+		p := randomBCP(rng, 8, 8)
+		want, feasible := bruteForce(p)
+		res := Solve(p, Options{})
+		if !res.Optimal {
+			t.Fatalf("trial %d: search not complete without a cap", trial)
+		}
+		if res.Feasible != feasible {
+			t.Fatalf("trial %d: feasibility %v, want %v", trial, res.Feasible, feasible)
+		}
+		if !feasible {
+			infeasibles++
+			continue
+		}
+		if res.Cost != want {
+			t.Fatalf("trial %d: cost %d, brute force %d", trial, res.Cost, want)
+		}
+		// The returned assignment must satisfy every clause.
+		set := make(map[int]bool)
+		for _, j := range res.Solution {
+			set[j] = true
+		}
+		for i, clause := range p.Rows {
+			sat := false
+			for _, l := range clause {
+				if set[l.Col] != l.Neg {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				t.Fatalf("trial %d: clause %d unsatisfied by %v", trial, i, res.Solution)
+			}
+		}
+	}
+	if infeasibles == 0 {
+		t.Log("note: generator produced no infeasible instances this run")
+	}
+}
+
+func TestUnateLiftMatchesUCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for trial := 0; trial < 200; trial++ {
+		nr, nc := 1+rng.Intn(8), 1+rng.Intn(8)
+		rows := make([][]int, nr)
+		for i := range rows {
+			for j := 0; j < nc; j++ {
+				if rng.Intn(3) == 0 {
+					rows[i] = append(rows[i], j)
+				}
+			}
+			if len(rows[i]) == 0 {
+				rows[i] = append(rows[i], rng.Intn(nc))
+			}
+		}
+		cost := make([]int, nc)
+		for j := range cost {
+			cost[j] = 1 + rng.Intn(3)
+		}
+		u := matrix.MustNew(rows, nc, cost)
+		want := bnb.Solve(u, bnb.Options{}).Cost
+		got := Solve(FromUnate(u), Options{})
+		if !got.Feasible || got.Cost != want {
+			t.Fatalf("trial %d: binate lift cost %d, unate optimum %d", trial, got.Cost, want)
+		}
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p, err := New([][]Lit{{{Col: 0}}, {{Col: 0, Neg: true}}}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p, Options{})
+	if res.Feasible {
+		t.Fatal("x ∧ ¬x reported feasible")
+	}
+}
+
+func TestNegativeLiteralsAreFree(t *testing.T) {
+	// Clause {¬0} alone: satisfied by leaving 0 unset, cost 0.
+	p, err := New([][]Lit{{{Col: 0, Neg: true}}}, 1, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p, Options{})
+	if !res.Feasible || res.Cost != 0 || len(res.Solution) != 0 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestExclusionModel(t *testing.T) {
+	// Pick at least one of {0,1}, at least one of {2,3}, but 0 and 2
+	// are mutually exclusive (¬0 ∨ ¬2).  Costs favour 0 and 2, so the
+	// exclusion forces a detour.
+	p, err := New([][]Lit{
+		{{Col: 0}, {Col: 1}},
+		{{Col: 2}, {Col: 3}},
+		{{Col: 0, Neg: true}, {Col: 2, Neg: true}},
+	}, 4, []int{1, 3, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p, Options{})
+	if res.Cost != 4 {
+		t.Fatalf("cost %d, want 4 (one cheap + one expensive)", res.Cost)
+	}
+}
+
+func TestTautologicalClauseDropped(t *testing.T) {
+	p, err := New([][]Lit{{{Col: 0}, {Col: 0, Neg: true}}}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 0 {
+		t.Fatal("tautological clause kept")
+	}
+	res := Solve(p, Options{})
+	if !res.Feasible || res.Cost != 0 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New([][]Lit{{{Col: 2}}}, 1, nil); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if _, err := New(nil, 1, []int{-1}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := New(nil, 2, []int{1}); err == nil {
+		t.Fatal("short cost vector accepted")
+	}
+}
+
+func TestMaxNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	p := randomBCP(rng, 30, 25)
+	res := Solve(p, Options{MaxNodes: 2})
+	if res.Optimal && res.Nodes > 2 {
+		t.Fatal("claimed optimal past the node cap")
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	// 0 forced on, which forbids 1, which forces 2 on.
+	p, err := New([][]Lit{
+		{{Col: 0}},
+		{{Col: 0, Neg: true}, {Col: 1, Neg: true}},
+		{{Col: 1}, {Col: 2}},
+	}, 3, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(p, Options{})
+	if !res.Feasible || res.Cost != 2 {
+		t.Fatalf("got %+v, want cost 2 via {0,2}", res)
+	}
+}

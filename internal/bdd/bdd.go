@@ -1,0 +1,333 @@
+// Package bdd implements reduced ordered Binary Decision Diagrams
+// (Bryant 1986): a canonical DAG representation for boolean functions.
+//
+// Historically the implicit Quine–McCluskey pipeline encoded minterm
+// and prime sets in a pair of BDDs (Swamy, McGeer, Brayton 1992 — the
+// paper's reference [22]) before ZDDs proved better suited (Minato,
+// reference [18]).  This package exists to reproduce that comparison
+// (see BenchmarkImplicitEncoding) and to serve as an independent
+// oracle for the cube-calculus code: tautology, complement and
+// equivalence checks in internal/cube are cross-validated against BDD
+// semantics in the test suite.
+//
+// The implementation mirrors internal/zdd: hash-consed nodes in an
+// open-addressed unique table, a direct-mapped lossy computed cache,
+// and no complement edges (kept simple deliberately).
+package bdd
+
+import "fmt"
+
+// Node references a BDD node inside a Manager.  The terminals are
+// False and True.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+const terminalVar = int32(1) << 30
+
+// Operation codes for the computed cache.
+const (
+	opIte uint64 = iota + 1
+	opRestrict
+	opExists
+	opCount
+)
+
+const cacheBits = 17
+
+// Manager owns the node store of a BDD universe.  Not safe for
+// concurrent use.
+type Manager struct {
+	varOf []int32
+	lo    []Node // cofactor with var = 0
+	hi    []Node // cofactor with var = 1
+
+	uslots []int32
+	umask  uint32
+
+	ckeys []uint64
+	cvals []Node
+}
+
+// New returns an empty manager.
+func New() *Manager {
+	m := &Manager{
+		uslots: make([]int32, 1024),
+		umask:  1023,
+		ckeys:  make([]uint64, 1<<cacheBits),
+		cvals:  make([]Node, 1<<cacheBits),
+	}
+	m.varOf = append(m.varOf, terminalVar, terminalVar)
+	m.lo = append(m.lo, False, False)
+	m.hi = append(m.hi, False, False)
+	return m
+}
+
+// NodeCount returns the number of live nodes, terminals included.
+func (m *Manager) NodeCount() int { return len(m.varOf) }
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// mk returns the canonical node (v, lo, hi), applying the ROBDD
+// reduction rule lo = hi ⇒ node = lo.
+func (m *Manager) mk(v int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	idx := uint32(mix64(uint64(uint32(v))<<40^uint64(uint32(lo))<<20^uint64(uint32(hi)))) & m.umask
+	for {
+		s := m.uslots[idx]
+		if s == 0 {
+			break
+		}
+		n := Node(s - 1)
+		if m.varOf[n] == v && m.lo[n] == lo && m.hi[n] == hi {
+			return n
+		}
+		idx = (idx + 1) & m.umask
+	}
+	n := Node(len(m.varOf))
+	m.varOf = append(m.varOf, v)
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.uslots[idx] = int32(n) + 1
+	if uint32(len(m.varOf))*4 >= m.umask*3 {
+		m.growUnique()
+	}
+	return n
+}
+
+func (m *Manager) growUnique() {
+	m.umask = m.umask*2 + 1
+	m.uslots = make([]int32, m.umask+1)
+	for n := 2; n < len(m.varOf); n++ {
+		idx := uint32(mix64(uint64(uint32(m.varOf[n]))<<40^uint64(uint32(m.lo[n]))<<20^uint64(uint32(m.hi[n])))) & m.umask
+		for m.uslots[idx] != 0 {
+			idx = (idx + 1) & m.umask
+		}
+		m.uslots[idx] = int32(n) + 1
+	}
+}
+
+func cacheKey(op uint64, f, g, h Node) (uint64, bool) {
+	if f >= 1<<19 || g >= 1<<19 || h >= 1<<19 {
+		return 0, false
+	}
+	return op<<57 | uint64(f)<<38 | uint64(g)<<19 | uint64(h), true
+}
+
+func (m *Manager) cacheGet(op uint64, f, g, h Node) (Node, bool) {
+	k, ok := cacheKey(op, f, g, h)
+	if !ok {
+		return 0, false
+	}
+	i := mix64(k) & (1<<cacheBits - 1)
+	if m.ckeys[i] == k {
+		return m.cvals[i], true
+	}
+	return 0, false
+}
+
+func (m *Manager) cachePut(op uint64, f, g, h, r Node) {
+	k, ok := cacheKey(op, f, g, h)
+	if !ok {
+		return
+	}
+	i := mix64(k) & (1<<cacheBits - 1)
+	m.ckeys[i] = k
+	m.cvals[i] = r
+}
+
+// Var returns the function of the single variable v.
+func (m *Manager) Var(v int) Node {
+	if v < 0 {
+		panic(fmt.Sprintf("bdd: negative variable %d", v))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the negated variable ¬v.
+func (m *Manager) NVar(v int) Node { return m.mk(int32(v), True, False) }
+
+// top returns the smaller top variable of the operands.
+func (m *Manager) top(ns ...Node) int32 {
+	t := terminalVar
+	for _, n := range ns {
+		if n > True && m.varOf[n] < t {
+			t = m.varOf[n]
+		}
+	}
+	return t
+}
+
+func (m *Manager) cof(f Node, v int32, val bool) Node {
+	if f <= True || m.varOf[f] != v {
+		return f
+	}
+	if val {
+		return m.hi[f]
+	}
+	return m.lo[f]
+}
+
+// Ite computes if-then-else: f·g + ¬f·h, the universal connective.
+func (m *Manager) Ite(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	if r, ok := m.cacheGet(opIte, f, g, h); ok {
+		return r
+	}
+	v := m.top(f, g, h)
+	lo := m.Ite(m.cof(f, v, false), m.cof(g, v, false), m.cof(h, v, false))
+	hi := m.Ite(m.cof(f, v, true), m.cof(g, v, true), m.cof(h, v, true))
+	r := m.mk(v, lo, hi)
+	m.cachePut(opIte, f, g, h, r)
+	return r
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node { return m.Ite(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node { return m.Ite(f, True, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) Node { return m.Ite(f, False, True) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.Ite(f, m.Not(g), g) }
+
+// Implies reports whether f ⇒ g holds for every assignment.
+func (m *Manager) Implies(f, g Node) bool { return m.Ite(f, g, True) == True }
+
+// Restrict fixes variable v of f to the given value.
+func (m *Manager) Restrict(f Node, v int, val bool) Node {
+	if f <= True {
+		return f
+	}
+	t := m.varOf[f]
+	switch {
+	case t > int32(v):
+		return f
+	case t == int32(v):
+		if val {
+			return m.hi[f]
+		}
+		return m.lo[f]
+	}
+	aux := Node(v)
+	valN := False
+	if val {
+		valN = True
+	}
+	if r, ok := m.cacheGet(opRestrict, f, aux, valN); ok {
+		return r
+	}
+	r := m.mk(t, m.Restrict(m.lo[f], v, val), m.Restrict(m.hi[f], v, val))
+	m.cachePut(opRestrict, f, aux, valN, r)
+	return r
+}
+
+// Exists existentially quantifies variable v out of f.
+func (m *Manager) Exists(f Node, v int) Node {
+	if f <= True {
+		return f
+	}
+	t := m.varOf[f]
+	switch {
+	case t > int32(v):
+		return f
+	case t == int32(v):
+		return m.Or(m.lo[f], m.hi[f])
+	}
+	if r, ok := m.cacheGet(opExists, f, Node(v), False); ok {
+		return r
+	}
+	r := m.mk(t, m.Exists(m.lo[f], v), m.Exists(m.hi[f], v))
+	m.cachePut(opExists, f, Node(v), False, r)
+	return r
+}
+
+// SatCount returns the number of satisfying assignments of f over the
+// first nvars variables (every node variable must be < nvars).
+func (m *Manager) SatCount(f Node, nvars int) uint64 {
+	counts := make(map[Node]uint64)
+	var rec func(Node) uint64 // assignments over variables below node's var
+	rec = func(n Node) uint64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if c, ok := counts[n]; ok {
+			return c
+		}
+		v := m.varOf[n]
+		lo, hi := rec(m.lo[n]), rec(m.hi[n])
+		// Scale each branch by the variables skipped between this node
+		// and the branch's top variable.
+		c := lo<<uint(m.gapTo(m.lo[n], v, nvars)) + hi<<uint(m.gapTo(m.hi[n], v, nvars))
+		counts[n] = c
+		return c
+	}
+	if f <= True {
+		if f == True {
+			return 1 << uint(nvars)
+		}
+		return 0
+	}
+	return rec(f) << uint(m.varOf[f])
+}
+
+// gapTo returns how many variables lie strictly between v and the top
+// variable of n (or nvars when n is terminal).
+func (m *Manager) gapTo(n Node, v int32, nvars int) int32 {
+	if n <= True {
+		return int32(nvars) - v - 1
+	}
+	return m.varOf[n] - v - 1
+}
+
+// Minterms enumerates the satisfying assignments of f over nvars
+// variables, reported as bit masks (bit v = variable v).  Return false
+// from the callback to stop early.
+func (m *Manager) Minterms(f Node, nvars int, visit func(uint64) bool) {
+	if nvars > 63 {
+		panic("bdd: minterm enumeration limited to 63 variables")
+	}
+	var rec func(n Node, v int, acc uint64) bool
+	rec = func(n Node, v int, acc uint64) bool {
+		if v == nvars {
+			return n != True || visit(acc)
+		}
+		if n == False {
+			return true
+		}
+		if n > True && m.varOf[n] == int32(v) {
+			return rec(m.lo[n], v+1, acc) && rec(m.hi[n], v+1, acc|1<<uint(v))
+		}
+		// Variable v is absent: both branches.
+		return rec(n, v+1, acc) && rec(n, v+1, acc|1<<uint(v))
+	}
+	rec(f, 0, 0)
+}

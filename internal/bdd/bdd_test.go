@@ -1,0 +1,241 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// truth evaluates f under the assignment mask (bit v = variable v).
+func truth(m *Manager, f Node, mask uint64) bool {
+	for f > True {
+		if mask>>uint(m.varOf[f])&1 == 1 {
+			f = m.hi[f]
+		} else {
+			f = m.lo[f]
+		}
+	}
+	return f == True
+}
+
+// randomFunc builds a random function over nvars variables as a sum of
+// products, returning both the BDD and a brute-force truth table.
+func randomFunc(m *Manager, nvars int, rng *rand.Rand) (Node, []bool) {
+	table := make([]bool, 1<<nvars)
+	f := False
+	terms := 1 + rng.Intn(5)
+	for t := 0; t < terms; t++ {
+		cube := True
+		careMask, valMask := uint64(0), uint64(0)
+		for v := 0; v < nvars; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				cube = m.And(cube, m.Var(v))
+				careMask |= 1 << v
+				valMask |= 1 << v
+			case 1:
+				cube = m.And(cube, m.NVar(v))
+				careMask |= 1 << v
+			}
+		}
+		f = m.Or(f, cube)
+		for a := uint64(0); a < 1<<nvars; a++ {
+			if a&careMask == valMask {
+				table[a] = true
+			}
+		}
+	}
+	return f, table
+}
+
+func TestTerminalOps(t *testing.T) {
+	m := New()
+	if m.And(True, False) != False || m.Or(False, True) != True {
+		t.Fatal("terminal connectives wrong")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Fatal("negation wrong")
+	}
+	x := m.Var(0)
+	if m.And(x, m.Not(x)) != False || m.Or(x, m.Not(x)) != True {
+		t.Fatal("complement laws fail")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New()
+	// x0 ∧ x1 built two different ways must be the same node.
+	a := m.And(m.Var(0), m.Var(1))
+	b := m.Not(m.Or(m.Not(m.Var(0)), m.Not(m.Var(1))))
+	if a != b {
+		t.Fatal("De Morgan canonicity violated")
+	}
+}
+
+func TestOpsAgainstTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		m := New()
+		n := 1 + rng.Intn(5)
+		f, tf := randomFunc(m, n, rng)
+		g, tg := randomFunc(m, n, rng)
+		and, or, xor, not := m.And(f, g), m.Or(f, g), m.Xor(f, g), m.Not(f)
+		for a := uint64(0); a < 1<<n; a++ {
+			if truth(m, and, a) != (tf[a] && tg[a]) {
+				t.Fatalf("trial %d: AND wrong at %b", trial, a)
+			}
+			if truth(m, or, a) != (tf[a] || tg[a]) {
+				t.Fatalf("trial %d: OR wrong at %b", trial, a)
+			}
+			if truth(m, xor, a) != (tf[a] != tg[a]) {
+				t.Fatalf("trial %d: XOR wrong at %b", trial, a)
+			}
+			if truth(m, not, a) == tf[a] {
+				t.Fatalf("trial %d: NOT wrong at %b", trial, a)
+			}
+		}
+	}
+}
+
+func TestRestrictAndExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 200; trial++ {
+		m := New()
+		n := 2 + rng.Intn(4)
+		f, tf := randomFunc(m, n, rng)
+		v := rng.Intn(n)
+		r0 := m.Restrict(f, v, false)
+		r1 := m.Restrict(f, v, true)
+		ex := m.Exists(f, v)
+		for a := uint64(0); a < 1<<n; a++ {
+			a0 := a &^ (1 << v)
+			a1 := a | 1<<v
+			if truth(m, r0, a) != tf[a0] {
+				t.Fatalf("trial %d: Restrict(v=0) wrong", trial)
+			}
+			if truth(m, r1, a) != tf[a1] {
+				t.Fatalf("trial %d: Restrict(v=1) wrong", trial)
+			}
+			if truth(m, ex, a) != (tf[a0] || tf[a1]) {
+				t.Fatalf("trial %d: Exists wrong", trial)
+			}
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		m := New()
+		n := 1 + rng.Intn(6)
+		f, tf := randomFunc(m, n, rng)
+		want := uint64(0)
+		for _, b := range tf {
+			if b {
+				want++
+			}
+		}
+		if got := m.SatCount(f, n); got != want {
+			t.Fatalf("trial %d: SatCount = %d, want %d", trial, got, want)
+		}
+	}
+	m := New()
+	if m.SatCount(True, 5) != 32 || m.SatCount(False, 5) != 0 {
+		t.Fatal("terminal counts wrong")
+	}
+}
+
+func TestMinterms(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 100; trial++ {
+		m := New()
+		n := 1 + rng.Intn(5)
+		f, tf := randomFunc(m, n, rng)
+		got := map[uint64]bool{}
+		m.Minterms(f, n, func(a uint64) bool { got[a] = true; return true })
+		for a := uint64(0); a < 1<<n; a++ {
+			if got[a] != tf[a] {
+				t.Fatalf("trial %d: minterm %b: got %v want %v", trial, a, got[a], tf[a])
+			}
+		}
+	}
+}
+
+func TestMintermsEarlyStop(t *testing.T) {
+	m := New()
+	seen := 0
+	m.Minterms(True, 6, func(uint64) bool { seen++; return seen < 5 })
+	if seen != 5 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	m := New()
+	x, y := m.Var(0), m.Var(1)
+	if !m.Implies(m.And(x, y), x) {
+		t.Fatal("x∧y ⇒ x should hold")
+	}
+	if m.Implies(x, m.And(x, y)) {
+		t.Fatal("x ⇒ x∧y should not hold")
+	}
+}
+
+func TestQuickBooleanLaws(t *testing.T) {
+	m := New()
+	build := func(spec []uint8) Node {
+		f := False
+		cube := True
+		for i, b := range spec {
+			v := int(b % 8)
+			switch b % 3 {
+			case 0:
+				cube = m.And(cube, m.Var(v))
+			case 1:
+				cube = m.And(cube, m.NVar(v))
+			}
+			if i%3 == 2 {
+				f = m.Or(f, cube)
+				cube = True
+			}
+		}
+		return m.Or(f, cube)
+	}
+	law := func(sa, sb, sc []uint8) bool {
+		a, b, c := build(sa), build(sb), build(sc)
+		if m.And(a, m.Or(b, c)) != m.Or(m.And(a, b), m.And(a, c)) {
+			return false
+		}
+		if m.Not(m.Not(a)) != a {
+			return false
+		}
+		if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+			return false
+		}
+		if m.Xor(a, a) != False || m.Xor(a, False) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeReuseAcrossGrowth(t *testing.T) {
+	m := New()
+	// Force several unique-table growths, then verify canonicity still
+	// holds for an early function.
+	early := m.And(m.Var(0), m.Var(1))
+	f := False
+	for v := 0; v < 300; v++ {
+		f = m.Or(f, m.And(m.Var(v), m.NVar(v+1)))
+	}
+	again := m.And(m.Var(0), m.Var(1))
+	if early != again {
+		t.Fatal("canonicity lost after table growth")
+	}
+	if m.NodeCount() < 300 {
+		t.Fatal("expected many nodes")
+	}
+}

@@ -1,0 +1,58 @@
+package bdd
+
+import "ucp/internal/cube"
+
+// FromCover builds the characteristic function of the input minterms
+// of the cover restricted to output o: the BDD encoding of a minterm
+// set used by the pre-ZDD implicit minimisation pipeline (the paper's
+// reference [22]).  Input variable i of the cube space becomes BDD
+// variable i.  When the space has no outputs, o is ignored.
+func FromCover(m *Manager, f *cube.Cover, o int) Node {
+	s := f.S
+	r := False
+	for _, c := range f.Cubes {
+		if s.Outputs() > 0 && !s.Output(c, o) {
+			continue
+		}
+		term := True
+		for i := 0; i < s.Inputs(); i++ {
+			switch s.Input(c, i) {
+			case cube.Zero:
+				term = m.And(term, m.NVar(i))
+			case cube.One:
+				term = m.And(term, m.Var(i))
+			case cube.Empty:
+				term = False
+			}
+		}
+		r = m.Or(r, term)
+	}
+	return r
+}
+
+// FromCube builds the characteristic function of a single cube's input
+// part.
+func FromCube(m *Manager, s *cube.Space, c cube.Cube) Node {
+	term := True
+	for i := 0; i < s.Inputs(); i++ {
+		switch s.Input(c, i) {
+		case cube.Zero:
+			term = m.And(term, m.NVar(i))
+		case cube.One:
+			term = m.And(term, m.Var(i))
+		case cube.Empty:
+			return False
+		}
+	}
+	return term
+}
+
+// CountMinterms returns the number of input minterms of the cover
+// restricted to output o, by building the characteristic BDD and
+// model-counting it.  DNF model counting is #P-hard in general; the
+// BDD detour makes it practical for the cover sizes this library
+// handles.
+func CountMinterms(f *cube.Cover, o int) uint64 {
+	m := New()
+	return m.SatCount(FromCover(m, f, o), f.S.Inputs())
+}

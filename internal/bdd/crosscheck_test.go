@@ -1,0 +1,158 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucp/internal/cube"
+)
+
+// The BDD engine doubles as an independent oracle for the cube
+// calculus: tautology, complement and equivalence answers from
+// internal/cube are re-derived here through canonical BDDs, on spaces
+// too large for brute-force minterm enumeration to be comfortable.
+
+func randomCover(s *cube.Space, n int, rng *rand.Rand) *cube.Cover {
+	f := cube.NewCover(s)
+	for k := 0; k < n; k++ {
+		c := s.NewCube()
+		for i := 0; i < s.Inputs(); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.SetInput(c, i, cube.Zero)
+			case 1:
+				s.SetInput(c, i, cube.One)
+			default:
+				s.SetInput(c, i, cube.DC)
+			}
+		}
+		for o := 0; o < s.Outputs(); o++ {
+			s.SetOutput(c, o, true)
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+func TestCubeTautologyAgainstBDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	agree := 0
+	for trial := 0; trial < 150; trial++ {
+		s := cube.NewSpace(4+rng.Intn(10), 0) // up to 13 inputs
+		f := randomCover(s, 1+rng.Intn(20), rng)
+		m := New()
+		g := FromCover(m, f, 0)
+		want := g == True
+		if got := f.Tautology(); got != want {
+			t.Fatalf("trial %d: cube tautology %v, BDD %v\n%s", trial, got, want, f)
+		}
+		if want {
+			agree++
+		}
+	}
+	if agree == 0 {
+		t.Log("note: no tautologies generated; the check still exercised the negative path")
+	}
+}
+
+func TestCubeComplementAgainstBDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 100; trial++ {
+		s := cube.NewSpace(4+rng.Intn(8), 0)
+		f := randomCover(s, rng.Intn(12), rng)
+		comp := f.ComplementInputs()
+		m := New()
+		bf := FromCover(m, f, 0)
+		bc := FromCover(m, comp, 0)
+		if m.Or(bf, bc) != True {
+			t.Fatalf("trial %d: cover ∪ complement is not the universe", trial)
+		}
+		if m.And(bf, bc) != False {
+			t.Fatalf("trial %d: cover ∩ complement is not empty", trial)
+		}
+	}
+}
+
+func TestCubeEquivalenceAgainstBDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 100; trial++ {
+		s := cube.NewSpace(4+rng.Intn(7), 0)
+		f := randomCover(s, 1+rng.Intn(8), rng)
+		g := randomCover(s, 1+rng.Intn(8), rng)
+		m := New()
+		want := FromCover(m, f, 0) == FromCover(m, g, 0)
+		if got := f.EquivalentTo(g); got != want {
+			t.Fatalf("trial %d: cube equivalence %v, BDD %v", trial, got, want)
+		}
+	}
+}
+
+func TestSharpAgainstBDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	for trial := 0; trial < 100; trial++ {
+		s := cube.NewSpace(4+rng.Intn(6), 0)
+		f := randomCover(s, 1+rng.Intn(5), rng)
+		g := randomCover(s, rng.Intn(4), rng)
+		d := f.SharpCover(g)
+		m := New()
+		want := m.And(FromCover(m, f, 0), m.Not(FromCover(m, g, 0)))
+		if got := FromCover(m, d, 0); got != want {
+			t.Fatalf("trial %d: sharp disagrees with BDD difference", trial)
+		}
+	}
+}
+
+func TestFromCubeMatchesFromCover(t *testing.T) {
+	s := cube.NewSpace(5, 0)
+	c, _ := s.ParseCube("10-1-", "")
+	f := cube.NewCover(s)
+	f.Add(c)
+	m := New()
+	if FromCube(m, s, c) != FromCover(m, f, 0) {
+		t.Fatal("single-cube encodings disagree")
+	}
+	if FromCube(m, s, s.NewCube()) != False {
+		t.Fatal("empty cube should encode to False")
+	}
+}
+
+func TestFromCoverOutputRestriction(t *testing.T) {
+	s := cube.NewSpace(3, 2)
+	f := cube.NewCover(s)
+	a, _ := s.ParseCube("1--", "10")
+	b, _ := s.ParseCube("-0-", "01")
+	f.Add(a)
+	f.Add(b)
+	m := New()
+	f0 := FromCover(m, f, 0)
+	f1 := FromCover(m, f, 1)
+	if f0 != FromCube(m, s, a) {
+		t.Fatal("output 0 should see only cube a")
+	}
+	if f1 != FromCube(m, s, b) {
+		t.Fatal("output 1 should see only cube b")
+	}
+}
+
+func TestCountMintermsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	for trial := 0; trial < 100; trial++ {
+		s := cube.NewSpace(1+rng.Intn(6), 1+rng.Intn(2))
+		f := randomCover(s, rng.Intn(6), rng)
+		for o := 0; o < s.Outputs(); o++ {
+			want := uint64(0)
+			for m := uint64(0); m < 1<<s.Inputs(); m++ {
+				mc := s.CubeOfMinterm(m, o)
+				for _, c := range f.Cubes {
+					if s.Contains(c, mc) {
+						want++
+						break
+					}
+				}
+			}
+			if got := CountMinterms(f, o); got != want {
+				t.Fatalf("trial %d output %d: count %d, want %d", trial, o, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package benchmarks
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"ucp/internal/matrix"
+)
+
+// ReadORLib parses a set-covering instance in the Beasley OR-Library
+// "scp" format, the de-facto interchange format of the lagrangian
+// set-covering literature the paper builds on (Beasley 1987; Caprara,
+// Fischetti, Toth 1996):
+//
+//	m n
+//	cost_1 ... cost_n
+//	k_1  col ... col      (for each row i: its column count, then the
+//	k_2  col ... col       1-based columns covering it, free-format)
+//	...
+//
+// All tokens are whitespace separated and may wrap lines arbitrarily.
+func ReadORLib(r io.Reader) (*matrix.Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	sc.Split(bufio.ScanWords)
+	next := func() (int, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return 0, err
+			}
+			return 0, io.ErrUnexpectedEOF
+		}
+		v := 0
+		neg := false
+		tok := sc.Text()
+		for i, ch := range tok {
+			if i == 0 && ch == '-' {
+				neg = true
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				return 0, fmt.Errorf("benchmarks: non-numeric token %q", tok)
+			}
+			v = v*10 + int(ch-'0')
+			if v > 1<<31 {
+				return 0, fmt.Errorf("benchmarks: numeric token %q out of range", tok)
+			}
+		}
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}
+	m, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("benchmarks: reading row count: %w", err)
+	}
+	n, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("benchmarks: reading column count: %w", err)
+	}
+	const maxDim = 1 << 24
+	if m < 0 || n <= 0 || m > maxDim || n > maxDim {
+		return nil, fmt.Errorf("benchmarks: invalid size %d x %d", m, n)
+	}
+	cost := make([]int, n)
+	for j := range cost {
+		if cost[j], err = next(); err != nil {
+			return nil, fmt.Errorf("benchmarks: reading cost %d: %w", j, err)
+		}
+	}
+	rows := make([][]int, m)
+	for i := range rows {
+		k, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("benchmarks: reading degree of row %d: %w", i, err)
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("benchmarks: row %d has negative degree", i)
+		}
+		for t := 0; t < k; t++ {
+			col, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("benchmarks: reading row %d: %w", i, err)
+			}
+			if col < 1 || col > n {
+				return nil, fmt.Errorf("benchmarks: row %d references column %d of %d", i, col, n)
+			}
+			rows[i] = append(rows[i], col-1)
+		}
+	}
+	return matrix.New(rows, n, cost)
+}
+
+// WriteORLib emits the problem in the Beasley format (costs first,
+// then each row's degree and 1-based columns).
+func WriteORLib(w io.Writer, p *matrix.Problem) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", len(p.Rows), p.NCol)
+	for j, c := range p.Cost {
+		if j > 0 {
+			bw.WriteByte(' ')
+		}
+		fmt.Fprintf(bw, "%d", c)
+	}
+	bw.WriteByte('\n')
+	for _, r := range p.Rows {
+		fmt.Fprintf(bw, "%d\n", len(r))
+		for k, j := range r {
+			if k > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", j+1)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,95 @@
+package benchmarks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadORLib(t *testing.T) {
+	src := `
+3 4
+2 3 1 4
+2
+1 3
+1 2
+3 1 2 4
+`
+	p, err := ReadORLib(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 3 || p.NCol != 4 {
+		t.Fatalf("shape %dx%d", len(p.Rows), p.NCol)
+	}
+	if p.Cost[2] != 1 {
+		t.Fatalf("costs %v", p.Cost)
+	}
+	// 1-based columns become 0-based.
+	if len(p.Rows[0]) != 2 || p.Rows[0][0] != 0 || p.Rows[0][1] != 2 {
+		t.Fatalf("row 0 = %v", p.Rows[0])
+	}
+	if len(p.Rows[2]) != 3 {
+		t.Fatalf("row 2 = %v", p.Rows[2])
+	}
+}
+
+func TestReadORLibWrappedTokens(t *testing.T) {
+	// The OR-Library files wrap tokens arbitrarily; everything on one
+	// line must parse identically.
+	src := "2 3 1 1 1 2 1 2 1 3"
+	p, err := ReadORLib(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 2 || p.NCol != 3 {
+		t.Fatalf("shape %dx%d", len(p.Rows), p.NCol)
+	}
+}
+
+func TestReadORLibErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"2",            // missing column count
+		"1 2 1 1",      // missing degree/columns
+		"1 2 1 1 1 5",  // column out of range
+		"1 2 1 1 x",    // non-numeric
+		"-1 2",         // negative size
+		"1 2 1 1 -1 1", // negative degree
+	}
+	for k, src := range cases {
+		if _, err := ReadORLib(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d: error expected for %q", k, src)
+		}
+	}
+}
+
+func TestORLibRoundTrip(t *testing.T) {
+	p := RandomCovering(77, 25, 18, 0.2, 5)
+	var buf bytes.Buffer
+	if err := WriteORLib(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadORLib(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != len(p.Rows) || q.NCol != p.NCol {
+		t.Fatal("shape changed")
+	}
+	for i := range p.Rows {
+		if len(p.Rows[i]) != len(q.Rows[i]) {
+			t.Fatalf("row %d changed", i)
+		}
+		for k := range p.Rows[i] {
+			if p.Rows[i][k] != q.Rows[i][k] {
+				t.Fatalf("row %d changed", i)
+			}
+		}
+	}
+	for j := range p.Cost {
+		if p.Cost[j] != q.Cost[j] {
+			t.Fatal("costs changed")
+		}
+	}
+}

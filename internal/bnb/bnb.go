@@ -1,0 +1,214 @@
+// Package bnb implements an exact branch-and-bound solver for the
+// unate covering problem in the style of the classical mincov /
+// Scherzo solvers: reductions to the cyclic core at every node, a
+// maximal-independent-set lower bound, the limit bound theorem for
+// column pruning, partitioning into independent blocks, and binary
+// branching on a column of the most constrained row.
+//
+// It serves two purposes in this reproduction: it is the exact
+// comparator of the paper's Tables 3 and 4, and it is the optimality
+// oracle used by the test-suite to validate the heuristic.
+package bnb
+
+import (
+	"sort"
+
+	"ucp/internal/matrix"
+)
+
+// Options controls the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes; 0 means
+	// unlimited.  When the cap is hit the result is the best solution
+	// found so far with Optimal unset.
+	MaxNodes int64
+	// InitialUB, when positive, is the cost of a known cover: the
+	// search only looks for strictly better solutions but will return
+	// a solution of exactly this cost if it proves nothing better
+	// exists and finds one matching it.
+	InitialUB int
+	// DisableLimitBound turns off the Theorem 2 column pruning (for
+	// the ablation benchmarks).
+	DisableLimitBound bool
+	// DisablePartition turns off independent-block decomposition.
+	DisablePartition bool
+}
+
+// Result of an exact solve.
+type Result struct {
+	Solution []int // a minimum cover (column ids of the input problem)
+	Cost     int
+	Optimal  bool  // true when the search completed
+	Nodes    int64 // branch-and-bound nodes visited
+}
+
+type solver struct {
+	opt      Options
+	nodes    int64
+	exceeded bool
+}
+
+// Solve finds a minimum-cost cover of p.  The returned solution is nil
+// only if the problem is infeasible (some row cannot be covered).
+func Solve(p *matrix.Problem, opt Options) *Result {
+	s := &solver{opt: opt}
+	ub := 1 << 30
+	if opt.InitialUB > 0 {
+		ub = opt.InitialUB + 1 // allow matching the known bound
+	}
+	sol := s.search(p, ub)
+	res := &Result{Nodes: s.nodes}
+	if sol == nil {
+		return res
+	}
+	res.Solution = sol
+	sort.Ints(res.Solution)
+	res.Cost = p.CostOf(sol)
+	res.Optimal = !s.exceeded
+	return res
+}
+
+// search returns a cover of p with cost < ub, or nil when none exists
+// (or the node budget ran out).
+func (s *solver) search(p *matrix.Problem, ub int) []int {
+	s.nodes++
+	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+		s.exceeded = true
+		return nil
+	}
+	red := matrix.Reduce(p)
+	if red.Infeasible {
+		return nil
+	}
+	base := p.CostOf(red.Essential)
+	if base >= ub {
+		return nil
+	}
+	core := red.Core
+	if len(core.Rows) == 0 {
+		if red.Essential == nil {
+			return []int{} // solved with no columns; nil means failure
+		}
+		return red.Essential
+	}
+
+	// Partition into independent blocks and solve them separately.
+	if !s.opt.DisablePartition {
+		comps := matrix.Components(core)
+		if len(comps) > 1 {
+			return s.searchComponents(red.Essential, base, comps, ub)
+		}
+	}
+
+	lb, misRows := matrix.MISBound(core)
+	if base+lb >= ub {
+		return nil
+	}
+
+	// Limit bound theorem: columns covering no MIS row whose cost
+	// closes the gap can never appear in an improving solution.
+	work := core
+	if !s.opt.DisableLimitBound {
+		for _, j := range lagRemovable(core, misRows, lb, ub-base) {
+			work = work.RemoveColumn(j)
+		}
+	}
+
+	// Branch on a column of the most constrained row: the shortest
+	// row must be covered by one of its columns, so try them from the
+	// most promising (covers many rows, costs little) down.
+	bi := -1
+	for i, r := range work.Rows {
+		if bi < 0 || len(r) < len(work.Rows[bi]) {
+			bi = i
+		}
+	}
+	if len(work.Rows[bi]) == 0 {
+		return nil // limit bound emptied a row: no improving solution here
+	}
+	colRows := work.ColumnRows()
+	branch := append([]int(nil), work.Rows[bi]...)
+	sort.Slice(branch, func(a, b int) bool {
+		ja, jb := branch[a], branch[b]
+		ca := float64(work.Cost[ja]) / float64(len(colRows[ja]))
+		cb := float64(work.Cost[jb]) / float64(len(colRows[jb]))
+		if ca != cb {
+			return ca < cb
+		}
+		return ja < jb
+	})
+
+	var best []int
+	cur := work
+	for _, j := range branch {
+		// The k-th branch includes column j and assumes the first k−1
+		// columns of the branching row are excluded (RemoveColumn
+		// below enforces that as the loop advances), so the branches
+		// partition the solution space.
+		sub := cur.FixColumn(j)
+		if got := s.search(sub, ub-base-work.Cost[j]); got != nil {
+			cand := append(append([]int(nil), red.Essential...), j)
+			cand = append(cand, got...)
+			cost := p.CostOf(cand)
+			if cost < ub {
+				ub = cost
+				best = cand
+			}
+		}
+		if s.exceeded {
+			break
+		}
+		cur = cur.RemoveColumn(j)
+	}
+	return best
+}
+
+// searchComponents solves the independent blocks one by one, sharing
+// the upper bound: each block's budget is what remains of ub after the
+// path cost and the other blocks' lower bounds.
+func (s *solver) searchComponents(essential []int, base int, comps []matrix.Component, ub int) []int {
+	lbs := make([]int, len(comps))
+	lbSum := 0
+	for k, c := range comps {
+		lbs[k], _ = matrix.MISBound(c.Problem)
+		lbSum += lbs[k]
+	}
+	if base+lbSum >= ub {
+		return nil
+	}
+	sol := append([]int(nil), essential...)
+	solved := 0
+	for k, c := range comps {
+		budget := ub - base - (lbSum - lbs[k]) - solved
+		got := s.search(c.Problem, budget)
+		if got == nil {
+			return nil
+		}
+		cost := c.Problem.CostOf(got)
+		solved += cost
+		lbSum -= lbs[k]
+		sol = append(sol, got...)
+	}
+	if base+solved >= ub {
+		return nil
+	}
+	return sol
+}
+
+// lagRemovable lists the columns removable by the limit bound theorem
+// given the MIS bound lb and budget (ub − path cost).
+func lagRemovable(p *matrix.Problem, misRows []int, lb, budget int) []int {
+	coversMIS := make([]bool, p.NCol)
+	for _, i := range misRows {
+		for _, j := range p.Rows[i] {
+			coversMIS[j] = true
+		}
+	}
+	var out []int
+	for _, j := range p.ActiveCols() {
+		if !coversMIS[j] && lb+p.Cost[j] >= budget {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package bnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucp/internal/matrix"
+)
+
+func randomProblem(rng *rand.Rand, maxRows, maxCols, maxCost int) *matrix.Problem {
+	nr := 1 + rng.Intn(maxRows)
+	nc := 1 + rng.Intn(maxCols)
+	rows := make([][]int, nr)
+	for i := range rows {
+		for j := 0; j < nc; j++ {
+			if rng.Intn(3) == 0 {
+				rows[i] = append(rows[i], j)
+			}
+		}
+		if len(rows[i]) == 0 {
+			rows[i] = append(rows[i], rng.Intn(nc))
+		}
+	}
+	cost := make([]int, nc)
+	for j := range cost {
+		cost[j] = 1 + rng.Intn(maxCost)
+	}
+	return matrix.MustNew(rows, nc, cost)
+}
+
+func bruteForce(p *matrix.Problem) int {
+	active := p.ActiveCols()
+	best := math.MaxInt
+	for mask := 0; mask < 1<<len(active); mask++ {
+		var cols []int
+		for b, j := range active {
+			if mask>>b&1 == 1 {
+				cols = append(cols, j)
+			}
+		}
+		if p.IsCover(cols) {
+			if c := p.CostOf(cols); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 400; trial++ {
+		p := randomProblem(rng, 9, 9, 4)
+		want := bruteForce(p)
+		res := Solve(p, Options{})
+		if !res.Optimal {
+			t.Fatalf("trial %d: not optimal without node cap", trial)
+		}
+		if res.Solution == nil {
+			t.Fatalf("trial %d: no solution on feasible problem", trial)
+		}
+		if !p.IsCover(res.Solution) {
+			t.Fatalf("trial %d: solution is not a cover", trial)
+		}
+		if res.Cost != want {
+			t.Fatalf("trial %d: cost %d, brute force %d\nrows=%v cost=%v sol=%v",
+				trial, res.Cost, want, p.Rows, p.Cost, res.Solution)
+		}
+	}
+}
+
+func TestSolveUniformCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng, 10, 10, 1)
+		want := bruteForce(p)
+		res := Solve(p, Options{})
+		if res.Cost != want {
+			t.Fatalf("trial %d: cost %d, want %d", trial, res.Cost, want)
+		}
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &matrix.Problem{Rows: [][]int{{}}, NCol: 1, Cost: []int{1}}
+	res := Solve(p, Options{})
+	if res.Solution != nil {
+		t.Fatal("infeasible problem returned a solution")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	p := matrix.MustNew(nil, 3, nil)
+	res := Solve(p, Options{})
+	if res.Cost != 0 || !res.Optimal || res.Solution == nil || len(res.Solution) != 0 {
+		t.Fatalf("empty problem: %+v", res)
+	}
+}
+
+func TestInitialUBDoesNotBreakOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng, 8, 8, 3)
+		want := bruteForce(p)
+		res := Solve(p, Options{InitialUB: want}) // tight bound
+		if res.Cost != want || res.Solution == nil {
+			t.Fatalf("trial %d: with tight UB got %d want %d", trial, res.Cost, want)
+		}
+		res2 := Solve(p, Options{InitialUB: want + 2})
+		if res2.Cost != want {
+			t.Fatalf("trial %d: with loose UB got %d want %d", trial, res2.Cost, want)
+		}
+	}
+}
+
+func TestAblationsStillExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 150; trial++ {
+		p := randomProblem(rng, 8, 8, 3)
+		want := bruteForce(p)
+		for _, opt := range []Options{
+			{DisableLimitBound: true},
+			{DisablePartition: true},
+			{DisableLimitBound: true, DisablePartition: true},
+		} {
+			res := Solve(p, opt)
+			if res.Cost != want {
+				t.Fatalf("trial %d opts %+v: cost %d want %d", trial, opt, res.Cost, want)
+			}
+		}
+	}
+}
+
+func TestMaxNodesCapsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	// A biggish random instance to make the cap bite.
+	p := randomProblem(rng, 40, 40, 1)
+	res := Solve(p, Options{MaxNodes: 3})
+	if res.Optimal && res.Nodes > 3 {
+		t.Fatal("node cap exceeded while claiming optimality")
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no nodes counted")
+	}
+}
+
+func TestPartitionedProblem(t *testing.T) {
+	// Two disjoint triangles: optimum is 2+2 with unit costs.
+	p := matrix.MustNew([][]int{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+	}, 6, nil)
+	res := Solve(p, Options{})
+	if res.Cost != 4 {
+		t.Fatalf("cost = %d, want 4", res.Cost)
+	}
+}

@@ -1,0 +1,405 @@
+package cube
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cover is a set of cubes over a common space: a sum-of-products
+// representation of a (multiple-output) boolean function.
+type Cover struct {
+	S     *Space
+	Cubes []Cube
+}
+
+// NewCover returns an empty cover over s.
+func NewCover(s *Space) *Cover { return &Cover{S: s} }
+
+// Add appends cube c to the cover.
+func (f *Cover) Add(c Cube) { f.Cubes = append(f.Cubes, c) }
+
+// Len returns the number of cubes.
+func (f *Cover) Len() int { return len(f.Cubes) }
+
+// Clone returns a deep copy of the cover.
+func (f *Cover) Clone() *Cover {
+	g := &Cover{S: f.S, Cubes: make([]Cube, len(f.Cubes))}
+	for i, c := range f.Cubes {
+		g.Cubes[i] = f.S.Copy(c)
+	}
+	return g
+}
+
+// String renders the cover one cube per line in PLA notation.
+func (f *Cover) String() string {
+	var b strings.Builder
+	for _, c := range f.Cubes {
+		b.WriteString(f.S.String(c))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sort orders the cubes lexicographically by their words, giving the
+// cover a canonical cube order (duplicates become adjacent).
+func (f *Cover) Sort() {
+	sort.Slice(f.Cubes, func(i, j int) bool {
+		a, b := f.Cubes[i], f.Cubes[j]
+		for w := range a {
+			if a[w] != b[w] {
+				return a[w] < b[w]
+			}
+		}
+		return false
+	})
+}
+
+// Dedup removes duplicate and single-cube-contained cubes: any cube
+// contained in another single cube of the cover is dropped.  The
+// result is returned as a new cover.
+func (f *Cover) Dedup() *Cover {
+	g := NewCover(f.S)
+	kept := make([]bool, len(f.Cubes))
+	for i := range f.Cubes {
+		kept[i] = true
+	}
+	for i, a := range f.Cubes {
+		if !kept[i] {
+			continue
+		}
+		for j, b := range f.Cubes {
+			if i == j || !kept[j] {
+				continue
+			}
+			if f.S.Contains(b, a) && (!f.S.Equal(a, b) || j < i) {
+				kept[i] = false
+				break
+			}
+		}
+	}
+	for i, a := range f.Cubes {
+		if kept[i] {
+			g.Add(a)
+		}
+	}
+	return g
+}
+
+// orAll returns the bitwise OR of all cubes (the supercube), or nil
+// for an empty cover.
+func (f *Cover) orAll() Cube { return f.S.SuperCube(f.Cubes) }
+
+// activeInput reports whether any cube constrains input variable i
+// (has a non-DC part there).
+func (f *Cover) activeInput(i int) bool {
+	for _, c := range f.Cubes {
+		if f.S.Input(c, i) != DC {
+			return true
+		}
+	}
+	return false
+}
+
+// mostBinateInput returns the input variable on which the cover is
+// "most binate": the one maximising min(#Zero, #One) occurrences, with
+// total occurrences as tie break.  It returns -1 when no input
+// variable is constrained by any cube.
+func (f *Cover) mostBinateInput() int {
+	s := f.S
+	best, bestKey := -1, int64(-1)
+	for i := 0; i < s.inputs; i++ {
+		zeros, ones := 0, 0
+		for _, c := range f.Cubes {
+			switch s.Input(c, i) {
+			case Zero:
+				zeros++
+			case One:
+				ones++
+			}
+		}
+		if zeros+ones == 0 {
+			continue
+		}
+		lo := zeros
+		if ones < lo {
+			lo = ones
+		}
+		key := int64(lo)<<32 + int64(zeros+ones)
+		if key > bestKey {
+			best, bestKey = i, key
+		}
+	}
+	return best
+}
+
+// CofactorCover returns the cover of the cofactors of every cube with
+// respect to p, dropping cubes disjoint from p.
+func (f *Cover) CofactorCover(p Cube) *Cover {
+	g := NewCover(f.S)
+	for _, c := range f.Cubes {
+		if r := f.S.Cofactor(c, p); r != nil {
+			g.Add(r)
+		}
+	}
+	return g
+}
+
+// Tautology reports whether the cover equals the universal function:
+// it covers every input minterm for every output of the space.  It
+// uses the Espresso recursion: quick vacancy and full-cube checks,
+// unate-variable reduction, then Shannon splitting on the most binate
+// input.
+func (f *Cover) Tautology() bool {
+	s := f.S
+	if len(f.Cubes) == 0 {
+		return s.inputs == 0 && s.outputs == 0
+	}
+	or := f.orAll()
+	full := s.FullCube()
+	for w := range or {
+		if or[w] != full[w] {
+			return false // some value of some part is never covered
+		}
+	}
+	for _, c := range f.Cubes {
+		if s.Equal(c, full) {
+			return true
+		}
+	}
+	// Unate reduction: if variable i only ever appears with one
+	// polarity, minterms on the opposite side are covered exactly by
+	// the cubes with a don't care at i; the tautology question
+	// restricts to those cubes.
+	for i := 0; i < s.inputs; i++ {
+		zeros, ones := 0, 0
+		for _, c := range f.Cubes {
+			switch s.Input(c, i) {
+			case Zero:
+				zeros++
+			case One:
+				ones++
+			}
+		}
+		if (zeros == 0) != (ones == 0) { // unate, but not inactive
+			g := NewCover(s)
+			for _, c := range f.Cubes {
+				if s.Input(c, i) == DC {
+					g.Add(c)
+				}
+			}
+			return g.Tautology()
+		}
+	}
+	x := f.mostBinateInput()
+	if x < 0 {
+		// No cube constrains any input: every cube is full on the
+		// input side, and the OR check above already ensured all
+		// outputs are covered.
+		return true
+	}
+	p1 := s.FullCube()
+	s.SetInput(p1, x, One)
+	p0 := s.FullCube()
+	s.SetInput(p0, x, Zero)
+	return f.CofactorCover(p1).Tautology() && f.CofactorCover(p0).Tautology()
+}
+
+// ContainsCube reports whether the cover contains cube c (every
+// minterm of c is covered), via the cofactor-tautology test.
+func (f *Cover) ContainsCube(c Cube) bool {
+	return f.CofactorCover(c).Tautology()
+}
+
+// ContainsCover reports whether every cube of g is contained in f.
+func (f *Cover) ContainsCover(g *Cover) bool {
+	for _, c := range g.Cubes {
+		if !f.ContainsCube(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentTo reports whether f and g denote the same function.
+func (f *Cover) EquivalentTo(g *Cover) bool {
+	return f.ContainsCover(g) && g.ContainsCover(f)
+}
+
+// Sharp returns the difference a \ b as a list of pairwise-disjoint
+// cubes (the "disjoint sharp" operation), covering exactly the points
+// of a that are not in b.
+func (s *Space) Sharp(a, b Cube) []Cube {
+	if !s.Intersects(a, b) {
+		return []Cube{s.Copy(a)}
+	}
+	var out []Cube
+	prefix := s.Copy(a) // parts already intersected with b
+	for i := 0; i < s.inputs; i++ {
+		la, lb := s.Input(a, i), s.Input(b, i)
+		rest := la &^ lb
+		if rest != Empty {
+			c := s.Copy(prefix)
+			s.SetInput(c, i, Literal(rest))
+			out = append(out, c)
+		}
+		s.SetInput(prefix, i, la&lb)
+	}
+	if s.outputs > 0 {
+		c := s.Copy(prefix)
+		empty := true
+		for w := range c {
+			c[w] = c[w]&s.inMask[w] | (a[w] &^ b[w] & s.outMask[w])
+			if c[w]&s.outMask[w] != 0 {
+				empty = false
+			}
+		}
+		if !empty {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SharpCover returns the set difference f \ g as a cover of disjoint
+// cubes.  The size of the result can grow quickly; it is intended for
+// the moderate cover sizes used by the reduce and essential-point
+// computations.
+func (f *Cover) SharpCover(g *Cover) *Cover {
+	rem := make([]Cube, len(f.Cubes))
+	for i, c := range f.Cubes {
+		rem[i] = f.S.Copy(c)
+	}
+	for _, b := range g.Cubes {
+		var next []Cube
+		for _, a := range rem {
+			next = append(next, f.S.Sharp(a, b)...)
+		}
+		rem = next
+		if len(rem) == 0 {
+			break
+		}
+	}
+	return &Cover{S: f.S, Cubes: rem}
+}
+
+// ComplementInputs complements the cover viewed as a pure input-space
+// function (output parts are ignored).  The result has full output
+// parts.  It uses Shannon expansion on the most binate input with
+// single-cube-containment cleanup at each merge.
+func (f *Cover) ComplementInputs() *Cover {
+	s := f.S
+	// Work on input projections only.
+	proj := NewCover(s)
+	for _, c := range f.Cubes {
+		d := s.Copy(c)
+		for w := range d {
+			d[w] = d[w]&s.inMask[w] | s.outMask[w]
+		}
+		if !s.IsEmpty(d) {
+			proj.Add(d)
+		}
+	}
+	return proj.complementRec()
+}
+
+func (f *Cover) complementRec() *Cover {
+	s := f.S
+	if len(f.Cubes) == 0 {
+		g := NewCover(s)
+		g.Add(s.FullCube())
+		return g
+	}
+	full := s.FullCube()
+	for _, c := range f.Cubes {
+		if s.Equal(c, full) {
+			return NewCover(s)
+		}
+	}
+	if len(f.Cubes) == 1 {
+		// Complement of a single cube: one cube per constrained part.
+		g := NewCover(s)
+		c := f.Cubes[0]
+		for i := 0; i < s.inputs; i++ {
+			l := s.Input(c, i)
+			if l != DC {
+				d := s.FullCube()
+				s.SetInput(d, i, DC&^l)
+				g.Add(d)
+			}
+		}
+		return g
+	}
+	x := f.mostBinateInput()
+	if x < 0 {
+		// All cubes full on inputs, at least one cube, outputs ignored
+		// here: the function is the universe.
+		return NewCover(s)
+	}
+	p1 := s.FullCube()
+	s.SetInput(p1, x, One)
+	p0 := s.FullCube()
+	s.SetInput(p0, x, Zero)
+	c1 := f.CofactorCover(p1).complementRec()
+	c0 := f.CofactorCover(p0).complementRec()
+	g := NewCover(s)
+	for _, c := range c1.Cubes {
+		d := s.Copy(c)
+		s.SetInput(d, x, One)
+		g.Add(d)
+	}
+	for _, c := range c0.Cubes {
+		d := s.Copy(c)
+		s.SetInput(d, x, Zero)
+		g.Add(d)
+	}
+	// Merge cubes identical except for x, and clean up containments.
+	g = mergeOnVar(g, x)
+	return g.Dedup()
+}
+
+// mergeOnVar unions pairs of cubes that differ only in variable x into
+// a single cube with x raised to don't care.
+func mergeOnVar(f *Cover, x int) *Cover {
+	s := f.S
+	g := NewCover(s)
+	used := make([]bool, len(f.Cubes))
+	for i, a := range f.Cubes {
+		if used[i] {
+			continue
+		}
+		merged := s.Copy(a)
+		for j := i + 1; j < len(f.Cubes); j++ {
+			if used[j] {
+				continue
+			}
+			b := f.Cubes[j]
+			if s.Input(a, x)|s.Input(b, x) == DC && equalExcept(s, a, b, x) {
+				s.SetInput(merged, x, DC)
+				used[j] = true
+				break
+			}
+		}
+		g.Add(merged)
+	}
+	return g
+}
+
+func equalExcept(s *Space, a, b Cube, x int) bool {
+	for i := 0; i < s.inputs; i++ {
+		if i != x && s.Input(a, i) != s.Input(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Literals returns the total number of fixed input literals of the
+// cover — the secondary cost measure of two-level minimisation (the
+// primary one being the cube count).
+func (f *Cover) Literals() int {
+	n := 0
+	for _, c := range f.Cubes {
+		n += f.S.Inputs() - f.S.InputWeight(c)
+	}
+	return n
+}

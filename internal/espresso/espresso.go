@@ -1,0 +1,395 @@
+// Package espresso implements a heuristic two-level minimiser in the
+// style of Espresso (Brayton et al. 1984): the EXPAND / IRREDUNDANT /
+// REDUCE improvement loop over a multiple-output cover, with a
+// LAST_GASP escape pass in the strong mode.  It plays the role of the
+// "Espresso" and "Espresso strong" columns in the paper's Tables 1
+// and 2: a fast heuristic that tends to leave a few extra products on
+// problems with large cyclic cores.
+package espresso
+
+import (
+	"sort"
+
+	"ucp/internal/cube"
+)
+
+// Mode selects the effort level.
+type Mode int
+
+// Effort levels.
+const (
+	// Normal runs the classic expand/irredundant/reduce loop to a
+	// fixed point.
+	Normal Mode = iota
+	// Strong additionally runs LAST_GASP rounds (maximal independent
+	// reduction followed by re-expansion) until they stop helping,
+	// mirroring Espresso's -strong option.
+	Strong
+)
+
+// Result carries the minimised cover and loop statistics.
+type Result struct {
+	Cover      *cube.Cover
+	Iterations int // improvement-loop passes executed
+	GaspRounds int // LAST_GASP rounds that improved the cover
+}
+
+// Minimize heuristically minimises the number of product terms of the
+// incompletely specified function with care ON-set f and don't-care
+// set d (d may be nil).  The returned cover is irredundant and every
+// cube is prime.
+func Minimize(f, d *cube.Cover, mode Mode) *Result {
+	s := f.S
+	if d == nil {
+		d = cube.NewCover(s)
+	}
+	offs := offSets(f, d)
+	F := f.Dedup()
+	F = expand(F, offs)
+	F = irredundant(F, d)
+	res := &Result{}
+
+	improve := func(G *cube.Cover, shift int) *cube.Cover {
+		for {
+			res.Iterations++
+			before := G.Len()
+			G = reduceOrdered(G, d, shift)
+			G = expandOrdered(G, offs, shift)
+			G = irredundant(G, d)
+			if G.Len() >= before {
+				return G
+			}
+		}
+	}
+	F = improve(F, 0)
+	if mode == Strong {
+		// Strong mode escapes the local minimum two ways, keeping any
+		// improvement: LAST_GASP (independent maximal reductions
+		// re-expanded into fresh primes) and improvement passes with
+		// rotated reduce orders, which land in different minima.
+		for round := 1; round <= 4; round++ {
+			improved := false
+			if G := lastGasp(F, d, offs); G.Len() < F.Len() {
+				F = improve(G, 0)
+				res.GaspRounds++
+				improved = true
+			}
+			if H := improve(F.Clone(), round); H.Len() < F.Len() {
+				F = H
+				improved = true
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	res.Cover = F
+	return res
+}
+
+// offSets builds, per output, the OFF-set cover of pure input cubes:
+// the complement of (F ∪ D) restricted to that output.
+func offSets(f, d *cube.Cover) []*cube.Cover {
+	s := f.S
+	nOut := s.Outputs()
+	if nOut == 0 {
+		nOut = 1
+	}
+	offs := make([]*cube.Cover, nOut)
+	for o := 0; o < nOut; o++ {
+		onDC := cube.NewCover(s)
+		for _, c := range f.Cubes {
+			if s.Outputs() == 0 || s.Output(c, o) {
+				onDC.Add(c)
+			}
+		}
+		for _, c := range d.Cubes {
+			if s.Outputs() == 0 || s.Output(c, o) {
+				onDC.Add(c)
+			}
+		}
+		offs[o] = onDC.ComplementInputs()
+	}
+	return offs
+}
+
+// inputsIntersect reports whether the input parts of a and b overlap
+// (output parts are ignored; the off-set cubes carry full outputs).
+func inputsIntersect(s *cube.Space, a, b cube.Cube) bool {
+	for i := 0; i < s.Inputs(); i++ {
+		if s.Input(a, i)&s.Input(b, i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// validAgainstOff reports whether cube c (inputs plus output set) hits
+// no OFF-set point: for every output it drives, its input part must
+// avoid that output's OFF cover.
+func validAgainstOff(s *cube.Space, c cube.Cube, offs []*cube.Cover) bool {
+	nOut := s.Outputs()
+	if nOut == 0 {
+		return !anyInputIntersect(s, c, offs[0])
+	}
+	for o := 0; o < nOut; o++ {
+		if s.Output(c, o) && anyInputIntersect(s, c, offs[o]) {
+			return false
+		}
+	}
+	return true
+}
+
+func anyInputIntersect(s *cube.Space, c cube.Cube, off *cube.Cover) bool {
+	for _, oc := range off.Cubes {
+		if inputsIntersect(s, c, oc) {
+			return true
+		}
+	}
+	return false
+}
+
+// expand grows every cube of F into a prime against the OFF-sets:
+// input literals are raised to don't care when no OFF point is hit,
+// then missing outputs are added under the same test.  Cubes absorbed
+// by an expanded prime are dropped.
+func expand(F *cube.Cover, offs []*cube.Cover) *cube.Cover {
+	return expandOrdered(F, offs, 0)
+}
+
+// expandOrdered is expand with the literal-raising order rotated by
+// shift positions, so the strong mode's perturbed passes grow cubes
+// into different primes.
+func expandOrdered(F *cube.Cover, offs []*cube.Cover, shift int) *cube.Cover {
+	s := F.S
+	cubes := make([]cube.Cube, len(F.Cubes))
+	for i, c := range F.Cubes {
+		cubes[i] = s.Copy(c)
+	}
+	// Smallest cubes first: they gain the most from expansion and the
+	// primes they become absorb their neighbours.
+	sort.SliceStable(cubes, func(a, b int) bool {
+		return s.InputWeight(cubes[a]) < s.InputWeight(cubes[b])
+	})
+	alive := make([]bool, len(cubes))
+	for i := range alive {
+		alive[i] = true
+	}
+	for k, c := range cubes {
+		if !alive[k] {
+			continue
+		}
+		// Rank candidate raises by how many OFF cubes block them: the
+		// least-blocked literal is lifted first (espresso's "lower the
+		// fence where fewest dogs bark" heuristic).
+		type cand struct{ v, blockers int }
+		var cands []cand
+		for i := 0; i < s.Inputs(); i++ {
+			if s.Input(c, i) == cube.DC {
+				continue
+			}
+			blockers := 0
+			probe := s.Copy(c)
+			s.SetInput(probe, i, cube.DC)
+			for o := range offs {
+				if s.Outputs() > 0 && !s.Output(c, o) {
+					continue
+				}
+				for _, oc := range offs[o].Cubes {
+					if inputsIntersect(s, probe, oc) {
+						blockers++
+					}
+				}
+			}
+			cands = append(cands, cand{i, blockers})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].blockers != cands[b].blockers {
+				return cands[a].blockers < cands[b].blockers
+			}
+			return cands[a].v < cands[b].v
+		})
+		if shift > 0 && len(cands) > 1 {
+			k := shift % len(cands)
+			cands = append(cands[k:], cands[:k]...)
+		}
+		for _, cd := range cands {
+			old := s.Input(c, cd.v)
+			s.SetInput(c, cd.v, cube.DC)
+			if !validAgainstOff(s, c, offs) {
+				s.SetInput(c, cd.v, old)
+			}
+		}
+		// Output part expansion.
+		for o := 0; o < s.Outputs(); o++ {
+			if s.Output(c, o) {
+				continue
+			}
+			if !anyInputIntersect(s, c, offs[o]) {
+				s.SetOutput(c, o, true)
+			}
+		}
+		cubes[k] = c
+		for j := range cubes {
+			if j != k && alive[j] && s.Contains(c, cubes[j]) {
+				alive[j] = false
+			}
+		}
+	}
+	out := cube.NewCover(s)
+	for i, c := range cubes {
+		if alive[i] {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// irredundant greedily removes cubes covered by the rest of the cover
+// plus the don't-care set.  Smaller cubes are tried first, since they
+// are the most likely to be swallowed.
+func irredundant(F *cube.Cover, d *cube.Cover) *cube.Cover {
+	s := F.S
+	order := make([]int, len(F.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.InputWeight(F.Cubes[order[a]]) < s.InputWeight(F.Cubes[order[b]])
+	})
+	alive := make([]bool, len(F.Cubes))
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, k := range order {
+		rest := cube.NewCover(s)
+		for j, c := range F.Cubes {
+			if j != k && alive[j] {
+				rest.Add(c)
+			}
+		}
+		for _, c := range d.Cubes {
+			rest.Add(c)
+		}
+		if rest.ContainsCube(F.Cubes[k]) {
+			alive[k] = false
+		}
+	}
+	out := cube.NewCover(s)
+	for i, c := range F.Cubes {
+		if alive[i] {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// sharpCap bounds the intermediate cube count of the sharp operations
+// used by reduce; a cube whose remainder explodes past the cap is left
+// unreduced (a sound, conservative fallback).
+const sharpCap = 4096
+
+// reduceCube returns the smallest cube containing the points of c not
+// covered by others, or nil when others covers c completely.  The
+// boolean is false when the computation overflowed sharpCap.
+func reduceCube(s *cube.Space, c cube.Cube, others *cube.Cover) (cube.Cube, bool) {
+	rem := []cube.Cube{s.Copy(c)}
+	for _, b := range others.Cubes {
+		var next []cube.Cube
+		for _, a := range rem {
+			next = append(next, s.Sharp(a, b)...)
+			if len(next) > sharpCap {
+				return nil, false
+			}
+		}
+		rem = next
+		if len(rem) == 0 {
+			return nil, true
+		}
+	}
+	return s.SuperCube(rem), true
+}
+
+// reduceOrdered shrinks each cube to the smallest cube still needed
+// given the rest of the cover, processing the largest cubes first; the
+// processing order is rotated by shift positions, which steers the
+// loop into a different local minimum (used by the strong mode).  The
+// cover's function is unchanged.
+func reduceOrdered(F *cube.Cover, d *cube.Cover, shift int) *cube.Cover {
+	s := F.S
+	cubes := make([]cube.Cube, len(F.Cubes))
+	for i, c := range F.Cubes {
+		cubes[i] = s.Copy(c)
+	}
+	order := make([]int, len(cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.InputWeight(cubes[order[a]]) > s.InputWeight(cubes[order[b]])
+	})
+	if shift > 0 && len(order) > 1 {
+		k := shift % len(order)
+		order = append(order[k:], order[:k]...)
+	}
+	alive := make([]bool, len(cubes))
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, k := range order {
+		others := cube.NewCover(s)
+		for j, c := range cubes {
+			if j != k && alive[j] {
+				others.Add(c)
+			}
+		}
+		for _, c := range d.Cubes {
+			others.Add(c)
+		}
+		rc, ok := reduceCube(s, cubes[k], others)
+		if !ok {
+			continue
+		}
+		if rc == nil {
+			alive[k] = false
+		} else {
+			cubes[k] = rc
+		}
+	}
+	out := cube.NewCover(s)
+	for i, c := range cubes {
+		if alive[i] {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// lastGasp implements the strong-mode escape: every cube is maximally
+// reduced against the *original* cover (independently, so the
+// reductions do not interact), the reduced cubes are re-expanded into
+// primes, and the union of old and new primes is made irredundant.
+// When the cover was stuck in a local minimum of the ordinary loop,
+// the new primes often unlock a smaller irredundant subset.
+func lastGasp(F *cube.Cover, d *cube.Cover, offs []*cube.Cover) *cube.Cover {
+	s := F.S
+	union := F.Clone()
+	for k := range F.Cubes {
+		others := cube.NewCover(s)
+		for j, c := range F.Cubes {
+			if j != k {
+				others.Add(c)
+			}
+		}
+		for _, c := range d.Cubes {
+			others.Add(c)
+		}
+		rc, ok := reduceCube(s, F.Cubes[k], others)
+		if !ok || rc == nil {
+			continue
+		}
+		union.Add(rc)
+	}
+	union = expand(union.Dedup(), offs)
+	return irredundant(union, d)
+}

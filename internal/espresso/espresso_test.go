@@ -1,0 +1,294 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ucp/internal/bnb"
+	"ucp/internal/cube"
+	"ucp/internal/primes"
+)
+
+func mintermIn(s *cube.Space, c cube.Cube, m uint64, o int) bool {
+	for i := 0; i < s.Inputs(); i++ {
+		bit := cube.Zero
+		if m>>i&1 == 1 {
+			bit = cube.One
+		}
+		if s.Input(c, i)&bit == 0 {
+			return false
+		}
+	}
+	return s.Outputs() == 0 || s.Output(c, o)
+}
+
+func inCover(f *cube.Cover, m uint64, o int) bool {
+	for _, c := range f.Cubes {
+		if mintermIn(f.S, c, m, o) {
+			return true
+		}
+	}
+	return false
+}
+
+func randomCover(s *cube.Space, n int, rng *rand.Rand) *cube.Cover {
+	f := cube.NewCover(s)
+	for k := 0; k < n; k++ {
+		c := s.NewCube()
+		for i := 0; i < s.Inputs(); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.SetInput(c, i, cube.Zero)
+			case 1:
+				s.SetInput(c, i, cube.One)
+			default:
+				s.SetInput(c, i, cube.DC)
+			}
+		}
+		any := false
+		for o := 0; o < s.Outputs(); o++ {
+			if rng.Intn(2) == 0 {
+				s.SetOutput(c, o, true)
+				any = true
+			}
+		}
+		if s.Outputs() > 0 && !any {
+			s.SetOutput(c, rng.Intn(s.Outputs()), true)
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+// checkEquivalent verifies cover == f modulo the don't-care set d.
+func checkEquivalent(t *testing.T, s *cube.Space, f, d, cover *cube.Cover, tag string) {
+	t.Helper()
+	nOut := s.Outputs()
+	if nOut == 0 {
+		nOut = 1
+	}
+	for o := 0; o < nOut; o++ {
+		for m := uint64(0); m < 1<<s.Inputs(); m++ {
+			on := inCover(f, m, o)
+			dc := d != nil && inCover(d, m, o)
+			got := inCover(cover, m, o)
+			if dc {
+				continue
+			}
+			if got != on {
+				t.Fatalf("%s: output %d minterm %b: cover=%v on=%v\nf:\n%scover:\n%s",
+					tag, o, m, got, on, f, cover)
+			}
+		}
+	}
+}
+
+func TestMinimizeSimpleMerge(t *testing.T) {
+	// xy + xy' = x.
+	s := cube.NewSpace(2, 1)
+	f := cube.NewCover(s)
+	a, _ := s.ParseCube("11", "1")
+	b, _ := s.ParseCube("10", "1")
+	f.Add(a)
+	f.Add(b)
+	res := Minimize(f, nil, Normal)
+	if res.Cover.Len() != 1 {
+		t.Fatalf("got %d cubes:\n%s", res.Cover.Len(), res.Cover)
+	}
+	if s.String(res.Cover.Cubes[0]) != "1- 1" {
+		t.Fatalf("cube = %q", s.String(res.Cover.Cubes[0]))
+	}
+}
+
+func TestMinimizeKeepsFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 120; trial++ {
+		s := cube.NewSpace(1+rng.Intn(4), 1+rng.Intn(3))
+		f := randomCover(s, 1+rng.Intn(6), rng)
+		d := randomCover(s, rng.Intn(2), rng)
+		for _, mode := range []Mode{Normal, Strong} {
+			res := Minimize(f, d, mode)
+			checkEquivalent(t, s, f, d, res.Cover, "minimize")
+			if res.Cover.Len() > f.Dedup().Len() {
+				t.Fatalf("trial %d: cover grew: %d > %d", trial, res.Cover.Len(), f.Dedup().Len())
+			}
+		}
+	}
+}
+
+func TestMinimizeIrredundantAndPrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 60; trial++ {
+		s := cube.NewSpace(1+rng.Intn(4), 1+rng.Intn(2))
+		f := randomCover(s, 1+rng.Intn(5), rng)
+		res := Minimize(f, nil, Normal)
+		F := res.Cover
+		offs := offSets(f, cube.NewCover(s))
+		for k, c := range F.Cubes {
+			// Irredundancy: removing any cube must break the cover.
+			rest := cube.NewCover(s)
+			for j, c2 := range F.Cubes {
+				if j != k {
+					rest.Add(c2)
+				}
+			}
+			if rest.ContainsCube(c) {
+				t.Fatalf("trial %d: cube %d redundant", trial, k)
+			}
+			// Primality: no literal can be raised, no output added.
+			for i := 0; i < s.Inputs(); i++ {
+				if s.Input(c, i) == cube.DC {
+					continue
+				}
+				probe := s.Copy(c)
+				s.SetInput(probe, i, cube.DC)
+				if validAgainstOff(s, probe, offs) {
+					t.Fatalf("trial %d: cube %d not prime in input %d", trial, k, i)
+				}
+			}
+			for o := 0; o < s.Outputs(); o++ {
+				if s.Output(c, o) {
+					continue
+				}
+				if !anyInputIntersect(s, c, offs[o]) {
+					t.Fatalf("trial %d: cube %d missing output %d", trial, k, o)
+				}
+			}
+		}
+	}
+}
+
+func TestStrongNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 80; trial++ {
+		s := cube.NewSpace(2+rng.Intn(3), 1+rng.Intn(2))
+		f := randomCover(s, 2+rng.Intn(6), rng)
+		n := Minimize(f, nil, Normal).Cover.Len()
+		st := Minimize(f, nil, Strong).Cover.Len()
+		if st > n {
+			t.Fatalf("trial %d: strong %d > normal %d", trial, st, n)
+		}
+	}
+}
+
+func TestHeuristicAtLeastExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	worse := 0
+	for trial := 0; trial < 60; trial++ {
+		s := cube.NewSpace(2+rng.Intn(3), 1)
+		f := randomCover(s, 2+rng.Intn(5), rng)
+		res := Minimize(f, nil, Strong)
+		prs := primes.Generate(f, nil)
+		prob, _, err := primes.BuildCovering(f, nil, prs, primes.UnitCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := bnb.Solve(prob, bnb.Options{})
+		if exact.Solution == nil {
+			if len(prob.Rows) > 0 {
+				t.Fatalf("trial %d: exact failed", trial)
+			}
+			continue
+		}
+		if res.Cover.Len() < exact.Cost {
+			t.Fatalf("trial %d: heuristic %d below exact optimum %d",
+				trial, res.Cover.Len(), exact.Cost)
+		}
+		if res.Cover.Len() > exact.Cost {
+			worse++
+		}
+	}
+	// The heuristic should be optimal on most tiny instances.
+	if worse > 20 {
+		t.Fatalf("heuristic suboptimal on %d/60 tiny instances", worse)
+	}
+}
+
+func TestEmptyFunction(t *testing.T) {
+	s := cube.NewSpace(3, 1)
+	f := cube.NewCover(s)
+	res := Minimize(f, nil, Strong)
+	if res.Cover.Len() != 0 {
+		t.Fatalf("empty function produced %d cubes", res.Cover.Len())
+	}
+}
+
+func TestTautologyFunction(t *testing.T) {
+	s := cube.NewSpace(3, 1)
+	f := cube.NewCover(s)
+	f.Add(s.FullCube())
+	for m := uint64(0); m < 8; m++ {
+		f.Add(s.CubeOfMinterm(m, 0))
+	}
+	res := Minimize(f, nil, Normal)
+	if res.Cover.Len() != 1 {
+		t.Fatalf("tautology should collapse to one cube, got %d", res.Cover.Len())
+	}
+}
+
+func TestDontCaresEnableMerging(t *testing.T) {
+	// ON = {00}, DC = {01}: with the DC the single prime 0- covers ON
+	// with one cube; without it 00 is needed.  Either way one cube,
+	// but the DC version must use the larger prime.
+	s := cube.NewSpace(2, 1)
+	f := cube.NewCover(s)
+	a, _ := s.ParseCube("00", "1")
+	f.Add(a)
+	d := cube.NewCover(s)
+	b, _ := s.ParseCube("01", "1")
+	d.Add(b)
+	res := Minimize(f, d, Normal)
+	if res.Cover.Len() != 1 {
+		t.Fatalf("got %d cubes", res.Cover.Len())
+	}
+	if s.String(res.Cover.Cubes[0]) != "0- 1" {
+		t.Fatalf("cube = %q, want the DC-merged prime", s.String(res.Cover.Cubes[0]))
+	}
+}
+
+// TestQuickMinimizePreservesFunction drives Minimize with
+// testing/quick-generated covers: whatever the generator produces, the
+// minimised cover must implement the same incompletely-specified
+// function.
+func TestQuickMinimizePreservesFunction(t *testing.T) {
+	prop := func(raw [][6]uint8, strong bool) bool {
+		s := cube.NewSpace(4, 2)
+		f := cube.NewCover(s)
+		for _, spec := range raw {
+			c := s.NewCube()
+			for i := 0; i < 4; i++ {
+				switch spec[i] % 3 {
+				case 0:
+					s.SetInput(c, i, cube.Zero)
+				case 1:
+					s.SetInput(c, i, cube.One)
+				default:
+					s.SetInput(c, i, cube.DC)
+				}
+			}
+			s.SetOutput(c, 0, spec[4]%2 == 0)
+			s.SetOutput(c, 1, spec[5]%2 == 0)
+			if s.IsEmpty(c) {
+				s.SetOutput(c, 0, true)
+			}
+			f.Add(c)
+		}
+		mode := Normal
+		if strong {
+			mode = Strong
+		}
+		res := Minimize(f, nil, mode)
+		for o := 0; o < 2; o++ {
+			for m := uint64(0); m < 16; m++ {
+				if inCover(f, m, o) != inCover(res.Cover, m, o) {
+					return false
+				}
+			}
+		}
+		return res.Cover.Len() <= f.Dedup().Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package greedy implements the classical Chvátal greedy heuristic
+// for set covering: repeatedly pick the column with the best
+// cost-per-newly-covered-row ratio.  It is the baseline the paper's
+// lagrangian-guided heuristic is designed to improve upon, and ships
+// as an independent implementation so comparisons do not share code
+// with the contribution.
+package greedy
+
+import "ucp/internal/matrix"
+
+// Solve returns a cover of p built by Chvátal's rule, made
+// irredundant, or nil when some row cannot be covered.  The H_n-factor
+// approximation guarantee of Chvátal (1979) applies to the cost before
+// the irredundant cleanup; the cleanup can only help.
+func Solve(p *matrix.Problem) []int {
+	nr := len(p.Rows)
+	covered := make([]bool, nr)
+	nCovered := 0
+	colRows := p.ColumnRows()
+	inSol := make([]bool, p.NCol)
+	var sol []int
+	for nCovered < nr {
+		best := -1
+		var bestNum, bestDen int // ratio cost/new as a fraction
+		for j := 0; j < p.NCol; j++ {
+			if inSol[j] {
+				continue
+			}
+			n := 0
+			for _, i := range colRows[j] {
+				if !covered[i] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			// Compare cost[j]/n < bestNum/bestDen without floats.
+			if best < 0 || p.Cost[j]*bestDen < bestNum*n ||
+				(p.Cost[j]*bestDen == bestNum*n && n > bestDen) {
+				best, bestNum, bestDen = j, p.Cost[j], n
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		inSol[best] = true
+		sol = append(sol, best)
+		for _, i := range colRows[best] {
+			if !covered[i] {
+				covered[i] = true
+				nCovered++
+			}
+		}
+	}
+	return p.Irredundant(sol)
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFigure1Report(t *testing.T) {
+	r := Figure1()
+	if r.MIS != 1 || math.Abs(r.DualAscent-2) > 1e-9 || math.Abs(r.LinearRel-2.5) > 1e-6 {
+		t.Fatalf("bound chain wrong: %+v", r)
+	}
+	if r.Rounded != 3 || r.Optimum != 3 {
+		t.Fatalf("rounding/optimum wrong: %+v", r)
+	}
+	if r.UniformMIS != 1 || math.Abs(r.UniformDA-1) > 1e-9 {
+		t.Fatalf("uniform bounds wrong: %+v", r)
+	}
+	var buf bytes.Buffer
+	WriteFigure1(&buf, r)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestBoundsStudyOrdering(t *testing.T) {
+	rows := BoundsStudy(12)
+	for _, r := range rows {
+		if float64(r.MIS) > r.DualAscent+1e-6 {
+			t.Fatalf("MIS > DA on seed %d", r.Seed)
+		}
+		if r.DualAscent > r.LinearRel+1e-6 {
+			t.Fatalf("DA > LR on seed %d", r.Seed)
+		}
+		if r.Lagrangian > r.LinearRel+1e-6 {
+			t.Fatalf("Lagr > LR on seed %d", r.Seed)
+		}
+		if r.LinearRel > float64(r.Optimum)+1e-6 {
+			t.Fatalf("LR above optimum on seed %d", r.Seed)
+		}
+	}
+	var buf bytes.Buffer
+	WriteBounds(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty study output")
+	}
+}
+
+// TestTable1Shape checks the paper's central qualitative claims on the
+// difficult cyclic tier: ZDD_SCG never loses to either Espresso mode,
+// strong never loses to normal, and Espresso is faster.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table is slow")
+	}
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	faster := 0
+	for _, r := range rows {
+		if r.SCGSol > r.EspSol || r.SCGSol > r.EspStrongSol {
+			t.Fatalf("%s: SCG %d worse than espresso %d/%d", r.Name, r.SCGSol, r.EspSol, r.EspStrongSol)
+		}
+		if r.EspStrongSol > r.EspSol {
+			t.Fatalf("%s: strong %d worse than normal %d", r.Name, r.EspStrongSol, r.EspSol)
+		}
+		if r.EspTime < r.SCGTotalTime {
+			faster++
+		}
+		if r.CoreRows == 0 {
+			t.Fatalf("%s: empty cyclic core", r.Name)
+		}
+	}
+	if faster < 5 {
+		t.Fatalf("espresso faster on only %d/7 instances; the paper's speed shape is lost", faster)
+	}
+	var buf bytes.Buffer
+	WriteHeuristic(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table is slow")
+	}
+	rows := Table3(2, 300_000)
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExactOptimal && r.SCGSol < r.ExactSol {
+			t.Fatalf("%s: heuristic %d below certified optimum %d", r.Name, r.SCGSol, r.ExactSol)
+		}
+		if r.ExactOptimal && math.Ceil(r.SCGLB-1e-9) > float64(r.ExactSol) {
+			t.Fatalf("%s: SCG lower bound %v above optimum %d", r.Name, r.SCGLB, r.ExactSol)
+		}
+		if r.SCGOptimal && r.ExactOptimal && r.SCGSol != r.ExactSol {
+			t.Fatalf("%s: both certified but disagree (%d vs %d)", r.Name, r.SCGSol, r.ExactSol)
+		}
+	}
+	var buf bytes.Buffer
+	WriteExact(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestAblationGammaCoversAllVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows := AblationGamma()
+	if len(rows) != 4 {
+		t.Fatalf("%d variants, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Fatalf("variant %s produced no cover", r.Label)
+		}
+	}
+}
+
+func TestAblationWarmStartHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows := AblationWarmStart()
+	if len(rows) != 2 {
+		t.Fatal("want warm and cold rows")
+	}
+	// The dual-ascent start must not be worse than the zero start
+	// under the same tight iteration budget (Proposition 1: a properly
+	// initialised lagrangian bound dominates the dual ascent bound).
+	if rows[0].TotalLB < rows[1].TotalLB-1e-6 {
+		t.Fatalf("dual-ascent start LB %v below zero start %v", rows[0].TotalLB, rows[1].TotalLB)
+	}
+}

@@ -1,0 +1,193 @@
+// Package lagrangian implements the optimisation machinery of the
+// paper's Section 3: the lagrangian relaxation of the unate covering
+// problem, its dual, the subgradient ascent that tightens both, the
+// dual-ascent and greedy primal heuristics, and the penalty tests that
+// fix columns in or out of the solution.
+//
+// All functions operate on a compact matrix.Problem: column ids must
+// be dense in [0, NCol) (see (*matrix.Problem).Compact).
+package lagrangian
+
+import (
+	"math"
+	"sort"
+
+	"ucp/internal/matrix"
+)
+
+// DualAscent builds a feasible solution m of the dual problem
+//
+//	max e'm   s.t.  A'm ≤ c,  0 ≤ m ≤ c̄,   c̄_i = min_{j∋i} c_j
+//
+// with the paper's two-phase scheme: starting from m0 (or from the
+// upper bounds c̄ when m0 is nil), the first phase decreases the
+// variables of the most covered rows first until every dual constraint
+// holds; the second phase raises the variables of the least covered
+// rows as far as the slacks allow.  It returns m and its value e'm,
+// which is a lower bound on the optimum of p (LB_DA).
+func DualAscent(p *matrix.Problem, m0 []float64) ([]float64, float64) {
+	nr := len(p.Rows)
+	if nr == 0 {
+		return nil, 0
+	}
+	cbar := make([]float64, nr)
+	for i, r := range p.Rows {
+		cb := math.Inf(1)
+		for _, j := range r {
+			if float64(p.Cost[j]) < cb {
+				cb = float64(p.Cost[j])
+			}
+		}
+		cbar[i] = cb
+	}
+	if m0 != nil {
+		m := make([]float64, nr)
+		for i := range m {
+			m[i] = math.Min(math.Max(m0[i], 0), cbar[i])
+		}
+		return ascend(p, cbar, m)
+	}
+	// Cold start: try both the all-c̄ start (decrease into
+	// feasibility) and the independent-set start (already feasible, so
+	// only phase 2 applies).  The latter guarantees the Proposition 1
+	// dominance LB_DA ≥ LB_MIS; the former often does better on dense
+	// matrices.  Keep the stronger result.
+	full := make([]float64, nr)
+	copy(full, cbar)
+	mA, wA := ascend(p, cbar, full)
+	_, misRows := matrix.MISBound(p)
+	seed := make([]float64, nr)
+	for _, i := range misRows {
+		seed[i] = cbar[i]
+	}
+	mB, wB := ascend(p, cbar, seed)
+	if wB > wA {
+		return mB, wB
+	}
+	return mA, wA
+}
+
+// ascend runs the two dual-ascent phases from the start vector m,
+// which must already respect 0 ≤ m ≤ c̄.  m is modified in place.
+func ascend(p *matrix.Problem, cbar, m []float64) ([]float64, float64) {
+	nr := len(p.Rows)
+
+	// colSum[j] = Σ_{i covered by j} m_i; viol_j = colSum[j] - c_j.
+	colSum := make([]float64, p.NCol)
+	for i, r := range p.Rows {
+		for _, j := range r {
+			colSum[j] += m[i]
+		}
+	}
+
+	// Phase 1: decrease.  Rows covered by many columns first: lowering
+	// them relaxes many constraints per unit of objective lost.
+	order := make([]int, nr)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(p.Rows[order[a]]), len(p.Rows[order[b]])
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		worst := 0.0
+		for _, j := range p.Rows[i] {
+			if v := colSum[j] - float64(p.Cost[j]); v > worst {
+				worst = v
+			}
+		}
+		if worst <= 0 {
+			continue
+		}
+		dec := math.Min(worst, m[i])
+		if dec <= 0 {
+			continue
+		}
+		m[i] -= dec
+		for _, j := range p.Rows[i] {
+			colSum[j] -= dec
+		}
+	}
+	// A single sweep may leave violations (each row only fixes its own
+	// worst constraint); iterate until feasible.
+	for pass := 0; pass < nr+1; pass++ {
+		fixed := true
+		for _, i := range order {
+			if m[i] == 0 {
+				continue
+			}
+			worst := 0.0
+			for _, j := range p.Rows[i] {
+				if v := colSum[j] - float64(p.Cost[j]); v > worst {
+					worst = v
+				}
+			}
+			if worst > 1e-12 {
+				dec := math.Min(worst, m[i])
+				m[i] -= dec
+				for _, j := range p.Rows[i] {
+					colSum[j] -= dec
+				}
+				fixed = false
+			}
+		}
+		if fixed {
+			break
+		}
+	}
+
+	// Phase 2: increase.  Rows covered by few columns first: raising
+	// them consumes slack in few constraints.
+	for k := len(order)/2 - 1; k >= 0; k-- { // reverse: ascending order
+		order[k], order[len(order)-1-k] = order[len(order)-1-k], order[k]
+	}
+	for _, i := range order {
+		slack := math.Inf(1)
+		for _, j := range p.Rows[i] {
+			if s := float64(p.Cost[j]) - colSum[j]; s < slack {
+				slack = s
+			}
+		}
+		if slack <= 0 {
+			continue
+		}
+		inc := math.Min(slack, cbar[i]-m[i])
+		if inc <= 0 {
+			continue
+		}
+		m[i] += inc
+		for _, j := range p.Rows[i] {
+			colSum[j] += inc
+		}
+	}
+
+	w := 0.0
+	for i := range m {
+		w += m[i]
+	}
+
+	return m, w
+}
+
+// DualFeasible reports whether m satisfies A'm ≤ c + tol and m ≥ -tol.
+func DualFeasible(p *matrix.Problem, m []float64, tol float64) bool {
+	colSum := make([]float64, p.NCol)
+	for i, r := range p.Rows {
+		if m[i] < -tol {
+			return false
+		}
+		for _, j := range r {
+			colSum[j] += m[i]
+		}
+	}
+	for j, s := range colSum {
+		if s > float64(p.Cost[j])+tol {
+			return false
+		}
+	}
+	return true
+}

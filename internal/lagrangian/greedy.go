@@ -1,0 +1,144 @@
+package lagrangian
+
+import (
+	"math"
+
+	"ucp/internal/matrix"
+)
+
+// GammaVariant selects one of the paper's four rating functions used
+// by the auxiliary greedy primal heuristic (§3.5).
+type GammaVariant int
+
+// The four rating functions γ_j of §3.5.
+const (
+	GammaPerRow        GammaVariant = iota // c̃_j / n_j
+	GammaLog                               // c̃_j / lg₂(n_j + 1)
+	GammaRowLog                            // c̃_j / (n_j · lg₂(n_j + 1))
+	GammaRowImportance                     // c̃_j weighted by row scarcity
+)
+
+// GreedyLagrangian builds a feasible solution of p.  It starts from
+// the lagrangian relaxation's solution (every column with c̃_j ≤ 0),
+// then repeatedly adds the column minimising γ_j over the still
+// uncovered rows, and finally drops redundant columns (highest true
+// cost first).  ctilde may be the true costs (as floats) to obtain the
+// classical Chvátal-style greedy start.
+//
+// The per-column "uncovered rows" counts (and, for the fourth variant,
+// scarcity weights) are maintained incrementally, so one full build
+// costs O(nnz + picks·columns) rather than O(picks·nnz).
+func GreedyLagrangian(p *matrix.Problem, colRows [][]int, ctilde []float64, v GammaVariant) []int {
+	nr := len(p.Rows)
+	covered := make([]bool, nr)
+	nCovered := 0
+	inSol := make([]bool, p.NCol)
+	var sol []int
+
+	// Row scarcity weights for the fourth variant: rows covered by few
+	// columns matter more.
+	rowWeight := make([]float64, nr)
+	if v == GammaRowImportance {
+		for i, r := range p.Rows {
+			if len(r) <= 1 {
+				rowWeight[i] = 1e9 // essentially forced row
+			} else {
+				rowWeight[i] = 1 / float64(len(r)-1)
+			}
+		}
+	}
+
+	// n[j]: uncovered rows of column j; w[j]: their total weight.
+	n := make([]int, p.NCol)
+	w := make([]float64, p.NCol)
+	for j := 0; j < p.NCol; j++ {
+		n[j] = len(colRows[j])
+		if v == GammaRowImportance {
+			for _, i := range colRows[j] {
+				w[j] += rowWeight[i]
+			}
+		}
+	}
+
+	add := func(j int) {
+		inSol[j] = true
+		sol = append(sol, j)
+		for _, i := range colRows[j] {
+			if covered[i] {
+				continue
+			}
+			covered[i] = true
+			nCovered++
+			for _, k := range p.Rows[i] {
+				n[k]--
+				if v == GammaRowImportance {
+					w[k] -= rowWeight[i]
+				}
+			}
+		}
+	}
+
+	// Start from the relaxed solution.
+	for j := 0; j < p.NCol; j++ {
+		if ctilde[j] <= 0 && len(colRows[j]) > 0 {
+			add(j)
+		}
+	}
+
+	for nCovered < nr {
+		best, bestGamma := -1, math.Inf(1)
+		for j := 0; j < p.NCol; j++ {
+			if inSol[j] || n[j] == 0 {
+				continue
+			}
+			// Candidates here have c̃_j > 0 (non-positive ones were
+			// taken in the start solution), so smaller γ is better.
+			var gamma float64
+			switch v {
+			case GammaPerRow:
+				gamma = ctilde[j] / float64(n[j])
+			case GammaLog:
+				gamma = ctilde[j] / math.Log2(float64(n[j])+1)
+			case GammaRowLog:
+				gamma = ctilde[j] / (float64(n[j]) * math.Log2(float64(n[j])+1))
+			case GammaRowImportance:
+				gamma = ctilde[j] / w[j]
+			}
+			if gamma < bestGamma || (gamma == bestGamma && best >= 0 && p.Cost[j] < p.Cost[best]) {
+				best, bestGamma = j, gamma
+			}
+		}
+		if best < 0 {
+			return nil // uncoverable row
+		}
+		add(best)
+	}
+	return p.Irredundant(sol)
+}
+
+// BestGreedy runs all four rating variants and returns the cheapest
+// resulting cover (by true cost), or nil if the problem is infeasible.
+func BestGreedy(p *matrix.Problem, colRows [][]int, ctilde []float64) []int {
+	var best []int
+	bestCost := math.MaxInt
+	for v := GammaPerRow; v <= GammaRowImportance; v++ {
+		sol := GreedyLagrangian(p, colRows, ctilde, v)
+		if sol == nil {
+			continue
+		}
+		if c := p.CostOf(sol); c < bestCost {
+			best, bestCost = sol, c
+		}
+	}
+	return best
+}
+
+// FloatCosts converts the integer cost vector of p to float64 for use
+// as the trivial lagrangian costs (λ = 0).
+func FloatCosts(p *matrix.Problem) []float64 {
+	c := make([]float64, p.NCol)
+	for j := range c {
+		c[j] = float64(p.Cost[j])
+	}
+	return c
+}

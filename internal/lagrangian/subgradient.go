@@ -1,0 +1,336 @@
+package lagrangian
+
+import (
+	"math"
+
+	"ucp/internal/matrix"
+)
+
+// Params tunes the subgradient ascent.  Zero values select the
+// defaults from the paper (DefaultParams).
+type Params struct {
+	Alpha       float64 // σ_j = c̃_j − α·μ_j rating weight (paper: 2)
+	CHat        float64 // promising-column threshold on c̃ (paper: 0.001)
+	MuHat       float64 // promising-column threshold on μ (paper: 0.999)
+	Delta       float64 // stop when UB − z_λ < Delta
+	T0          float64 // initial step coefficient t_0
+	TMin        float64 // stop when t_k < TMin
+	NT          int     // halve t_k after NT non-improving steps
+	MaxIters    int     // hard iteration cap
+	DualPen     int     // skip dual penalties above this column count (paper: 100)
+	GreedyEvery int     // run the primal heuristic every this many iterations
+}
+
+// DefaultParams returns the parameter set used throughout the paper's
+// experiments.
+func DefaultParams() Params {
+	return Params{
+		Alpha:       2,
+		CHat:        0.001,
+		MuHat:       0.999,
+		Delta:       1e-3,
+		T0:          2,
+		TMin:        0.005,
+		NT:          15,
+		MaxIters:    600,
+		DualPen:     100,
+		GreedyEvery: 3,
+	}
+}
+
+func (p *Params) fill() {
+	d := DefaultParams()
+	if p.Alpha == 0 {
+		p.Alpha = d.Alpha
+	}
+	if p.CHat == 0 {
+		p.CHat = d.CHat
+	}
+	if p.MuHat == 0 {
+		p.MuHat = d.MuHat
+	}
+	if p.Delta == 0 {
+		p.Delta = d.Delta
+	}
+	if p.T0 == 0 {
+		p.T0 = d.T0
+	}
+	if p.TMin == 0 {
+		p.TMin = d.TMin
+	}
+	if p.NT == 0 {
+		p.NT = d.NT
+	}
+	if p.MaxIters == 0 {
+		p.MaxIters = d.MaxIters
+	}
+	if p.DualPen == 0 {
+		p.DualPen = d.DualPen
+	}
+	if p.GreedyEvery == 0 {
+		p.GreedyEvery = d.GreedyEvery
+	}
+}
+
+// Multipliers carries the primal (λ, one per row) and dual-lagrangian
+// (μ, one per column) multiplier vectors between subgradient phases,
+// so a phase can warm-start from the previous fixing step's result.
+type Multipliers struct {
+	Lambda []float64
+	Mu     []float64
+}
+
+// Result is the outcome of one subgradient ascent phase.
+type Result struct {
+	Lambda        []float64 // multipliers achieving LB
+	Mu            []float64 // dual-lagrangian multipliers achieving UBDual
+	CTilde        []float64 // lagrangian costs c − A'λ at Lambda
+	LB            float64   // best lagrangian lower bound z*_LP(λ)
+	UBDual        float64   // best dual-lagrangian upper bound on z*_P
+	Best          []int     // cheapest feasible solution found
+	BestCost      int
+	ProvedOptimal bool // BestCost == ⌈LB⌉
+	Iters         int
+}
+
+// Subgradient runs the two-sided subgradient scheme of §3.2–3.3 on the
+// compact problem p: the primal lagrangian multipliers λ are pushed
+// toward the linear-relaxation optimum with update (2), while the dual
+// lagrangian multipliers μ descend toward the dual optimum; each side
+// supplies the bound the other uses in its step size.  init may carry
+// multipliers from a previous phase (nil for a cold start, which seeds
+// λ from dual ascent and μ from a greedy cover).  ub0, if positive, is
+// a known feasible cost used as the initial upper bound.
+func Subgradient(p *matrix.Problem, prm Params, init *Multipliers, ub0 int) *Result {
+	prm.fill()
+	nr, nc := len(p.Rows), p.NCol
+	res := &Result{}
+	if nr == 0 {
+		res.Best = []int{}
+		res.ProvedOptimal = true
+		return res
+	}
+	colRows := p.ColumnRows()
+
+	// ----- initial feasible solution (upper bound) -----
+	trueCosts := FloatCosts(p)
+	best := BestGreedy(p, colRows, trueCosts)
+	if best == nil {
+		// Some row is uncoverable; report infeasibility by a nil Best.
+		return res
+	}
+	res.Best, res.BestCost = best, p.CostOf(best)
+	if ub0 > 0 && ub0 < res.BestCost {
+		res.BestCost = ub0 // caller knows a better cover elsewhere
+	}
+
+	// ----- multiplier initialisation -----
+	var lambda, mu []float64
+	if init != nil && len(init.Lambda) == nr && len(init.Mu) == nc {
+		lambda = append([]float64(nil), init.Lambda...)
+		mu = append([]float64(nil), init.Mu...)
+	} else {
+		// λ₀ from dual ascent (§3.3), μ₀ from the primal heuristic.
+		m, _ := DualAscent(p, nil)
+		lambda = m
+		mu = make([]float64, nc)
+		for _, j := range best {
+			mu[j] = 1
+		}
+	}
+
+	res.Lambda = append([]float64(nil), lambda...)
+	res.Mu = append([]float64(nil), mu...)
+	res.LB = math.Inf(-1)
+	res.UBDual = math.Inf(1)
+
+	ctilde := make([]float64, nc)
+	s := make([]float64, nr) // primal subgradient e − Ap*
+	g := make([]float64, nc) // dual subgradient c − A'm*
+	m := make([]float64, nr) // dual-lagrangian inner solution
+	cbar := make([]float64, nr)
+	for i, r := range p.Rows {
+		cb := math.Inf(1)
+		for _, j := range r {
+			if float64(p.Cost[j]) < cb {
+				cb = float64(p.Cost[j])
+			}
+		}
+		cbar[i] = cb
+	}
+
+	t := prm.T0
+	sinceImprove := 0
+	variant := GammaPerRow
+
+	for k := 0; k < prm.MaxIters; k++ {
+		res.Iters = k + 1
+
+		// ----- primal lagrangian value at λ -----
+		for j := 0; j < nc; j++ {
+			ctilde[j] = float64(p.Cost[j])
+		}
+		zl := 0.0
+		for i := 0; i < nr; i++ {
+			zl += lambda[i]
+			for _, j := range p.Rows[i] {
+				ctilde[j] -= lambda[i]
+			}
+		}
+		for j := 0; j < nc; j++ {
+			if ctilde[j] <= 0 {
+				zl += ctilde[j]
+			}
+		}
+		improved := false
+		if zl > res.LB {
+			res.LB = zl
+			copy(res.Lambda, lambda)
+			res.CTilde = append(res.CTilde[:0], ctilde...)
+			improved = true
+		}
+
+		// ----- primal heuristic on the lagrangian costs -----
+		if improved || k%prm.GreedyEvery == 0 {
+			sol := GreedyLagrangian(p, colRows, ctilde, variant)
+			variant = (variant + 1) % 4
+			if sol != nil {
+				if c := p.CostOf(sol); c < res.BestCost {
+					res.Best, res.BestCost = sol, c
+				}
+			}
+		}
+
+		// Integer costs: a solution matching ⌈LB⌉ is optimal.
+		if float64(res.BestCost) <= math.Ceil(res.LB-1e-9) {
+			res.ProvedOptimal = true
+			break
+		}
+
+		// ----- dual lagrangian value at μ -----
+		wld := 0.0
+		for j := 0; j < nc; j++ {
+			wld += mu[j] * float64(p.Cost[j])
+		}
+		for i := 0; i < nr; i++ {
+			et := 1.0
+			for _, j := range p.Rows[i] {
+				et -= mu[j]
+			}
+			if et > 0 {
+				m[i] = cbar[i]
+				wld += et * cbar[i]
+			} else {
+				m[i] = 0
+			}
+		}
+		if wld < res.UBDual {
+			res.UBDual = wld
+			copy(res.Mu, mu)
+		}
+
+		ub := math.Min(res.UBDual, float64(res.BestCost))
+
+		// ----- stopping tests -----
+		if ub-zl < prm.Delta {
+			break
+		}
+		if improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if sinceImprove >= prm.NT {
+				t /= 2
+				sinceImprove = 0
+			}
+		}
+		if t < prm.TMin {
+			break
+		}
+
+		// ----- primal subgradient step (formula 2) -----
+		norm := 0.0
+		for i := 0; i < nr; i++ {
+			s[i] = 1
+			for _, j := range p.Rows[i] {
+				if ctilde[j] <= 0 {
+					s[i]--
+				}
+			}
+			norm += s[i] * s[i]
+		}
+		if norm == 0 {
+			// The relaxed solution is feasible and tight: λ is optimal.
+			break
+		}
+		step := t * math.Abs(ub-zl) / norm
+		for i := 0; i < nr; i++ {
+			lambda[i] = math.Max(lambda[i]+step*s[i], 0)
+		}
+
+		// ----- dual subgradient step (descent on w_LD) -----
+		gnorm := 0.0
+		for j := 0; j < nc; j++ {
+			g[j] = float64(p.Cost[j])
+		}
+		for i := 0; i < nr; i++ {
+			if m[i] > 0 {
+				for _, j := range p.Rows[i] {
+					g[j] -= m[i]
+				}
+			}
+		}
+		for j := 0; j < nc; j++ {
+			gnorm += g[j] * g[j]
+		}
+		if gnorm > 0 {
+			// LB is the tightest available lower estimate of z*_P for
+			// sizing the descent step on the dual side.
+			dstep := t * math.Abs(wld-res.LB) / gnorm
+			for j := 0; j < nc; j++ {
+				mu[j] = math.Min(math.Max(mu[j]-dstep*g[j], 0), 1)
+			}
+		}
+	}
+
+	if res.CTilde == nil {
+		// MaxIters = 0 corner: compute c̃ at the initial λ.
+		res.CTilde = make([]float64, nc)
+		for j := 0; j < nc; j++ {
+			res.CTilde[j] = float64(p.Cost[j])
+		}
+		for i := 0; i < nr; i++ {
+			for _, j := range p.Rows[i] {
+				res.CTilde[j] -= res.Lambda[i]
+			}
+		}
+	}
+	if float64(res.BestCost) <= math.Ceil(res.LB-1e-9) {
+		res.ProvedOptimal = true
+	}
+	return res
+}
+
+// Sigma rates every column with the fixing score σ_j = c̃_j − α·μ_j of
+// §3.7: the smaller the score, the more likely the column belongs to
+// an optimal solution.
+func Sigma(ctilde, mu []float64, alpha float64) []float64 {
+	s := make([]float64, len(ctilde))
+	for j := range s {
+		s[j] = ctilde[j] - alpha*mu[j]
+	}
+	return s
+}
+
+// Promising returns the columns satisfying both fixing conditions of
+// §3.7: lagrangian cost below CHat and dual value above MuHat.
+func Promising(ctilde, mu []float64, prm Params) []int {
+	prm.fill()
+	var out []int
+	for j := range ctilde {
+		if ctilde[j] <= prm.CHat && mu[j] >= prm.MuHat {
+			out = append(out, j)
+		}
+	}
+	return out
+}

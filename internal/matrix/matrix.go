@@ -1,0 +1,518 @@
+// Package matrix implements the explicit sparse representation of a
+// unate covering problem together with the classical logical
+// reductions: essential columns, row dominance, column dominance and
+// partitioning into independent blocks.  Iterating the reductions to a
+// fixed point yields the cyclic core of the problem.
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Problem is a unate covering instance min c'p s.t. Ap ≥ e over binary
+// p.  Rows hold, for each row of A, the sorted ids of the columns that
+// cover it.  Column ids index Cost and may be sparse: a reduced
+// problem keeps the original ids of the surviving columns.
+type Problem struct {
+	Rows [][]int // sorted column ids per row
+	NCol int     // size of the column universe (ids are < NCol)
+	Cost []int   // cost per column id, len NCol
+}
+
+// New builds a problem, sorting and deduplicating each row's column
+// list, and validates it.  A nil cost vector means uniform unit costs.
+func New(rows [][]int, ncol int, cost []int) (*Problem, error) {
+	if cost == nil {
+		cost = make([]int, ncol)
+		for j := range cost {
+			cost[j] = 1
+		}
+	}
+	if len(cost) != ncol {
+		return nil, fmt.Errorf("matrix: %d costs for %d columns", len(cost), ncol)
+	}
+	p := &Problem{Rows: make([][]int, len(rows)), NCol: ncol, Cost: cost}
+	for i, r := range rows {
+		rr := append([]int(nil), r...)
+		sort.Ints(rr)
+		out := rr[:0]
+		for k, j := range rr {
+			if j < 0 || j >= ncol {
+				return nil, fmt.Errorf("matrix: row %d references column %d outside universe %d", i, j, ncol)
+			}
+			if k > 0 && rr[k-1] == j {
+				continue
+			}
+			out = append(out, j)
+		}
+		p.Rows[i] = out
+	}
+	for j, c := range cost {
+		if c < 0 {
+			return nil, fmt.Errorf("matrix: column %d has negative cost %d", j, c)
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error, for tests and literals.
+func MustNew(rows [][]int, ncol int, cost []int) *Problem {
+	p, err := New(rows, ncol, cost)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Clone returns a deep copy.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{Rows: make([][]int, len(p.Rows)), NCol: p.NCol, Cost: append([]int(nil), p.Cost...)}
+	for i, r := range p.Rows {
+		q.Rows[i] = append([]int(nil), r...)
+	}
+	return q
+}
+
+// NumRows returns the number of rows.
+func (p *Problem) NumRows() int { return len(p.Rows) }
+
+// ActiveCols returns the sorted ids of the columns appearing in at
+// least one row.
+func (p *Problem) ActiveCols() []int {
+	seen := make(map[int]bool)
+	for _, r := range p.Rows {
+		for _, j := range r {
+			seen[j] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for j := range seen {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ColumnRows returns, for every column id, the sorted list of row
+// indices it covers.
+func (p *Problem) ColumnRows() [][]int {
+	cols := make([][]int, p.NCol)
+	for i, r := range p.Rows {
+		for _, j := range r {
+			cols[j] = append(cols[j], i)
+		}
+	}
+	return cols
+}
+
+// IsCover reports whether the column set covers every row.
+func (p *Problem) IsCover(cols []int) bool {
+	in := make(map[int]bool, len(cols))
+	for _, j := range cols {
+		in[j] = true
+	}
+	for _, r := range p.Rows {
+		ok := false
+		for _, j := range r {
+			if in[j] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CostOf sums the costs of the given columns.
+func (p *Problem) CostOf(cols []int) int {
+	t := 0
+	for _, j := range cols {
+		t += p.Cost[j]
+	}
+	return t
+}
+
+// Irredundant removes redundant columns from a cover, dropping the
+// highest-cost redundant column first, as the paper prescribes for the
+// final cleanup of p_best.  The input is not modified.  Coverage
+// counts are maintained incrementally, so the whole cleanup costs
+// O(nnz + removals·|cols|·degree).
+func (p *Problem) Irredundant(cols []int) []int {
+	in := make(map[int]bool, len(cols))
+	for _, j := range cols {
+		in[j] = true
+	}
+	// Rows covered by each selected column, and per-row cover counts.
+	colRowsSel := make(map[int][]int, len(cols))
+	coverCnt := make([]int, len(p.Rows))
+	for i, r := range p.Rows {
+		for _, j := range r {
+			if in[j] {
+				coverCnt[i]++
+				colRowsSel[j] = append(colRowsSel[j], i)
+			}
+		}
+	}
+	alive := append([]int(nil), cols...)
+	for {
+		// A column is redundant when every row it covers is covered at
+		// least twice; drop the most expensive one first.
+		best := -1
+		for k, j := range alive {
+			red := true
+			for _, i := range colRowsSel[j] {
+				if coverCnt[i] == 1 {
+					red = false
+					break
+				}
+			}
+			if red && (best < 0 || p.Cost[j] > p.Cost[alive[best]]) {
+				best = k
+			}
+		}
+		if best < 0 {
+			return alive
+		}
+		for _, i := range colRowsSel[alive[best]] {
+			coverCnt[i]--
+		}
+		alive = append(alive[:best], alive[best+1:]...)
+	}
+}
+
+func containsSorted(r []int, j int) bool {
+	lo, hi := 0, len(r)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(r) && r[lo] == j
+}
+
+// Reduction is the outcome of reducing a problem to its cyclic core.
+type Reduction struct {
+	Core       *Problem // the cyclic core (may have zero rows)
+	Essential  []int    // column ids forced into every minimum solution
+	Infeasible bool     // an uncoverable row was found
+}
+
+// Reduce applies essential-column extraction, row dominance and column
+// dominance until none of them changes the matrix, returning the
+// cyclic core.  Column dominance keeps the cheaper column (breaking
+// ties toward the smaller id), so at least one minimum solution of the
+// original problem survives in the core.
+func Reduce(p *Problem) *Reduction {
+	return &ReduceTracked(p).Reduction
+}
+
+// TrackedReduction is a Reduction that also records, for every row of
+// the core, the index of the input row it descends from — which lets
+// callers carry per-row state (such as lagrangian multipliers) across
+// a reduction.
+type TrackedReduction struct {
+	Reduction
+	// RowOrigin[i] is the input-row index of core row i.
+	RowOrigin []int
+}
+
+// ReduceTracked is Reduce with row provenance.
+func ReduceTracked(p *Problem) *TrackedReduction {
+	res := &TrackedReduction{}
+	cur := p.Clone()
+	origin := make([]int, len(cur.Rows))
+	for i := range origin {
+		origin[i] = i
+	}
+	for {
+		changed := false
+
+		// Empty rows mean infeasibility.
+		for _, r := range cur.Rows {
+			if len(r) == 0 {
+				res.Infeasible = true
+				res.Core = cur
+				res.RowOrigin = origin
+				return res
+			}
+		}
+
+		// Essential columns: any row covered by a single column.
+		ess := make(map[int]bool)
+		for _, r := range cur.Rows {
+			if len(r) == 1 {
+				ess[r[0]] = true
+			}
+		}
+		if len(ess) > 0 {
+			changed = true
+			for j := range ess {
+				res.Essential = append(res.Essential, j)
+			}
+			var rows [][]int
+			var keptOrigin []int
+			for i, r := range cur.Rows {
+				covered := false
+				for _, j := range r {
+					if ess[j] {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					rows = append(rows, r)
+					keptOrigin = append(keptOrigin, origin[i])
+				}
+			}
+			cur.Rows = rows
+			origin = keptOrigin
+		}
+
+		// Row dominance: keep only inclusion-minimal rows (a row that
+		// is a superset of another is covered automatically).
+		if o, ok := dropSupersetRows(cur, origin); ok {
+			origin = o
+			changed = true
+		}
+
+		// Column dominance: drop column k when some other column j
+		// covers every row k covers at no greater cost.
+		if dropDominatedCols(cur) {
+			changed = true
+		}
+
+		if !changed {
+			break
+		}
+	}
+	sort.Ints(res.Essential)
+	res.Core = cur
+	res.RowOrigin = origin
+	return res
+}
+
+// dropSupersetRows removes duplicate rows and rows that strictly
+// contain another row, filtering the parallel origin slice alongside.
+// It returns the surviving origins and whether anything changed.
+func dropSupersetRows(p *Problem, origin []int) ([]int, bool) {
+	n := len(p.Rows)
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	// Sort row order by length so subsets come first; compare each row
+	// against shorter (or equal, earlier) rows.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(p.Rows[order[a]]) < len(p.Rows[order[b]]) })
+	changed := false
+	for ai, a := range order {
+		if !keep[a] {
+			continue
+		}
+		for _, b := range order[ai+1:] {
+			if !keep[b] {
+				continue
+			}
+			if isSubsetSorted(p.Rows[a], p.Rows[b]) {
+				keep[b] = false
+				changed = true
+			}
+		}
+	}
+	if changed {
+		var rows [][]int
+		var keptOrigin []int
+		for i, r := range p.Rows {
+			if keep[i] {
+				rows = append(rows, r)
+				keptOrigin = append(keptOrigin, origin[i])
+			}
+		}
+		p.Rows = rows
+		origin = keptOrigin
+	}
+	return origin, changed
+}
+
+func isSubsetSorted(a, b []int) bool { // a ⊆ b, both sorted
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// dropDominatedCols removes columns dominated by another column.
+func dropDominatedCols(p *Problem) bool {
+	cols := p.ColumnRows()
+	active := p.ActiveCols()
+	dead := make(map[int]bool)
+	for _, k := range active {
+		for _, j := range active {
+			if j == k || dead[j] || dead[k] {
+				continue
+			}
+			if p.Cost[j] > p.Cost[k] {
+				continue
+			}
+			if !isSubsetSorted(cols[k], cols[j]) {
+				continue
+			}
+			// j covers everything k covers at no greater cost.  With
+			// fully equal coverage and cost, keep the smaller id.
+			if len(cols[k]) == len(cols[j]) && p.Cost[j] == p.Cost[k] && j > k {
+				continue
+			}
+			dead[k] = true
+			break
+		}
+	}
+	if len(dead) == 0 {
+		return false
+	}
+	for i, r := range p.Rows {
+		out := r[:0]
+		for _, j := range r {
+			if !dead[j] {
+				out = append(out, j)
+			}
+		}
+		p.Rows[i] = out
+	}
+	return true
+}
+
+// FixColumn returns the problem that results from adding column j to
+// the solution: rows covered by j disappear.  The column universe is
+// unchanged.
+func (p *Problem) FixColumn(j int) *Problem {
+	q, _ := p.FixColumnTracked(j)
+	return q
+}
+
+// FixColumnTracked is FixColumn plus the indices of the surviving rows
+// in p, for callers carrying per-row state.
+func (p *Problem) FixColumnTracked(j int) (*Problem, []int) {
+	q := &Problem{NCol: p.NCol, Cost: p.Cost}
+	var kept []int
+	for i, r := range p.Rows {
+		if !containsSorted(r, j) {
+			q.Rows = append(q.Rows, append([]int(nil), r...))
+			kept = append(kept, i)
+		}
+	}
+	return q, kept
+}
+
+// RemoveColumn returns the problem with column j discarded from every
+// row (j is excluded from the solution).
+func (p *Problem) RemoveColumn(j int) *Problem {
+	q := &Problem{NCol: p.NCol, Cost: p.Cost}
+	for _, r := range p.Rows {
+		out := make([]int, 0, len(r))
+		for _, c := range r {
+			if c != j {
+				out = append(out, c)
+			}
+		}
+		q.Rows = append(q.Rows, out)
+	}
+	return q
+}
+
+// Component is one independent block of a partitioned problem.
+type Component struct {
+	Problem *Problem
+	RowIdx  []int // indices of the component's rows in the parent
+}
+
+// Components splits the problem into its connected components: rows
+// are connected when they share a column.  Solving each component
+// independently and uniting the solutions solves the whole problem.
+func Components(p *Problem) []Component {
+	n := len(p.Rows)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	colFirst := make(map[int]int)
+	for i, r := range p.Rows {
+		for _, j := range r {
+			if f, ok := colFirst[j]; ok {
+				union(i, f)
+			} else {
+				colFirst[j] = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		root := find(i)
+		groups[root] = append(groups[root], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]Component, 0, len(roots))
+	for _, root := range roots {
+		idx := groups[root]
+		sort.Ints(idx)
+		sub := &Problem{NCol: p.NCol, Cost: p.Cost}
+		for _, i := range idx {
+			sub.Rows = append(sub.Rows, append([]int(nil), p.Rows[i]...))
+		}
+		out = append(out, Component{Problem: sub, RowIdx: idx})
+	}
+	return out
+}
+
+// Compact renumbers the active columns densely from zero and returns
+// the compacted problem plus the mapping from new to original ids.
+// Solvers that maintain per-column state use the compact form.
+func (p *Problem) Compact() (*Problem, []int) {
+	active := p.ActiveCols()
+	newID := make(map[int]int, len(active))
+	for k, j := range active {
+		newID[j] = k
+	}
+	q := &Problem{NCol: len(active), Cost: make([]int, len(active)), Rows: make([][]int, len(p.Rows))}
+	for k, j := range active {
+		q.Cost[k] = p.Cost[j]
+	}
+	for i, r := range p.Rows {
+		rr := make([]int, len(r))
+		for t, j := range r {
+			rr[t] = newID[j]
+		}
+		q.Rows[i] = rr
+	}
+	return q, active
+}

@@ -1,0 +1,80 @@
+package matrix
+
+import "sort"
+
+// MISBound computes the classical maximal-independent-set lower bound
+// on the optimum of p: a set of pairwise non-intersecting rows is
+// chosen greedily, and each contributes the cost of its cheapest
+// covering column.  Any solution must pay at least that much, because
+// no single column can cover two independent rows.  It returns the
+// bound together with the indices of the chosen rows.
+func MISBound(p *Problem) (int, []int) {
+	n := len(p.Rows)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Shorter rows first: they conflict with fewer other rows, which
+	// tends to let more rows into the independent set.  Ties favour
+	// rows whose cheapest column is expensive (they raise the bound).
+	minCost := make([]int, n)
+	for i, r := range p.Rows {
+		mc := 0
+		for k, j := range r {
+			if k == 0 || p.Cost[j] < mc {
+				mc = p.Cost[j]
+			}
+		}
+		minCost[i] = mc
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		if len(p.Rows[ra]) != len(p.Rows[rb]) {
+			return len(p.Rows[ra]) < len(p.Rows[rb])
+		}
+		if minCost[ra] != minCost[rb] {
+			return minCost[ra] > minCost[rb]
+		}
+		return ra < rb
+	})
+	used := make(map[int]bool) // columns touched by chosen rows
+	var chosen []int
+	bound := 0
+	for _, i := range order {
+		if len(p.Rows[i]) == 0 {
+			continue
+		}
+		conflict := false
+		for _, j := range p.Rows[i] {
+			if used[j] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, j := range p.Rows[i] {
+			used[j] = true
+		}
+		chosen = append(chosen, i)
+		bound += minCost[i]
+	}
+	sort.Ints(chosen)
+	return bound, chosen
+}
+
+// IndependentRows reports whether the given rows are pairwise
+// non-intersecting in p.
+func IndependentRows(p *Problem, rows []int) bool {
+	used := make(map[int]bool)
+	for _, i := range rows {
+		for _, j := range p.Rows[i] {
+			if used[j] {
+				return false
+			}
+			used[j] = true
+		}
+	}
+	return true
+}

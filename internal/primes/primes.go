@@ -1,0 +1,176 @@
+// Package primes generates the prime implicants of a (multiple-output,
+// incompletely specified) boolean function and reformulates two-level
+// minimisation as a unate covering problem, Quine–McCluskey style:
+// the rows are the ON-set minterms, the columns the primes, and a
+// column covers a row when the prime contains the minterm.
+package primes
+
+import (
+	"fmt"
+	"sort"
+
+	"ucp/internal/cube"
+	"ucp/internal/matrix"
+)
+
+// Generate returns every prime implicant of the function whose care
+// ON-set is f and whose don't-care set is d, using iterated consensus:
+// starting from F ∪ D, consensus cubes are added and single-cube
+// contained cubes removed until closure; the surviving cubes are
+// exactly the primes (Quine's theorem, extended to multiple outputs by
+// treating the output part as one multi-valued variable).
+func Generate(f, d *cube.Cover) *cube.Cover {
+	s := f.S
+	work := cube.NewCover(s)
+	for _, c := range f.Cubes {
+		work.Add(s.Copy(c))
+	}
+	if d != nil {
+		for _, c := range d.Cubes {
+			work.Add(s.Copy(c))
+		}
+	}
+	work = work.Dedup()
+
+	for {
+		var pending []cube.Cube
+		for i := 0; i < len(work.Cubes); i++ {
+			for j := i + 1; j < len(work.Cubes); j++ {
+				cons := s.Consensus(work.Cubes[i], work.Cubes[j])
+				if cons == nil || s.IsEmpty(cons) {
+					continue
+				}
+				contained := false
+				for _, c := range work.Cubes {
+					if s.Contains(c, cons) {
+						contained = true
+						break
+					}
+				}
+				if !contained {
+					for _, c := range pending {
+						if s.Contains(c, cons) {
+							contained = true
+							break
+						}
+					}
+				}
+				if !contained {
+					pending = append(pending, cons)
+				}
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		work.Cubes = append(work.Cubes, pending...)
+		work = work.Dedup() // drop cubes swallowed by the new ones
+	}
+	work.Sort()
+	return work
+}
+
+// RowID identifies one covering row: input minterm m of output o.
+type RowID struct {
+	Minterm uint64
+	Output  int
+}
+
+// MaxCoveringInputs bounds the explicit minterm enumeration; beyond
+// this the covering matrix would not fit in memory anyway.
+const MaxCoveringInputs = 24
+
+// CostModel selects the column costs of the covering problem.
+type CostModel int
+
+// Cost models for the covering formulation.
+const (
+	// UnitCost charges one per product term: the paper's primary
+	// objective (cover cardinality).
+	UnitCost CostModel = iota
+	// LiteralCost charges one plus the number of input literals, so
+	// minimisation also prefers larger cubes (the paper's "secondary
+	// concern given to the number of literals").
+	LiteralCost
+)
+
+// BuildCovering constructs the unate covering problem for the function
+// (f care ON-set, d don't-care set) over the given prime cover: one
+// row per ON-minterm not excused by d, one column per prime.  It
+// returns the problem plus the row identities (for reporting).
+func BuildCovering(f, d *cube.Cover, prs *cube.Cover, cm CostModel) (*matrix.Problem, []RowID, error) {
+	s := f.S
+	if s.Inputs() > MaxCoveringInputs {
+		return nil, nil, fmt.Errorf("primes: %d inputs exceed the explicit covering limit %d", s.Inputs(), MaxCoveringInputs)
+	}
+	nOut := s.Outputs()
+	if nOut == 0 {
+		nOut = 1
+	}
+	// Collect the required minterms per output.
+	type key struct {
+		m uint64
+		o int
+	}
+	need := make(map[key]bool)
+	for o := 0; o < nOut; o++ {
+		for _, c := range f.Cubes {
+			s.Minterms(c, o, func(m uint64) bool {
+				need[key{m, o}] = true
+				return true
+			})
+		}
+		if d != nil {
+			for _, c := range d.Cubes {
+				s.Minterms(c, o, func(m uint64) bool {
+					delete(need, key{m, o}) // don't cares need no cover
+					return true
+				})
+			}
+		}
+	}
+	ids := make([]RowID, 0, len(need))
+	for k := range need {
+		ids = append(ids, RowID{Minterm: k.m, Output: k.o})
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Output != ids[b].Output {
+			return ids[a].Output < ids[b].Output
+		}
+		return ids[a].Minterm < ids[b].Minterm
+	})
+
+	rows := make([][]int, len(ids))
+	for r, id := range ids {
+		mc := s.CubeOfMinterm(id.Minterm, id.Output)
+		for j, pc := range prs.Cubes {
+			if s.Contains(pc, mc) {
+				rows[r] = append(rows[r], j)
+			}
+		}
+	}
+	cost := make([]int, prs.Len())
+	for j, pc := range prs.Cubes {
+		switch cm {
+		case LiteralCost:
+			cost[j] = 1 + s.Inputs() - s.InputWeight(pc)
+		default:
+			cost[j] = 1
+		}
+	}
+	p, err := matrix.New(rows, prs.Len(), cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, ids, nil
+}
+
+// CoverFromColumns converts a covering solution (prime indices) back
+// into a two-level cover.
+func CoverFromColumns(prs *cube.Cover, cols []int) *cube.Cover {
+	out := cube.NewCover(prs.S)
+	for _, j := range cols {
+		out.Add(prs.S.Copy(prs.Cubes[j]))
+	}
+	return out
+}

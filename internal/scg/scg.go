@@ -1,0 +1,407 @@
+// Package scg implements ZDD_SCG, the paper's contribution: a greedy
+// constructive heuristic for the unate covering problem driven by
+// lagrangian relaxation (Figure 2 of the paper).
+//
+// The covering matrix first passes through an implicit reduction phase
+// where it lives inside a single ZDD (one set of column ids per row):
+// duplicate rows vanish by canonicity, row dominance is the Minimal
+// operation, essential columns are the singleton sets, and column
+// dominance is tested with Subset operations.  The (small) cyclic core
+// is then decoded to a sparse matrix and the subgradient machinery of
+// internal/lagrangian rates the columns; penalty tests fix columns in
+// or out, "promising" columns are fixed heuristically, and one
+// best-rated column is always fixed to guarantee progress.  The
+// process repeats until the matrix empties, then the solution is made
+// irredundant.  NumIter outer runs restart from the saved cyclic core,
+// choosing among the BestCol top-rated columns at random.
+package scg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ucp/internal/lagrangian"
+	"ucp/internal/matrix"
+)
+
+// Options configures the solver.  The zero value selects the paper's
+// defaults.
+type Options struct {
+	// NumIter is the number of constructive runs; from the second run
+	// on, the fixing step picks at random among the best BestCol
+	// candidates.  Default 1.
+	NumIter int
+	// BestCol is the stochastic window of the first randomised run; it
+	// grows by one each later run.  Default 2.
+	BestCol int
+	// MaxR / MaxC stop the implicit reduction phase as soon as the
+	// explicit matrix is small enough (the paper uses 5000 rows and
+	// 10000 columns).
+	MaxR, MaxC int
+	// Params tunes the subgradient ascent.
+	Params lagrangian.Params
+	// Seed drives the stochastic runs.
+	Seed int64
+	// DisableImplicit skips the ZDD phase (for ablations): explicit
+	// reductions do all the work.
+	DisableImplicit bool
+	// DisablePenalties skips the lagrangian and dual penalty fixing
+	// (for ablations).
+	DisablePenalties bool
+	// DisablePromising skips the ĉ/μ̂ promising-column fixing (for
+	// ablations).
+	DisablePromising bool
+	// DisablePartition turns off the independent-block decomposition
+	// of the cyclic core (for ablations).
+	DisablePartition bool
+	// DisableWarmStart makes every subgradient phase of the fixing
+	// loop start cold from dual ascent instead of inheriting the
+	// previous phase's multipliers (for ablations; the paper
+	// warm-starts, §3.2).
+	DisableWarmStart bool
+}
+
+func (o *Options) fill() {
+	if o.NumIter == 0 {
+		o.NumIter = 1
+	}
+	if o.BestCol == 0 {
+		o.BestCol = 2
+	}
+	if o.MaxR == 0 {
+		o.MaxR = 5000
+	}
+	if o.MaxC == 0 {
+		o.MaxC = 10000
+	}
+}
+
+// Stats reports how the solve went.
+type Stats struct {
+	CyclicCoreTime time.Duration // implicit + explicit reduction time
+	TotalTime      time.Duration
+	CoreRows       int // rows of the cyclic core
+	CoreCols       int // active columns of the cyclic core
+	ZDDNodes       int // nodes allocated by the implicit phase
+	FixSteps       int // column-fixing iterations over all runs
+	Runs           int // constructive runs executed
+	SubgradIters   int // total subgradient iterations
+}
+
+// Result of a ZDD_SCG solve.
+type Result struct {
+	Solution []int // column ids of the input problem; nil if infeasible
+	Cost     int
+	LB       float64 // valid lower bound on the optimum of the input
+	// ProvedOptimal is true when Cost == ⌈LB⌉, so the heuristic
+	// solution is certified optimal.
+	ProvedOptimal bool
+	Stats         Stats
+}
+
+// Solve runs ZDD_SCG on the covering problem p.
+func Solve(p *matrix.Problem, opt Options) *Result {
+	opt.fill()
+	t0 := time.Now()
+	res := &Result{}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// ----- implicit reduction to (near) cyclic core -----
+	var essential []int
+	work := p
+	if !opt.DisableImplicit {
+		ir := ImplicitReduce(p, opt.MaxR, opt.MaxC)
+		res.Stats.ZDDNodes = ir.ZDDNodes
+		if ir.Infeasible {
+			res.Stats.TotalTime = time.Since(t0)
+			return res
+		}
+		essential = append(essential, ir.Essential...)
+		work = ir.Core
+	}
+
+	// ----- explicit reductions -----
+	red := matrix.Reduce(work)
+	if red.Infeasible {
+		res.Stats.TotalTime = time.Since(t0)
+		return res
+	}
+	essential = append(essential, red.Essential...)
+	core := red.Core
+	res.Stats.CyclicCoreTime = time.Since(t0)
+	res.Stats.CoreRows = len(core.Rows)
+	res.Stats.CoreCols = len(core.ActiveCols())
+
+	essCost := p.CostOf(essential)
+	if len(core.Rows) == 0 {
+		// The reductions solved the problem outright; essentials form
+		// a minimum cover.
+		if essential == nil {
+			essential = []int{} // nil would read as "infeasible"
+		}
+		sort.Ints(essential)
+		res.Solution = essential
+		res.Cost = essCost
+		res.LB = float64(essCost)
+		res.ProvedOptimal = true
+		res.Stats.TotalTime = time.Since(t0)
+		return res
+	}
+
+	// ----- solve the cyclic core, one independent block at a time -----
+	comps := []matrix.Component{{Problem: core}}
+	if !opt.DisablePartition {
+		if split := matrix.Components(core); len(split) > 1 {
+			comps = split
+		}
+	}
+	best := append([]int(nil), essential...)
+	lbSum := float64(essCost)
+	ceilSum := essCost
+	for _, comp := range comps {
+		sol, lb, ok := solveCore(comp.Problem, opt, rng, &res.Stats)
+		if !ok {
+			res.Stats.TotalTime = time.Since(t0)
+			return res
+		}
+		best = append(best, sol...)
+		lbSum += lb
+		ceilSum += int(math.Ceil(lb - 1e-9))
+	}
+	res.finish(p, best, lbSum, ceilSum, t0)
+	return res
+}
+
+// solveCore runs the initial subgradient phase plus the NumIter
+// constructive runs on one cyclic core (or one independent block of
+// it), returning the best cover found (column ids of the original
+// problem), a valid lower bound on the block's optimum, and whether
+// the block is coverable at all.
+func solveCore(core *matrix.Problem, opt Options, rng *rand.Rand, st *Stats) ([]int, float64, bool) {
+	compact, ids := core.Compact()
+	sg := lagrangian.Subgradient(compact, opt.Params, nil, 0)
+	st.SubgradIters += sg.Iters
+	if sg.Best == nil {
+		return nil, 0, false
+	}
+	lb := sg.LB
+	best := core.Irredundant(mapCols(sg.Best, ids))
+	bestCost := core.CostOf(best)
+	if float64(bestCost) <= math.Ceil(lb-1e-9) {
+		return best, lb, true
+	}
+
+	for run := 1; run <= opt.NumIter; run++ {
+		st.Runs++
+		window := 1 // first run: strictly best-rated column
+		if run > 1 {
+			window = opt.BestCol + (run - 2)
+		}
+		cand, candCost, lbRun, iters, steps := runOnce(core, bestCost, opt, rng, window)
+		st.SubgradIters += iters
+		st.FixSteps += steps
+		if lbRun > lb {
+			lb = lbRun
+		}
+		if cand != nil && candCost < bestCost {
+			best, bestCost = cand, candCost
+		}
+		if float64(bestCost) <= math.Ceil(lb-1e-9) {
+			break
+		}
+	}
+	return best, lb, true
+}
+
+// finish cleans up and records the combined solution.  ceilLB is the
+// sum of the per-block integer-rounded bounds plus the essential cost,
+// which certifies optimality when the final cost matches it.
+func (r *Result) finish(p *matrix.Problem, best []int, lb float64, ceilLB int, t0 time.Time) {
+	best = p.Irredundant(best)
+	sort.Ints(best)
+	r.Solution = best
+	r.Cost = p.CostOf(best)
+	r.LB = lb
+	r.ProvedOptimal = r.Cost <= ceilLB
+	r.Stats.TotalTime = time.Since(t0)
+}
+
+// runOnce executes one constructive run of the fixing loop on a copy
+// of the saved cyclic core (zBest is the cost to beat), returning the
+// completed cover (or nil when every path was abandoned), its cost,
+// the best valid core lower bound observed (only the pre-fixing
+// subgradient phase produces one), and iteration counts.
+func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, window int) (sol []int, cost int, coreLB float64, sgIters, steps int) {
+	var fixed []int
+	cur := core.Clone()
+	coreLB = math.Inf(-1)
+	firstPhase := true
+
+	// Multipliers inherited across fixing phases (§3.2: the previous
+	// problem's best λ is the new problem's start).  lambda is aligned
+	// with cur.Rows; mu lives in original column-id space.
+	var lambda []float64
+	var muFull []float64
+
+	for {
+		steps++
+		if len(cur.Rows) == 0 {
+			full := core.Irredundant(fixed)
+			return full, core.CostOf(full), coreLB, sgIters, steps
+		}
+		compact, ids := cur.Compact()
+		var init *lagrangian.Multipliers
+		if !opt.DisableWarmStart && lambda != nil && muFull != nil {
+			mu := make([]float64, compact.NCol)
+			for k, j := range ids {
+				mu[k] = muFull[j]
+			}
+			init = &lagrangian.Multipliers{Lambda: lambda, Mu: mu}
+		}
+		sg := lagrangian.Subgradient(compact, opt.Params, init, 0)
+		sgIters += sg.Iters
+		if sg.Best == nil {
+			return nil, 0, coreLB, sgIters, steps
+		}
+		pathLB := float64(core.CostOf(fixed)) + sg.LB
+		if firstPhase {
+			coreLB = sg.LB // nothing fixed yet: a valid bound on the core
+			firstPhase = false
+		}
+		// A complete candidate through this subproblem's heuristic.
+		cand := append(append([]int(nil), fixed...), mapCols(sg.Best, ids)...)
+		cand = core.Irredundant(cand)
+		if c := core.CostOf(cand); c < zBest {
+			zBest = c
+			sol, cost = cand, c
+		}
+		// Abandon the path when it cannot beat the best known cover.
+		if math.Ceil(pathLB-1e-9) >= float64(zBest) {
+			return sol, cost, coreLB, sgIters, steps
+		}
+		// Budget for the penalty tests: how much the subproblem may
+		// spend while still improving on the best known cover.
+		budget := zBest - core.CostOf(fixed)
+
+		// ----- penalty fixing -----
+		toFix := map[int]bool{}
+		toDrop := map[int]bool{}
+		if !opt.DisablePenalties {
+			pen := lagrangian.LagrangianPenalties(sg.CTilde, sg.LB, budget)
+			prm := opt.Params
+			if prm.DualPen == 0 {
+				prm.DualPen = lagrangian.DefaultParams().DualPen
+			}
+			if compact.NCol <= prm.DualPen {
+				pen = pen.Merge(lagrangian.DualPenalties(compact, sg.Lambda, budget))
+			}
+			if pen.NoBetter {
+				return sol, cost, coreLB, sgIters, steps
+			}
+			for _, j := range pen.FixIn {
+				toFix[j] = true
+			}
+			for _, j := range pen.FixOut {
+				toDrop[j] = true
+			}
+		}
+
+		// ----- promising columns (ĉ / μ̂ thresholds) -----
+		if !opt.DisablePromising {
+			for _, j := range lagrangian.Promising(sg.CTilde, sg.Mu, opt.Params) {
+				if !toDrop[j] {
+					toFix[j] = true
+				}
+			}
+		}
+
+		// ----- always fix one column: the σ-best (or a random pick
+		// among the top `window` candidates on stochastic runs) -----
+		if len(toFix) == 0 {
+			alpha := opt.Params.Alpha
+			if alpha == 0 {
+				alpha = lagrangian.DefaultParams().Alpha
+			}
+			sigma := lagrangian.Sigma(sg.CTilde, sg.Mu, alpha)
+			type rated struct {
+				j int
+				s float64
+			}
+			var order []rated
+			for j := 0; j < compact.NCol; j++ {
+				if !toDrop[j] {
+					order = append(order, rated{j, sigma[j]})
+				}
+			}
+			if len(order) == 0 {
+				return sol, cost, coreLB, sgIters, steps
+			}
+			sort.Slice(order, func(a, b int) bool { return order[a].s < order[b].s })
+			k := 0
+			if window > 1 {
+				w := window
+				if w > len(order) {
+					w = len(order)
+				}
+				k = rng.Intn(w)
+			}
+			toFix[order[k].j] = true
+		}
+
+		// Save the phase's best multipliers for the warm start of the
+		// next phase (compact rows match cur.Rows positionally).
+		lambda = sg.Lambda
+		if muFull == nil {
+			muFull = make([]float64, core.NCol)
+		}
+		for k, j := range ids {
+			muFull[j] = sg.Mu[k]
+		}
+
+		// ----- apply fixes and re-reduce -----
+		next := cur
+		rowsKept := make([]int, len(cur.Rows)) // surviving cur-row index per next row
+		for i := range rowsKept {
+			rowsKept[i] = i
+		}
+		for j := range toFix {
+			fixed = append(fixed, ids[j])
+			var kept []int
+			next, kept = next.FixColumnTracked(ids[j])
+			mapped := make([]int, len(kept))
+			for i, k := range kept {
+				mapped[i] = rowsKept[k]
+			}
+			rowsKept = mapped
+		}
+		for j := range toDrop {
+			if !toFix[j] {
+				next = next.RemoveColumn(ids[j]) // rows unchanged
+			}
+		}
+		red := matrix.ReduceTracked(next)
+		if red.Infeasible {
+			// Dropping columns emptied a row: no improving solution
+			// completes this path.
+			return sol, cost, coreLB, sgIters, steps
+		}
+		fixed = append(fixed, red.Essential...)
+		// Thread λ through to the reduced rows.
+		newLambda := make([]float64, len(red.Core.Rows))
+		for i, o := range red.RowOrigin {
+			newLambda[i] = lambda[rowsKept[o]]
+		}
+		lambda = newLambda
+		cur = red.Core
+	}
+}
+
+func mapCols(cols, ids []int) []int {
+	out := make([]int, len(cols))
+	for k, j := range cols {
+		out[k] = ids[j]
+	}
+	return out
+}

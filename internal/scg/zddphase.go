@@ -1,0 +1,129 @@
+package scg
+
+import (
+	"sort"
+
+	"ucp/internal/matrix"
+	"ucp/internal/zdd"
+)
+
+// ImplicitResult is the outcome of the ZDD reduction phase.
+type ImplicitResult struct {
+	Core       *matrix.Problem // decoded (near-)cyclic core
+	Essential  []int           // column ids fixed by singleton rows
+	Infeasible bool
+	ZDDNodes   int // nodes allocated by the manager
+	Passes     int // reduction sweeps executed
+}
+
+// ImplicitReduce loads the covering matrix into a single ZDD — one set
+// of column ids per row — and iterates the implicit reductions of the
+// paper's ZDD_Reductions procedure:
+//
+//   - duplicate rows collapse for free (ZDD canonicity),
+//   - row dominance is the Minimal operation (keep inclusion-minimal
+//     row sets),
+//   - essential columns are the singleton sets; fixing one removes
+//     every row that contains it (Subset0),
+//   - column dominance removes column k when another column j with
+//     cost_j ≤ cost_k covers a superset of k's rows, checked with
+//     Subset operations.
+//
+// The loop stops when a sweep changes nothing or as soon as the
+// explicit size falls below maxR rows and maxC columns (the paper's
+// MaxR/MaxC early exit), and the surviving family is decoded back to a
+// sparse matrix.
+func ImplicitReduce(p *matrix.Problem, maxR, maxC int) *ImplicitResult {
+	m := zdd.New()
+	f := zdd.Empty
+	for _, r := range p.Rows {
+		f = m.Union(f, m.Set(r))
+	}
+	res := &ImplicitResult{}
+
+	for {
+		res.Passes++
+		if m.HasEmptySet(f) {
+			res.Infeasible = true
+			res.ZDDNodes = m.NodeCount()
+			return res
+		}
+		start := f
+
+		// Row dominance.
+		f = m.Minimal(f)
+
+		// Essential columns.
+		for {
+			singles := m.Singletons(f)
+			if singles == zdd.Empty {
+				break
+			}
+			var ess []int
+			m.Enumerate(singles, func(set []int) bool {
+				ess = append(ess, set[0])
+				return true
+			})
+			for _, j := range ess {
+				res.Essential = append(res.Essential, j)
+				f = m.Subset0(f, j) // rows containing j are covered
+			}
+		}
+
+		// Column dominance on the surviving support.
+		support := m.Support(f)
+		for _, k := range support {
+			rowsK := m.Subset1(f, k)
+			if rowsK == zdd.Empty {
+				continue
+			}
+			for _, j := range support {
+				if j == k || p.Cost[j] > p.Cost[k] {
+					continue
+				}
+				// k is dominated when every row containing k also
+				// contains j: no row in Subset1(f,k) avoids j.
+				if m.Subset0(rowsK, j) != zdd.Empty {
+					continue
+				}
+				// Tie-break for fully equal columns: keep smaller id.
+				if p.Cost[j] == p.Cost[k] && j > k {
+					rowsJ := m.Subset1(f, j)
+					if m.Subset0(rowsJ, k) == zdd.Empty {
+						continue // identical coverage: j will be removed instead
+					}
+				}
+				f = m.Remove(f, k)
+				break
+			}
+		}
+
+		if f == start {
+			break
+		}
+		rows := m.Count(f)
+		cols := len(m.Support(f))
+		if rows <= uint64(maxR) && cols <= maxC {
+			// Small enough for the explicit phase; reductions continue
+			// there.
+			break
+		}
+	}
+
+	if m.HasEmptySet(f) {
+		res.Infeasible = true
+		res.ZDDNodes = m.NodeCount()
+		return res
+	}
+
+	// Decode the family back to an explicit sparse matrix.
+	core := &matrix.Problem{NCol: p.NCol, Cost: p.Cost}
+	m.Enumerate(f, func(set []int) bool {
+		core.Rows = append(core.Rows, append([]int(nil), set...))
+		return true
+	})
+	sort.Ints(res.Essential)
+	res.Core = core
+	res.ZDDNodes = m.NodeCount()
+	return res
+}

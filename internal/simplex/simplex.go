@@ -1,0 +1,199 @@
+// Package simplex implements a small dense two-phase primal simplex
+// solver for linear programs in the form
+//
+//	min c·x   subject to   Ax ≥ b,  x ≥ 0.
+//
+// It exists to compute the linear-relaxation lower bound z*_P of a
+// unate covering problem exactly (the strongest of the four bounds
+// compared in the paper's Proposition 1) on the moderate cyclic-core
+// sizes where that comparison is made.  Bland's rule guarantees
+// termination; all arithmetic is float64 with a fixed tolerance.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tolerance for pivoting and feasibility decisions.
+const eps = 1e-9
+
+// Result statuses.
+var (
+	ErrInfeasible = errors.New("simplex: problem is infeasible")
+	ErrUnbounded  = errors.New("simplex: objective is unbounded below")
+)
+
+// Solve minimises c·x subject to Ax ≥ b, x ≥ 0 and returns an optimal
+// vertex x and its objective value.
+func Solve(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	m, n := len(a), len(c)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, fmt.Errorf("simplex: row %d has %d entries, want %d", i, len(a[i]), n)
+		}
+	}
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("simplex: %d right-hand sides for %d rows", len(b), m)
+	}
+
+	// Convert to equalities: Ax - s = b with surplus s ≥ 0, then add
+	// one artificial variable per row, flipping signs so every
+	// right-hand side is non-negative.
+	// Column layout: [x (n) | surplus (m) | artificial (m)].
+	total := n + 2*m
+	t := make([][]float64, m) // constraint rows
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = -sign // surplus
+		t[i][n+m+i] = 1   // artificial
+		rhs[i] = sign * b[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + m + i
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	phase1 := make([]float64, total)
+	for i := 0; i < m; i++ {
+		phase1[n+m+i] = 1
+	}
+	if z1, err := runSimplex(t, rhs, basis, phase1, n+m); err != nil {
+		return nil, 0, err
+	} else if z1 > eps {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any artificial still in the basis out of it (degenerate
+	// feasible rows), or delete its row if it is all zero.
+	for i := 0; i < m; i++ {
+		if basis[i] < n+m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+m; j++ {
+			if abs(t[i][j]) > eps {
+				pivot(t, rhs, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint; the artificial stays basic at
+			// value zero and never re-enters because phase 2 blocks
+			// artificial columns.
+			continue
+		}
+	}
+
+	// Phase 2: original objective, artificial columns frozen.
+	obj := make([]float64, total)
+	copy(obj, c)
+	if _, err := runSimplex(t, rhs, basis, obj, n+m); err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = rhs[i]
+		}
+	}
+	z := 0.0
+	for j := 0; j < n; j++ {
+		z += c[j] * x[j]
+	}
+	return x, z, nil
+}
+
+// runSimplex optimises the given objective over the current tableau
+// using Bland's smallest-index rule.  Columns ≥ limit (artificials in
+// phase 2) are never chosen to enter the basis.
+func runSimplex(t [][]float64, rhs []float64, basis []int, obj []float64, limit int) (float64, error) {
+	m := len(t)
+	// Reduced costs are computed directly: r_j = obj_j - y·A_j where y
+	// solves the basic system; with an explicit tableau kept in
+	// canonical form, r_j = obj_j - Σ_i obj[basis[i]]·t[i][j].
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return 0, errors.New("simplex: iteration limit exceeded")
+		}
+		// Entering variable: Bland's rule.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				r -= obj[basis[i]] * t[i][j]
+			}
+			if r < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			z := 0.0
+			for i := 0; i < m; i++ {
+				z += obj[basis[i]] * rhs[i]
+			}
+			return z, nil
+		}
+		// Leaving variable: minimum ratio, ties by smallest basis
+		// index (Bland).
+		leave := -1
+		best := 0.0
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := rhs[i] / t[i][enter]
+				if leave < 0 || ratio < best-eps || (ratio < best+eps && basis[i] < basis[leave]) {
+					leave, best = i, ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		pivot(t, rhs, basis, leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on element (row, col) and
+// updates the basis.
+func pivot(t [][]float64, rhs []float64, basis []int, row, col int) {
+	m := len(t)
+	p := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= p
+	}
+	rhs[row] /= p
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+		rhs[i] -= f * rhs[row]
+		if abs(rhs[i]) < eps {
+			rhs[i] = 0
+		}
+	}
+	basis[row] = col
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,279 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnownLP(t *testing.T) {
+	// min x+y s.t. x+2y ≥ 4, 3x+y ≥ 6 → optimum at intersection
+	// (8/5, 6/5), z = 14/5.
+	x, z, err := Solve(
+		[]float64{1, 1},
+		[][]float64{{1, 2}, {3, 1}},
+		[]float64{4, 6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(z, 2.8) {
+		t.Fatalf("z = %v, want 2.8", z)
+	}
+	if !almost(x[0], 1.6) || !almost(x[1], 1.2) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestCoveringTriangle(t *testing.T) {
+	// Odd-cycle covering LP: rows {0,1},{1,2},{0,2}, unit costs.
+	// Fractional optimum is x = (.5,.5,.5), z = 1.5.
+	a := [][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+		// x ≤ 1 bounds as -x ≥ -1
+		{-1, 0, 0}, {0, -1, 0}, {0, 0, -1},
+	}
+	b := []float64{1, 1, 1, -1, -1, -1}
+	_, z, err := Solve([]float64{1, 1, 1}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(z, 1.5) {
+		t.Fatalf("z = %v, want 1.5", z)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	_, _, err := Solve([]float64{1}, [][]float64{{0}}, []float64{1})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x ≥ 0 (vacuous row) is unbounded below.
+	_, _, err := Solve([]float64{-1}, [][]float64{{1}}, []float64{0})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≥ -5 (x ≤ 5): optimum x = 0.
+	x, z, err := Solve([]float64{1}, [][]float64{{-1}}, []float64{-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(z, 0) || !almost(x[0], 0) {
+		t.Fatalf("x=%v z=%v", x, z)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate rows must not break phase 1 cleanup.
+	x, z, err := Solve(
+		[]float64{2, 3},
+		[][]float64{{1, 1}, {1, 1}, {1, 1}},
+		[]float64{2, 2, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(z, 4) {
+		t.Fatalf("z = %v, want 4 (all weight on the cheap variable)", z)
+	}
+	_ = x
+}
+
+// randomCoveringLP builds a random covering LP (0/1 matrix, costs ≥ 1,
+// every row non-empty) plus the x ≤ 1 box rows.
+func randomCoveringLP(rng *rand.Rand) (c []float64, a [][]float64, b []float64, rows [][]int, nc int) {
+	nr := 1 + rng.Intn(6)
+	nc = 1 + rng.Intn(6)
+	c = make([]float64, nc)
+	for j := range c {
+		c[j] = float64(1 + rng.Intn(4))
+	}
+	for i := 0; i < nr; i++ {
+		row := make([]float64, nc)
+		var idx []int
+		for j := 0; j < nc; j++ {
+			if rng.Intn(3) == 0 {
+				row[j] = 1
+				idx = append(idx, j)
+			}
+		}
+		if len(idx) == 0 {
+			j := rng.Intn(nc)
+			row[j] = 1
+			idx = []int{j}
+		}
+		a = append(a, row)
+		b = append(b, 1)
+		rows = append(rows, idx)
+	}
+	for j := 0; j < nc; j++ {
+		box := make([]float64, nc)
+		box[j] = -1
+		a = append(a, box)
+		b = append(b, -1)
+	}
+	return
+}
+
+func TestCoveringLPBoundsIntegerOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		c, a, b, rows, nc := randomCoveringLP(rng)
+		x, z, err := Solve(c, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Feasibility of the returned point.
+		for i := range a {
+			dot := 0.0
+			for j := range x {
+				dot += a[i][j] * x[j]
+			}
+			if dot < b[i]-1e-6 {
+				t.Fatalf("trial %d: constraint %d violated (%v < %v)", trial, i, dot, b[i])
+			}
+		}
+		// Integer optimum by brute force.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<nc; mask++ {
+			ok := true
+			for _, row := range rows {
+				cov := false
+				for _, j := range row {
+					if mask>>j&1 == 1 {
+						cov = true
+						break
+					}
+				}
+				if !cov {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cost := 0.0
+			for j := 0; j < nc; j++ {
+				if mask>>j&1 == 1 {
+					cost += c[j]
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		if z > best+1e-6 {
+			t.Fatalf("trial %d: LP bound %v exceeds integer optimum %v", trial, z, best)
+		}
+	}
+}
+
+func TestStrongDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 150; trial++ {
+		c, a, b, _, _ := randomCoveringLP(rng)
+		_, zp, err := Solve(c, a, b)
+		if err != nil {
+			t.Fatalf("trial %d primal: %v", trial, err)
+		}
+		// Dual: max b·y s.t. Aᵀy ≤ c, y ≥ 0, rewritten as
+		// min (-b)·y s.t. (-Aᵀ)y ≥ -c.
+		m, n := len(a), len(c)
+		dc := make([]float64, m)
+		for i := range dc {
+			dc[i] = -b[i]
+		}
+		da := make([][]float64, n)
+		db := make([]float64, n)
+		for j := 0; j < n; j++ {
+			da[j] = make([]float64, m)
+			for i := 0; i < m; i++ {
+				da[j][i] = -a[i][j]
+			}
+			db[j] = -c[j]
+		}
+		_, zd, err := Solve(dc, da, db)
+		if err != nil {
+			t.Fatalf("trial %d dual: %v", trial, err)
+		}
+		if !almost(zp, -zd) {
+			t.Fatalf("trial %d: strong duality fails: primal %v dual %v", trial, zp, -zd)
+		}
+	}
+}
+
+// TestTwoVariableGeometry cross-checks the simplex against an exact
+// geometric solver for random two-variable LPs: the optimum of a
+// feasible bounded LP lies on a vertex, i.e. the intersection of two
+// constraint lines (including the axes x=0, y=0).
+func TestTwoVariableGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(5)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = []float64{float64(rng.Intn(7) - 3), float64(rng.Intn(7) - 3)}
+			b[i] = float64(rng.Intn(7) - 3)
+		}
+		c := []float64{float64(1 + rng.Intn(5)), float64(1 + rng.Intn(5))}
+		// Positive costs and x ≥ 0 keep the LP bounded below.
+		feasible := func(x, y float64) bool {
+			if x < -1e-9 || y < -1e-9 {
+				return false
+			}
+			for i := range a {
+				if a[i][0]*x+a[i][1]*y < b[i]-1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		// Candidate vertices: pairwise line intersections, including
+		// the axes.
+		lines := append([][]float64{{1, 0, 0}, {0, 1, 0}}, nil...)
+		for i := range a {
+			lines = append(lines, []float64{a[i][0], a[i][1], b[i]})
+		}
+		best := math.Inf(1)
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				d := lines[i][0]*lines[j][1] - lines[i][1]*lines[j][0]
+				if math.Abs(d) < 1e-12 {
+					continue
+				}
+				x := (lines[i][2]*lines[j][1] - lines[i][1]*lines[j][2]) / d
+				y := (lines[i][0]*lines[j][2] - lines[i][2]*lines[j][0]) / d
+				if feasible(x, y) {
+					if z := c[0]*x + c[1]*y; z < best {
+						best = z
+					}
+				}
+			}
+		}
+		_, z, err := Solve(c, a, b)
+		if math.IsInf(best, 1) {
+			if err != ErrInfeasible {
+				t.Fatalf("trial %d: geometric infeasible, simplex says %v (z=%v)", trial, err, z)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: simplex failed on feasible LP: %v", trial, err)
+		}
+		if math.Abs(z-best) > 1e-6 {
+			t.Fatalf("trial %d: simplex %v, geometry %v", trial, z, best)
+		}
+	}
+}

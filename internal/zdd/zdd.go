@@ -1,0 +1,614 @@
+// Package zdd implements Zero-suppressed Binary Decision Diagrams
+// (Minato, DAC 1993): a canonical DAG representation for families of
+// sets over a finite universe of integer-indexed elements.
+//
+// The covering-problem front end of this library stores the covering
+// matrix as a single ZDD family: one set per row, each set holding the
+// indices of the columns that cover the row.  Duplicate rows collapse
+// for free by canonicity, row dominance is the Minimal operation, and
+// essential columns are the family's singleton sets.
+//
+// The node store is hash-consed through an open-addressed unique
+// table, and operation results go through a fixed-size direct-mapped
+// computed cache (lossy, as in CUDD: a collision merely costs a
+// recomputation).
+package zdd
+
+import "fmt"
+
+// Node is a reference to a ZDD node inside a Manager.  The two
+// terminal nodes are Empty (the empty family, ⊥) and Base (the family
+// {∅}, ⊤).
+type Node int32
+
+// Terminal nodes.
+const (
+	Empty Node = 0 // no sets at all
+	Base  Node = 1 // exactly the empty set
+)
+
+// Operation codes for the computed cache.
+const (
+	opUnion uint64 = iota + 1
+	opIntersect
+	opDiff
+	opNonSup
+	opMinimal
+	opSingletons
+	opSubset0
+	opSubset1
+	opNonSub
+	opMaximal
+)
+
+const terminalVar = int32(1) << 30 // sentinel: below every real variable
+
+// cacheBits sizes the direct-mapped computed cache (2^cacheBits
+// entries ≈ 12 bytes each).
+const cacheBits = 17
+
+// Manager owns the node store, the hash-consing unique table and the
+// operation cache of a ZDD universe.  A Manager is not safe for
+// concurrent use.
+type Manager struct {
+	varOf []int32 // variable of node i (terminals use sentinel)
+	lo    []Node  // cofactor: sets without var
+	hi    []Node  // cofactor: sets with var (var removed)
+
+	// Unique table: open addressing with linear probing; a slot holds
+	// node id + 1 (0 = empty).
+	uslots []int32
+	umask  uint32
+
+	// Computed cache: direct mapped, lossy.
+	ckeys []uint64
+	cvals []Node
+
+	// Count cache: direct mapped, lossy.
+	nkeys []Node
+	nvals []uint64
+}
+
+// New returns an empty manager.
+func New() *Manager {
+	m := &Manager{
+		uslots: make([]int32, 1024),
+		umask:  1023,
+		ckeys:  make([]uint64, 1<<cacheBits),
+		cvals:  make([]Node, 1<<cacheBits),
+		nkeys:  make([]Node, 1<<14),
+		nvals:  make([]uint64, 1<<14),
+	}
+	// Slots 0 and 1 are the terminals.
+	m.varOf = append(m.varOf, terminalVar, terminalVar)
+	m.lo = append(m.lo, Empty, Empty)
+	m.hi = append(m.hi, Empty, Empty)
+	return m
+}
+
+// NodeCount returns the number of live nodes in the manager, including
+// the two terminals.
+func (m *Manager) NodeCount() int { return len(m.varOf) }
+
+// Var returns the top variable of f; it panics on terminals.
+func (m *Manager) Var(f Node) int {
+	if f <= Base {
+		panic("zdd: Var of terminal")
+	}
+	return int(m.varOf[f])
+}
+
+// Lo returns the cofactor of f without its top variable.
+func (m *Manager) Lo(f Node) Node { return m.lo[f] }
+
+// Hi returns the cofactor of f with its top variable (the variable
+// removed from the member sets).
+func (m *Manager) Hi(f Node) Node { return m.hi[f] }
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (m *Manager) uniqueHash(v int32, lo, hi Node) uint32 {
+	return uint32(mix64(uint64(uint32(v))<<40 ^ uint64(uint32(lo))<<20 ^ uint64(uint32(hi))))
+}
+
+// mk returns the canonical node (v, lo, hi), applying the
+// zero-suppression rule hi = Empty ⇒ node = lo.
+func (m *Manager) mk(v int32, lo, hi Node) Node {
+	if hi == Empty {
+		return lo
+	}
+	idx := m.uniqueHash(v, lo, hi) & m.umask
+	for {
+		s := m.uslots[idx]
+		if s == 0 {
+			break
+		}
+		n := Node(s - 1)
+		if m.varOf[n] == v && m.lo[n] == lo && m.hi[n] == hi {
+			return n
+		}
+		idx = (idx + 1) & m.umask
+	}
+	n := Node(len(m.varOf))
+	m.varOf = append(m.varOf, v)
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.uslots[idx] = int32(n) + 1
+	if uint32(len(m.varOf))*4 >= m.umask*3 { // load factor 3/4
+		m.growUnique()
+	}
+	return n
+}
+
+func (m *Manager) growUnique() {
+	m.umask = m.umask*2 + 1
+	m.uslots = make([]int32, m.umask+1)
+	for n := 2; n < len(m.varOf); n++ {
+		idx := m.uniqueHash(m.varOf[n], m.lo[n], m.hi[n]) & m.umask
+		for m.uslots[idx] != 0 {
+			idx = (idx + 1) & m.umask
+		}
+		m.uslots[idx] = int32(n) + 1
+	}
+}
+
+// cacheKey packs an operation and its operands.  Node ids above 2^28
+// are not cached (they merely recompute), which keeps the key unique.
+func cacheKey(op uint64, f, g Node) (uint64, bool) {
+	if f >= 1<<28 || g >= 1<<28 {
+		return 0, false
+	}
+	return op<<56 | uint64(f)<<28 | uint64(g), true
+}
+
+func (m *Manager) cacheGet(op uint64, f, g Node) (Node, bool) {
+	k, ok := cacheKey(op, f, g)
+	if !ok {
+		return 0, false
+	}
+	i := mix64(k) & (1<<cacheBits - 1)
+	if m.ckeys[i] == k {
+		return m.cvals[i], true
+	}
+	return 0, false
+}
+
+func (m *Manager) cachePut(op uint64, f, g, r Node) {
+	k, ok := cacheKey(op, f, g)
+	if !ok {
+		return
+	}
+	i := mix64(k) & (1<<cacheBits - 1)
+	m.ckeys[i] = k
+	m.cvals[i] = r
+}
+
+func (m *Manager) topVar(f Node) int32 { return m.varOf[f] }
+
+// Set builds the family containing exactly one set with the given
+// elements.  Elements may be passed in any order; duplicates are
+// collapsed.
+func (m *Manager) Set(elems []int) Node {
+	// Build bottom-up in decreasing variable order.
+	sorted := append([]int(nil), elems...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: inputs are short
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := Base
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if i+1 < len(sorted) && sorted[i] == sorted[i+1] {
+			continue
+		}
+		if sorted[i] < 0 {
+			panic(fmt.Sprintf("zdd: negative element %d", sorted[i]))
+		}
+		n = m.mk(int32(sorted[i]), Empty, n)
+	}
+	return n
+}
+
+// Single returns the family {{v}}.
+func (m *Manager) Single(v int) Node { return m.mk(int32(v), Empty, Base) }
+
+// Union returns f ∪ g.
+func (m *Manager) Union(f, g Node) Node {
+	switch {
+	case f == Empty:
+		return g
+	case g == Empty, f == g:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheGet(opUnion, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf < vg:
+		r = m.mk(vf, m.Union(m.lo[f], g), m.hi[f])
+	case vf > vg:
+		r = m.mk(vg, m.Union(f, m.lo[g]), m.hi[g])
+	default:
+		r = m.mk(vf, m.Union(m.lo[f], m.lo[g]), m.Union(m.hi[f], m.hi[g]))
+	}
+	m.cachePut(opUnion, f, g, r)
+	return r
+}
+
+// Intersect returns f ∩ g.
+func (m *Manager) Intersect(f, g Node) Node {
+	switch {
+	case f == Empty || g == Empty:
+		return Empty
+	case f == g:
+		return f
+	case f == Base:
+		if m.hasEmptySet(g) {
+			return Base
+		}
+		return Empty
+	case g == Base:
+		if m.hasEmptySet(f) {
+			return Base
+		}
+		return Empty
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheGet(opIntersect, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf < vg:
+		r = m.Intersect(m.lo[f], g)
+	case vf > vg:
+		r = m.Intersect(f, m.lo[g])
+	default:
+		r = m.mk(vf, m.Intersect(m.lo[f], m.lo[g]), m.Intersect(m.hi[f], m.hi[g]))
+	}
+	m.cachePut(opIntersect, f, g, r)
+	return r
+}
+
+// Diff returns f \ g.
+func (m *Manager) Diff(f, g Node) Node {
+	switch {
+	case f == Empty || f == g:
+		return Empty
+	case g == Empty:
+		return f
+	case f == Base:
+		if m.hasEmptySet(g) {
+			return Empty
+		}
+		return Base
+	}
+	if r, ok := m.cacheGet(opDiff, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf < vg:
+		r = m.mk(vf, m.Diff(m.lo[f], g), m.hi[f])
+	case vf > vg:
+		r = m.Diff(f, m.lo[g])
+	default:
+		r = m.mk(vf, m.Diff(m.lo[f], m.lo[g]), m.Diff(m.hi[f], m.hi[g]))
+	}
+	m.cachePut(opDiff, f, g, r)
+	return r
+}
+
+// Subset1 returns {S \ {v} : S ∈ f, v ∈ S}: the sets containing v,
+// with v removed.
+func (m *Manager) Subset1(f Node, v int) Node {
+	if f <= Base {
+		return Empty
+	}
+	t := m.topVar(f)
+	switch {
+	case t > int32(v):
+		return Empty // v is above every element of these sets
+	case t == int32(v):
+		return m.hi[f]
+	}
+	if r, ok := m.cacheGet(opSubset1, f, Node(v)); ok {
+		return r
+	}
+	r := m.mk(t, m.Subset1(m.lo[f], v), m.Subset1(m.hi[f], v))
+	m.cachePut(opSubset1, f, Node(v), r)
+	return r
+}
+
+// Subset0 returns {S ∈ f : v ∉ S}.
+func (m *Manager) Subset0(f Node, v int) Node {
+	if f <= Base {
+		return f
+	}
+	t := m.topVar(f)
+	switch {
+	case t > int32(v):
+		return f
+	case t == int32(v):
+		return m.lo[f]
+	}
+	if r, ok := m.cacheGet(opSubset0, f, Node(v)); ok {
+		return r
+	}
+	r := m.mk(t, m.Subset0(m.lo[f], v), m.Subset0(m.hi[f], v))
+	m.cachePut(opSubset0, f, Node(v), r)
+	return r
+}
+
+// Remove deletes element v from every set of f (the union of Subset0
+// and Subset1).
+func (m *Manager) Remove(f Node, v int) Node {
+	return m.Union(m.Subset0(f, v), m.Subset1(f, v))
+}
+
+// hasEmptySet reports whether ∅ ∈ f.  The empty set lives at the end
+// of the lo-spine.
+func (m *Manager) hasEmptySet(f Node) bool {
+	for f > Base {
+		f = m.lo[f]
+	}
+	return f == Base
+}
+
+// HasEmptySet reports whether the empty set belongs to the family.
+// For a covering matrix it flags an uncoverable row.
+func (m *Manager) HasEmptySet(f Node) bool { return m.hasEmptySet(f) }
+
+// Count returns the number of sets in the family, saturating at
+// MaxUint64.
+func (m *Manager) Count(f Node) uint64 {
+	switch f {
+	case Empty:
+		return 0
+	case Base:
+		return 1
+	}
+	i := mix64(uint64(f)) & uint64(len(m.nkeys)-1)
+	if m.nkeys[i] == f {
+		return m.nvals[i]
+	}
+	a, b := m.Count(m.lo[f]), m.Count(m.hi[f])
+	n := a + b
+	if n < a { // overflow
+		n = ^uint64(0)
+	}
+	m.nkeys[i] = f
+	m.nvals[i] = n
+	return n
+}
+
+// Support returns the sorted list of elements occurring in at least
+// one set of f.
+func (m *Manager) Support(f Node) []int {
+	seen := make(map[int32]bool)
+	visited := make(map[Node]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		if n <= Base || visited[n] {
+			return
+		}
+		visited[n] = true
+		seen[m.varOf[n]] = true
+		walk(m.lo[n])
+		walk(m.hi[n])
+	}
+	walk(f)
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, int(v))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Enumerate visits every set of the family in lexicographic element
+// order.  The callback receives a slice that is only valid for the
+// duration of the call; return false to stop early.
+func (m *Manager) Enumerate(f Node, visit func(set []int) bool) {
+	var elems []int
+	var rec func(Node) bool
+	rec = func(n Node) bool {
+		switch n {
+		case Empty:
+			return true
+		case Base:
+			return visit(elems)
+		}
+		if !rec(m.lo[n]) {
+			return false
+		}
+		elems = append(elems, int(m.varOf[n]))
+		ok := rec(m.hi[n])
+		elems = elems[:len(elems)-1]
+		return ok
+	}
+	rec(f)
+}
+
+// NonSupersets returns {S ∈ f : no T ∈ g satisfies T ⊆ S}.
+func (m *Manager) NonSupersets(f, g Node) Node {
+	switch {
+	case g == Empty:
+		return f
+	case f == Empty:
+		return Empty
+	case m.hasEmptySet(g):
+		return Empty // ∅ is a subset of everything
+	case f == Base:
+		return Base // ∅ has no non-empty subset
+	case f == g:
+		return Empty
+	}
+	if r, ok := m.cacheGet(opNonSup, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf == vg:
+		// Sets of f.hi contain vf: they are supersets of T either when
+		// T ∈ g.lo (T avoids vf) with T ⊆ S, or when T ∈ g.hi with
+		// T\{vf} ⊆ S\{vf}.
+		hi := m.Intersect(m.NonSupersets(m.hi[f], m.lo[g]), m.NonSupersets(m.hi[f], m.hi[g]))
+		lo := m.NonSupersets(m.lo[f], m.lo[g])
+		r = m.mk(vf, lo, hi)
+	case vf < vg:
+		// No set of g contains vf, so vf is irrelevant for the
+		// subset tests.
+		r = m.mk(vf, m.NonSupersets(m.lo[f], g), m.NonSupersets(m.hi[f], g))
+	default: // vg < vf: sets of g containing vg cannot be subsets
+		r = m.NonSupersets(f, m.lo[g])
+	}
+	m.cachePut(opNonSup, f, g, r)
+	return r
+}
+
+// Minimal returns the sets of f that contain no other set of f: the
+// minimal elements of the family under inclusion.  On a covering
+// matrix stored row-wise this performs row dominance in one pass.
+func (m *Manager) Minimal(f Node) Node {
+	if f <= Base {
+		return f
+	}
+	if m.hasEmptySet(f) {
+		return Base
+	}
+	if r, ok := m.cacheGet(opMinimal, f, Empty); ok {
+		return r
+	}
+	lo := m.Minimal(m.lo[f])
+	hi := m.Minimal(m.hi[f])
+	// A set containing v is minimal only if no minimal set without v
+	// is included in it.
+	hi = m.NonSupersets(hi, lo)
+	r := m.mk(m.topVar(f), lo, hi)
+	m.cachePut(opMinimal, f, Empty, r)
+	return r
+}
+
+// NonSubsets returns {S ∈ f : no T ∈ g satisfies S ⊆ T}.
+func (m *Manager) NonSubsets(f, g Node) Node {
+	switch {
+	case g == Empty:
+		return f
+	case f == Empty, f == g:
+		return Empty
+	case f == Base:
+		return Empty // ∅ is a subset of any set of the non-empty g
+	}
+	if r, ok := m.cacheGet(opNonSub, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf == vg:
+		// Sets without vf can hide inside g.lo or inside g.hi (their
+		// supersets may or may not contain vf); sets with vf only
+		// inside g.hi.
+		lo := m.Intersect(m.NonSubsets(m.lo[f], m.lo[g]), m.NonSubsets(m.lo[f], m.hi[g]))
+		hi := m.NonSubsets(m.hi[f], m.hi[g])
+		r = m.mk(vf, lo, hi)
+	case vf < vg:
+		// Sets of f containing vf cannot be subsets of any set of g
+		// (none contains vf), so they all survive.
+		r = m.mk(vf, m.NonSubsets(m.lo[f], g), m.hi[f])
+	default: // vg < vf
+		lo := m.Intersect(m.NonSubsets(f, m.lo[g]), m.NonSubsets(f, m.hi[g]))
+		r = lo
+	}
+	m.cachePut(opNonSub, f, g, r)
+	return r
+}
+
+// Maximal returns the sets of f contained in no other set of f: the
+// maximal elements of the family under inclusion (the dual of
+// Minimal).
+func (m *Manager) Maximal(f Node) Node {
+	if f <= Base {
+		return f
+	}
+	if r, ok := m.cacheGet(opMaximal, f, Empty); ok {
+		return r
+	}
+	lo := m.Maximal(m.lo[f])
+	hi := m.Maximal(m.hi[f])
+	// A set without v is maximal only if it is not a subset of a
+	// maximal set containing v.
+	lo = m.NonSubsets(lo, hi)
+	r := m.mk(m.topVar(f), lo, hi)
+	m.cachePut(opMaximal, f, Empty, r)
+	return r
+}
+
+// Singletons returns the subfamily of f consisting of its one-element
+// sets.  On a covering matrix these identify essential columns.
+func (m *Manager) Singletons(f Node) Node {
+	if f <= Base {
+		return Empty
+	}
+	if r, ok := m.cacheGet(opSingletons, f, Empty); ok {
+		return r
+	}
+	hi := Empty
+	if m.hasEmptySet(m.hi[f]) {
+		hi = Base
+	}
+	r := m.mk(m.topVar(f), m.Singletons(m.lo[f]), hi)
+	m.cachePut(opSingletons, f, Empty, r)
+	return r
+}
+
+// Member reports whether the given set belongs to the family.
+func (m *Manager) Member(f Node, set []int) bool {
+	sorted := append([]int(nil), set...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	i := 0
+	for {
+		if i == len(sorted) {
+			return m.hasEmptySet(f)
+		}
+		if f <= Base {
+			return false
+		}
+		v := m.topVar(f)
+		switch {
+		case int32(sorted[i]) < v:
+			return false
+		case int32(sorted[i]) == v:
+			f = m.hi[f]
+			i++
+		default:
+			f = m.lo[f]
+		}
+	}
+}

@@ -1,0 +1,489 @@
+package zdd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// model is a brute-force reference implementation: a family of sets,
+// each set encoded canonically as a sorted comma string.
+type model map[string]struct{}
+
+func keyOf(set []int) string {
+	s := append([]int(nil), set...)
+	sort.Ints(s)
+	out := ""
+	for i, e := range s {
+		if i > 0 && s[i-1] == e {
+			continue
+		}
+		out += fmt.Sprintf("%d,", e)
+	}
+	return out
+}
+
+func setOf(key string) []int {
+	var set []int
+	n := 0
+	has := false
+	for i := 0; i < len(key); i++ {
+		if key[i] == ',' {
+			set = append(set, n)
+			n = 0
+			has = false
+		} else {
+			n = n*10 + int(key[i]-'0')
+			has = true
+		}
+	}
+	_ = has
+	return set
+}
+
+func (a model) union(b model) model {
+	r := model{}
+	for k := range a {
+		r[k] = struct{}{}
+	}
+	for k := range b {
+		r[k] = struct{}{}
+	}
+	return r
+}
+
+func (a model) intersect(b model) model {
+	r := model{}
+	for k := range a {
+		if _, ok := b[k]; ok {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+func (a model) diff(b model) model {
+	r := model{}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+func contains(set []int, v int) bool {
+	for _, e := range set {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+func subsetOf(a, b []int) bool { // a ⊆ b
+	for _, e := range a {
+		if !contains(b, e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a model) subset0(v int) model {
+	r := model{}
+	for k := range a {
+		if !contains(setOf(k), v) {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+func (a model) subset1(v int) model {
+	r := model{}
+	for k := range a {
+		set := setOf(k)
+		if contains(set, v) {
+			var rest []int
+			for _, e := range set {
+				if e != v {
+					rest = append(rest, e)
+				}
+			}
+			r[keyOf(rest)] = struct{}{}
+		}
+	}
+	return r
+}
+
+func (a model) minimal() model {
+	r := model{}
+	for k := range a {
+		sk := setOf(k)
+		min := true
+		for k2 := range a {
+			if k2 != k && subsetOf(setOf(k2), sk) {
+				min = false
+				break
+			}
+		}
+		if min {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+func (a model) nonSupersets(b model) model {
+	r := model{}
+	for k := range a {
+		sk := setOf(k)
+		bad := false
+		for k2 := range b {
+			if subsetOf(setOf(k2), sk) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+// build loads a model into a manager.
+func build(m *Manager, a model) Node {
+	f := Empty
+	for k := range a {
+		f = m.Union(f, m.Set(setOf(k)))
+	}
+	return f
+}
+
+// extract reads a ZDD back into a model.
+func extract(m *Manager, f Node) model {
+	r := model{}
+	m.Enumerate(f, func(set []int) bool {
+		r[keyOf(set)] = struct{}{}
+		return true
+	})
+	return r
+}
+
+func equalModels(a, b model) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func randomModel(rng *rand.Rand, universe, maxSets int) model {
+	a := model{}
+	n := rng.Intn(maxSets + 1)
+	for i := 0; i < n; i++ {
+		var set []int
+		for v := 0; v < universe; v++ {
+			if rng.Intn(3) == 0 {
+				set = append(set, v)
+			}
+		}
+		a[keyOf(set)] = struct{}{}
+	}
+	return a
+}
+
+func TestTerminals(t *testing.T) {
+	m := New()
+	if m.Count(Empty) != 0 || m.Count(Base) != 1 {
+		t.Fatal("terminal counts wrong")
+	}
+	if !m.HasEmptySet(Base) || m.HasEmptySet(Empty) {
+		t.Fatal("HasEmptySet on terminals wrong")
+	}
+	if m.Union(Empty, Base) != Base || m.Intersect(Base, Empty) != Empty {
+		t.Fatal("terminal ops wrong")
+	}
+}
+
+func TestSetAndMember(t *testing.T) {
+	m := New()
+	f := m.Set([]int{3, 1, 2, 1}) // unsorted with duplicate
+	if m.Count(f) != 1 {
+		t.Fatal("Set should contain one set")
+	}
+	if !m.Member(f, []int{1, 2, 3}) {
+		t.Fatal("member lookup failed")
+	}
+	if m.Member(f, []int{1, 2}) || m.Member(f, []int{1, 2, 3, 4}) {
+		t.Fatal("false member")
+	}
+	g := m.Set([]int{1, 2, 3})
+	if f != g {
+		t.Fatal("canonicity violated: same set, different nodes")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New()
+	// Build {{0,1},{2}} in two different insertion orders.
+	f := m.Union(m.Set([]int{0, 1}), m.Set([]int{2}))
+	g := m.Union(m.Set([]int{2}), m.Set([]int{0, 1}))
+	if f != g {
+		t.Fatal("union canonicity violated")
+	}
+}
+
+func TestOpsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New()
+	for trial := 0; trial < 300; trial++ {
+		u := 1 + rng.Intn(7)
+		a := randomModel(rng, u, 8)
+		b := randomModel(rng, u, 8)
+		fa, fb := build(m, a), build(m, b)
+		check := func(name string, got Node, want model) {
+			t.Helper()
+			if !equalModels(extract(m, got), want) {
+				t.Fatalf("trial %d: %s mismatch\n got %v\nwant %v\n a=%v b=%v", trial, name, extract(m, got), want, a, b)
+			}
+		}
+		check("union", m.Union(fa, fb), a.union(b))
+		check("intersect", m.Intersect(fa, fb), a.intersect(b))
+		check("diff", m.Diff(fa, fb), a.diff(b))
+		v := rng.Intn(u)
+		check("subset0", m.Subset0(fa, v), a.subset0(v))
+		check("subset1", m.Subset1(fa, v), a.subset1(v))
+		check("minimal", m.Minimal(fa), a.minimal())
+		check("nonsup", m.NonSupersets(fa, fb), a.nonSupersets(b))
+		if m.Count(fa) != uint64(len(a)) {
+			t.Fatalf("trial %d: count %d want %d", trial, m.Count(fa), len(a))
+		}
+		if m.HasEmptySet(fa) != func() bool { _, ok := a[""]; return ok }() {
+			t.Fatalf("trial %d: HasEmptySet mismatch", trial)
+		}
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	m := New()
+	f := Empty
+	for _, s := range [][]int{{1}, {4}, {1, 2}, {2, 3}, {}} {
+		f = m.Union(f, m.Set(s))
+	}
+	s := m.Singletons(f)
+	got := extract(m, s)
+	want := model{keyOf([]int{1}): {}, keyOf([]int{4}): {}}
+	if !equalModels(got, want) {
+		t.Fatalf("singletons = %v, want %v", got, want)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New()
+	f := m.Union(m.Set([]int{5, 9}), m.Set([]int{2}))
+	got := m.Support(f)
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	m := New()
+	f := Empty
+	for i := 0; i < 10; i++ {
+		f = m.Union(f, m.Set([]int{i}))
+	}
+	n := 0
+	m.Enumerate(f, func([]int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d sets", n)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := New()
+	f := m.Union(m.Set([]int{1, 2}), m.Set([]int{2, 3}))
+	g := m.Remove(f, 2)
+	got := extract(m, g)
+	want := model{keyOf([]int{1}): {}, keyOf([]int{3}): {}}
+	if !equalModels(got, want) {
+		t.Fatalf("remove = %v", got)
+	}
+	// Removing the sole element of a singleton yields the empty set.
+	h := m.Remove(m.Set([]int{4}), 4)
+	if h != Base {
+		t.Fatal("removing single element should give {∅}")
+	}
+}
+
+// TestQuickUnionProperties checks algebraic laws of Union/Intersect
+// with testing/quick-generated inputs.
+func TestQuickUnionProperties(t *testing.T) {
+	m := New()
+	toFamily := func(raw [][]uint8) Node {
+		f := Empty
+		for _, set := range raw {
+			elems := make([]int, 0, len(set))
+			for _, e := range set {
+				elems = append(elems, int(e%12))
+			}
+			f = m.Union(f, m.Set(elems))
+		}
+		return f
+	}
+	law := func(ra, rb, rc [][]uint8) bool {
+		a, b, c := toFamily(ra), toFamily(rb), toFamily(rc)
+		if m.Union(a, b) != m.Union(b, a) {
+			return false
+		}
+		if m.Union(a, m.Union(b, c)) != m.Union(m.Union(a, b), c) {
+			return false
+		}
+		if m.Union(a, a) != a || m.Intersect(a, a) != a {
+			return false
+		}
+		// Distributivity: a ∩ (b ∪ c) == (a∩b) ∪ (a∩c)
+		if m.Intersect(a, m.Union(b, c)) != m.Union(m.Intersect(a, b), m.Intersect(a, c)) {
+			return false
+		}
+		// Diff identity: (a \ b) ∪ (a ∩ b) == a
+		if m.Union(m.Diff(a, b), m.Intersect(a, b)) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(law, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimalProperties: Minimal is idempotent and a subset of
+// its input; NonSupersets(f, f) keeps nothing.
+func TestQuickMinimalProperties(t *testing.T) {
+	m := New()
+	prop := func(raw [][]uint8) bool {
+		f := Empty
+		for _, set := range raw {
+			elems := make([]int, 0, len(set))
+			for _, e := range set {
+				elems = append(elems, int(e%10))
+			}
+			f = m.Union(f, m.Set(elems))
+		}
+		min := m.Minimal(f)
+		if m.Minimal(min) != min {
+			return false
+		}
+		if m.Diff(min, f) != Empty {
+			return false
+		}
+		if f != Empty && min == Empty {
+			return false // a non-empty family has at least one minimal set
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCountGrowth(t *testing.T) {
+	m := New()
+	start := m.NodeCount()
+	f := Empty
+	for i := 0; i < 50; i++ {
+		f = m.Union(f, m.Set([]int{i, i + 1}))
+	}
+	if m.NodeCount() <= start {
+		t.Fatal("no nodes allocated")
+	}
+	if m.Count(f) != 50 {
+		t.Fatalf("count = %d", m.Count(f))
+	}
+}
+
+func (a model) maximal() model {
+	r := model{}
+	for k := range a {
+		sk := setOf(k)
+		max := true
+		for k2 := range a {
+			if k2 != k && subsetOf(sk, setOf(k2)) {
+				max = false
+				break
+			}
+		}
+		if max {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+func (a model) nonSubsets(b model) model {
+	r := model{}
+	for k := range a {
+		sk := setOf(k)
+		bad := false
+		for k2 := range b {
+			if subsetOf(sk, setOf(k2)) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			r[k] = struct{}{}
+		}
+	}
+	return r
+}
+
+func TestMaximalAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := New()
+	for trial := 0; trial < 300; trial++ {
+		u := 1 + rng.Intn(7)
+		a := randomModel(rng, u, 8)
+		b := randomModel(rng, u, 8)
+		fa, fb := build(m, a), build(m, b)
+		if got := extract(m, m.Maximal(fa)); !equalModels(got, a.maximal()) {
+			t.Fatalf("trial %d: maximal mismatch\n got %v\nwant %v\n a=%v", trial, got, a.maximal(), a)
+		}
+		if got := extract(m, m.NonSubsets(fa, fb)); !equalModels(got, a.nonSubsets(b)) {
+			t.Fatalf("trial %d: nonsubsets mismatch\n got %v\nwant %v\n a=%v b=%v", trial, got, a.nonSubsets(b), a, b)
+		}
+	}
+}
+
+func TestMinimalMaximalDuality(t *testing.T) {
+	m := New()
+	f := Empty
+	for _, s := range [][]int{{1}, {1, 2}, {1, 2, 3}, {4}, {2, 3}} {
+		f = m.Union(f, m.Set(s))
+	}
+	min := extract(m, m.Minimal(f))
+	max := extract(m, m.Maximal(f))
+	wantMin := model{keyOf([]int{1}): {}, keyOf([]int{4}): {}, keyOf([]int{2, 3}): {}}
+	wantMax := model{keyOf([]int{1, 2, 3}): {}, keyOf([]int{4}): {}}
+	if !equalModels(min, wantMin) {
+		t.Fatalf("minimal = %v", min)
+	}
+	if !equalModels(max, wantMax) {
+		t.Fatalf("maximal = %v", max)
+	}
+}

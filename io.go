@@ -1,0 +1,131 @@
+package ucp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ucp/internal/benchmarks"
+)
+
+// The covering-matrix text format understood by ReadProblem and
+// emitted by WriteProblem:
+//
+//	# comment
+//	p <rows> <cols>
+//	c <cost_0> <cost_1> ... <cost_{cols-1}>     (optional; default 1)
+//	r <col> <col> ...                           (one line per row)
+//
+// Column ids are zero-based.
+
+// ReadProblem parses a covering problem in the text format above.
+func ReadProblem(r io.Reader) (*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]int
+	var cost []int
+	nr, nc := -1, -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("ucp: line %d: malformed p line", line)
+			}
+			var err1, err2 error
+			nr, err1 = strconv.Atoi(fields[1])
+			nc, err2 = strconv.Atoi(fields[2])
+			const maxDim = 1 << 24
+			if err1 != nil || err2 != nil || nr < 0 || nc < 0 || nr > maxDim || nc > maxDim {
+				return nil, fmt.Errorf("ucp: line %d: bad problem size", line)
+			}
+		case "c":
+			if nc < 0 {
+				return nil, fmt.Errorf("ucp: line %d: c line before p line", line)
+			}
+			if len(fields)-1 != nc {
+				return nil, fmt.Errorf("ucp: line %d: %d costs for %d columns", line, len(fields)-1, nc)
+			}
+			cost = make([]int, nc)
+			for j, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("ucp: line %d: bad cost %q", line, f)
+				}
+				cost[j] = v
+			}
+		case "r":
+			if nc < 0 {
+				return nil, fmt.Errorf("ucp: line %d: r line before p line", line)
+			}
+			row := make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("ucp: line %d: bad column %q", line, f)
+				}
+				row = append(row, v)
+			}
+			rows = append(rows, row)
+		default:
+			return nil, fmt.Errorf("ucp: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if nc < 0 {
+		return nil, fmt.Errorf("ucp: missing p line")
+	}
+	if nr >= 0 && nr != len(rows) {
+		return nil, fmt.Errorf("ucp: p line declares %d rows, found %d", nr, len(rows))
+	}
+	return NewProblem(rows, nc, cost)
+}
+
+// WriteProblem emits p in the text format understood by ReadProblem.
+func WriteProblem(w io.Writer, p *Problem) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p %d %d\n", len(p.Rows), p.NCol)
+	uniform := true
+	for _, c := range p.Cost {
+		if c != 1 {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		bw.WriteString("c")
+		for _, c := range p.Cost {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	for _, r := range p.Rows {
+		bw.WriteString("r")
+		for _, j := range r {
+			fmt.Fprintf(bw, " %d", j)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadORLibProblem parses a set-covering instance in the Beasley
+// OR-Library "scp" format (row/column counts, the column costs, then
+// each row's degree and 1-based covering columns, all free-format).
+func ReadORLibProblem(r io.Reader) (*Problem, error) { return benchmarks.ReadORLib(r) }
+
+// WriteORLibProblem emits p in the Beasley OR-Library format.
+func WriteORLibProblem(w io.Writer, p *Problem) error { return benchmarks.WriteORLib(w, p) }

@@ -1,0 +1,100 @@
+package ucp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadProblem(t *testing.T) {
+	src := `
+# a comment
+p 3 4
+c 1 2 3 4
+r 0 1
+r 2 3   # trailing comment
+r 0 3
+`
+	p, err := ReadProblem(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 3 || p.NCol != 4 {
+		t.Fatalf("shape %dx%d", len(p.Rows), p.NCol)
+	}
+	if p.Cost[3] != 4 {
+		t.Fatalf("costs %v", p.Cost)
+	}
+}
+
+func TestReadProblemDefaultsToUnitCosts(t *testing.T) {
+	p, err := ReadProblem(strings.NewReader("p 1 2\nr 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost[0] != 1 || p.Cost[1] != 1 {
+		t.Fatalf("costs %v", p.Cost)
+	}
+}
+
+func TestReadProblemErrors(t *testing.T) {
+	cases := []string{
+		"r 0 1\n",           // row before p
+		"p 1\n",             // malformed p
+		"p 1 2\nc 1\nr 0\n", // short cost vector
+		"p 1 2\nr 0 x\n",    // bad column
+		"p 2 2\nr 0\n",      // row count mismatch
+		"p 1 2\nq 0\n",      // unknown directive
+		"p 1 2\nr 5\n",      // column out of range
+		"",                  // empty
+	}
+	for k, src := range cases {
+		if _, err := ReadProblem(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d: error expected for %q", k, src)
+		}
+	}
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	p, err := NewProblem([][]int{{0, 2}, {1}, {0, 1, 2}}, 3, []int{2, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != len(p.Rows) || q.NCol != p.NCol {
+		t.Fatal("shape changed")
+	}
+	for i := range p.Rows {
+		if len(p.Rows[i]) != len(q.Rows[i]) {
+			t.Fatalf("row %d changed", i)
+		}
+		for k := range p.Rows[i] {
+			if p.Rows[i][k] != q.Rows[i][k] {
+				t.Fatalf("row %d changed", i)
+			}
+		}
+	}
+	for j := range p.Cost {
+		if p.Cost[j] != q.Cost[j] {
+			t.Fatal("costs changed")
+		}
+	}
+}
+
+func TestWriteProblemOmitsUniformCosts(t *testing.T) {
+	p, _ := NewProblem([][]int{{0}}, 2, nil)
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "c ") {
+		t.Fatalf("uniform costs should be omitted:\n%s", buf.String())
+	}
+}

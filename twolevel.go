@@ -1,0 +1,175 @@
+package ucp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ucp/internal/cube"
+	"ucp/internal/espresso"
+	"ucp/internal/pla"
+	"ucp/internal/primes"
+)
+
+// PLA is a parsed Berkeley-format PLA: the ON-set F, don't-care set D
+// and OFF-set R over a common multiple-output cube space.
+type PLA = pla.File
+
+// Cover is a multiple-output sum-of-products over a cube space.
+type Cover = cube.Cover
+
+// Space describes the boolean space of a cover.
+type Space = cube.Space
+
+// ParsePLA reads a PLA file from r (.i/.o headers, {0,1,-} input
+// field, .type f/fd/fr/fdr output semantics).
+func ParsePLA(r io.Reader) (*PLA, error) { return pla.Parse(r) }
+
+// ParsePLAFile reads a PLA from the named file.
+func ParsePLAFile(path string) (*PLA, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pla.Parse(f)
+}
+
+// CostModel selects the covering objective: the number of products
+// (the paper's primary cost) or products weighted by literal count.
+type CostModel = primes.CostModel
+
+// Cost models for BuildCovering / MinimizeSCG.
+const (
+	UnitCost    = primes.UnitCost
+	LiteralCost = primes.LiteralCost
+)
+
+// TwoLevelResult is the outcome of a two-level minimisation.
+type TwoLevelResult struct {
+	Cover    *Cover  // the minimised cover
+	Products int     // number of product terms (the paper's cost)
+	Literals int     // total input literals (the secondary objective)
+	LB       float64 // certified lower bound on the minimum (0 if n/a)
+	// ProvedOptimal is set when LB certifies the cover size.
+	ProvedOptimal bool
+	// Covering-formulation statistics.
+	Primes, Rows       int // primes and ON-minterm rows of the UCP
+	CoreRows, CoreCols int // cyclic core size
+	CyclicCoreTime     time.Duration
+	TotalTime          time.Duration
+}
+
+// BuildCovering reformulates the minimisation of f (ON-set F, DC-set
+// D) as a unate covering problem over the function's primes, returning
+// the problem and the prime cover indexed by its columns.
+func BuildCovering(f *PLA, cm CostModel) (*Problem, *Cover, error) {
+	prs := primes.Generate(f.F, f.DontCares())
+	prob, _, err := primes.BuildCovering(f.F, f.DontCares(), prs, cm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prob, prs, nil
+}
+
+// MinimizeSCG minimises the PLA with the paper's full pipeline:
+// prime generation, Quine–McCluskey covering formulation, implicit
+// (ZDD) and explicit reductions, and the ZDD_SCG lagrangian heuristic.
+func MinimizeSCG(f *PLA, opt SCGOptions) (*TwoLevelResult, error) {
+	t0 := time.Now()
+	prob, prs, err := BuildCovering(f, UnitCost)
+	if err != nil {
+		return nil, err
+	}
+	res := SolveSCG(prob, opt)
+	if res.Solution == nil {
+		return nil, fmt.Errorf("ucp: covering problem unexpectedly infeasible")
+	}
+	cover := primes.CoverFromColumns(prs, res.Solution)
+	out := &TwoLevelResult{
+		Cover:          cover,
+		Products:       res.Cost,
+		Literals:       cover.Literals(),
+		LB:             res.LB,
+		ProvedOptimal:  res.ProvedOptimal,
+		Primes:         prs.Len(),
+		Rows:           len(prob.Rows),
+		CoreRows:       res.Stats.CoreRows,
+		CoreCols:       res.Stats.CoreCols,
+		CyclicCoreTime: res.Stats.CyclicCoreTime,
+		TotalTime:      time.Since(t0),
+	}
+	return out, nil
+}
+
+// MinimizeExact minimises the PLA exactly: prime generation, covering
+// formulation and branch and bound.  On hard instances bound the
+// search with ExactOptions.MaxNodes; the result then reports
+// Optimal=false via a zero LB.
+func MinimizeExact(f *PLA, opt ExactOptions) (*TwoLevelResult, error) {
+	t0 := time.Now()
+	prob, prs, err := BuildCovering(f, UnitCost)
+	if err != nil {
+		return nil, err
+	}
+	res := SolveExact(prob, opt)
+	if res.Solution == nil {
+		return nil, fmt.Errorf("ucp: exact search found no cover (node budget exhausted?)")
+	}
+	cover := primes.CoverFromColumns(prs, res.Solution)
+	out := &TwoLevelResult{
+		Cover:         cover,
+		Products:      res.Cost,
+		Literals:      cover.Literals(),
+		ProvedOptimal: res.Optimal,
+		Primes:        prs.Len(),
+		Rows:          len(prob.Rows),
+		TotalTime:     time.Since(t0),
+	}
+	if res.Optimal {
+		out.LB = float64(res.Cost)
+	}
+	return out, nil
+}
+
+// EspressoMode selects the comparison minimiser's effort.
+type EspressoMode = espresso.Mode
+
+// Espresso effort levels.
+const (
+	EspressoNormal = espresso.Normal
+	EspressoStrong = espresso.Strong
+)
+
+// MinimizeEspresso minimises the PLA with the Espresso-style
+// expand/irredundant/reduce heuristic (the baseline of the paper's
+// Tables 1 and 2).  It never certifies optimality.
+func MinimizeEspresso(f *PLA, mode EspressoMode) *TwoLevelResult {
+	t0 := time.Now()
+	res := espresso.Minimize(f.F, f.DontCares(), mode)
+	return &TwoLevelResult{
+		Cover:     res.Cover,
+		Products:  res.Cover.Len(),
+		Literals:  res.Cover.Literals(),
+		TotalTime: time.Since(t0),
+	}
+}
+
+// Equivalent reports whether the cover implements the PLA's function:
+// it covers the whole ON-set and stays inside ON ∪ DC.
+func Equivalent(f *PLA, cover *Cover) bool {
+	onDC := f.F.Clone()
+	if d := f.DontCares(); d != nil {
+		for _, c := range d.Cubes {
+			onDC.Add(c)
+		}
+	}
+	coverPlusDC := cover.Clone()
+	if d := f.DontCares(); d != nil {
+		for _, c := range d.Cubes {
+			coverPlusDC.Add(c)
+		}
+	}
+	return onDC.ContainsCover(cover) && coverPlusDC.ContainsCover(f.F)
+}

@@ -1,0 +1,152 @@
+// Package ucp is a Go reproduction of "An Efficient Heuristic
+// Approach to Solve the Unate Covering Problem" (Cordone, Ferrandi,
+// Sciuto, Wolfler Calvo — DATE 2000).
+//
+// It provides, as a library:
+//
+//   - the unate covering problem (UCP) with the classical reductions
+//     (essentials, row/column dominance, partitioning) both explicit
+//     and implicit over Zero-suppressed BDDs;
+//   - ZDD_SCG, the paper's lagrangian-guided constructive heuristic
+//     (SolveSCG), with its subgradient ascent, dual ascent, penalty
+//     tests and stochastic multi-run fixing;
+//   - an exact branch-and-bound solver (SolveExact), the Chvátal
+//     greedy baseline (SolveGreedy), and the four lower bounds of
+//     Proposition 1 (LowerBounds);
+//   - a complete two-level logic minimisation front end: Berkeley PLA
+//     parsing, prime-implicant generation, the Quine–McCluskey
+//     covering formulation, and an Espresso-style heuristic minimiser
+//     as comparison baseline (MinimizeSCG / MinimizeExact /
+//     MinimizeEspresso);
+//   - an exact solver for the more general binate covering problem
+//     (SolveBinate), and Beasley OR-Library I/O for pure set-covering
+//     instances.
+//
+// Everything is pure Go with no dependencies outside the standard
+// library.
+package ucp
+
+import (
+	"math"
+
+	"ucp/internal/bnb"
+	"ucp/internal/greedy"
+	"ucp/internal/lagrangian"
+	"ucp/internal/matrix"
+	"ucp/internal/scg"
+	"ucp/internal/simplex"
+)
+
+// Problem is a unate covering instance: for each row, the sorted ids
+// of the columns covering it, plus a per-column cost vector.
+type Problem = matrix.Problem
+
+// NewProblem builds and validates a covering problem.  Rows are
+// sorted and deduplicated; a nil cost vector means unit costs.
+func NewProblem(rows [][]int, ncols int, costs []int) (*Problem, error) {
+	return matrix.New(rows, ncols, costs)
+}
+
+// Reduction is the outcome of reducing a problem to its cyclic core.
+type Reduction = matrix.Reduction
+
+// ReduceProblem applies essential-column extraction and row/column
+// dominance until fixpoint, returning the cyclic core.
+func ReduceProblem(p *Problem) *Reduction { return matrix.Reduce(p) }
+
+// SCGOptions configures the ZDD_SCG solver; the zero value uses the
+// paper's parameters (α = 2, ĉ = 0.001, μ̂ = 0.999, DualPen = 100,
+// MaxR = 5000, MaxC = 10000, NumIter = 1).
+type SCGOptions = scg.Options
+
+// SCGResult is a ZDD_SCG outcome: solution, cost, certified lower
+// bound and run statistics.
+type SCGResult = scg.Result
+
+// SolveSCG runs the paper's heuristic on a covering problem.
+func SolveSCG(p *Problem, opt SCGOptions) *SCGResult { return scg.Solve(p, opt) }
+
+// ExactOptions configures the exact branch-and-bound solver.
+type ExactOptions = bnb.Options
+
+// ExactResult is an exact-solver outcome.
+type ExactResult = bnb.Result
+
+// SolveExact finds a minimum cover by branch and bound (the Scherzo /
+// mincov role of the paper's Tables 3 and 4).
+func SolveExact(p *Problem, opt ExactOptions) *ExactResult { return bnb.Solve(p, opt) }
+
+// SolveGreedy runs the classical Chvátal greedy heuristic and returns
+// an irredundant cover, or nil when the problem is infeasible.
+func SolveGreedy(p *Problem) []int { return greedy.Solve(p) }
+
+// Bounds carries the four lower bounds compared in the paper's
+// Proposition 1, in increasing order of strength (and cost):
+// independent set ≤ dual ascent ≤ lagrangian ≤ linear relaxation.
+type Bounds struct {
+	MIS              int     // maximal-independent-set bound
+	DualAscent       float64 // two-phase dual ascent
+	Lagrangian       float64 // subgradient-optimised lagrangian bound
+	LinearRelaxation float64 // exact LP bound (NaN when skipped)
+	// LPExact reports whether LinearRelaxation was computed; the dense
+	// simplex is only run when rows+columns ≤ LPLimit.
+	LPExact bool
+}
+
+// LPLimit bounds the size (rows + active columns) up to which
+// LowerBounds solves the linear relaxation exactly with the dense
+// simplex.
+const LPLimit = 260
+
+// LowerBounds computes the four bounds of Proposition 1 on p.
+func LowerBounds(p *Problem) Bounds {
+	q, _ := p.Compact()
+	var b Bounds
+	b.MIS, _ = matrix.MISBound(q)
+	_, b.DualAscent = lagrangian.DualAscent(q, nil)
+	sg := lagrangian.Subgradient(q, lagrangian.Params{}, nil, 0)
+	b.Lagrangian = sg.LB
+	if len(q.Rows) == 0 {
+		b.Lagrangian = 0
+		b.LinearRelaxation = 0
+		b.LPExact = true
+		return b
+	}
+	if len(q.Rows)+q.NCol <= LPLimit {
+		b.LinearRelaxation = lpBound(q)
+		b.LPExact = true
+	} else {
+		b.LinearRelaxation = math.NaN()
+	}
+	return b
+}
+
+// lpBound solves min c'x, Ax ≥ 1, 0 ≤ x ≤ 1 exactly.
+func lpBound(p *Problem) float64 {
+	n := p.NCol
+	a := make([][]float64, 0, len(p.Rows)+n)
+	b := make([]float64, 0, len(p.Rows)+n)
+	for _, r := range p.Rows {
+		row := make([]float64, n)
+		for _, j := range r {
+			row[j] = 1
+		}
+		a = append(a, row)
+		b = append(b, 1)
+	}
+	for j := 0; j < n; j++ {
+		box := make([]float64, n)
+		box[j] = -1
+		a = append(a, box)
+		b = append(b, -1)
+	}
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = float64(p.Cost[j])
+	}
+	_, z, err := simplex.Solve(c, a, b)
+	if err != nil {
+		return math.NaN()
+	}
+	return z
+}
