@@ -1,0 +1,31 @@
+# Development targets for the ucp reproduction.
+
+GO ?= go
+
+.PHONY: build test check fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: vet plus the full suite under the race
+# detector, which exercises the budget/cancellation paths with a
+# concurrent context in play.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# fuzz runs every fuzz target for 30 seconds each (the robustness
+# acceptance bar: no panic reachable through the public API).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadProblem$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePLA$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzReadORLibProblem$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSolveParsedProblem$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzMinimizeParsedPLA$$' -fuzztime $(FUZZTIME) .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -216,7 +216,7 @@ func BenchmarkZDDUnion(b *testing.B) {
 		m := zdd.New()
 		f := zdd.Empty
 		for _, s := range sets {
-			f = m.Union(f, m.Set(s))
+			f = m.Union(f, mustSet(m, s))
 		}
 		if m.Count(f) == 0 {
 			b.Fatal("empty family")
@@ -280,7 +280,7 @@ func BenchmarkImplicitEncodingZDD(b *testing.B) {
 		m := zdd.New()
 		f := zdd.Empty
 		for _, r := range p.Rows {
-			f = m.Union(f, m.Set(r))
+			f = m.Union(f, mustSet(m, r))
 		}
 		if m.Count(f) == 0 {
 			b.Fatal("empty family")
@@ -310,4 +310,14 @@ func BenchmarkImplicitEncodingBDD(b *testing.B) {
 		nodes = m.NodeCount()
 	}
 	b.ReportMetric(float64(nodes), "nodes/op")
+}
+
+// mustSet builds the set ZDD for elems; benchmark inputs are always
+// valid, so the validation error is fatal.
+func mustSet(m *zdd.Manager, elems []int) zdd.Node {
+	n, err := m.Set(elems)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }

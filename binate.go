@@ -26,7 +26,8 @@ type BinateResult = bcp.Result
 // NewBinateProblem builds and normalises a binate covering instance:
 // duplicate literals collapse and tautological clauses are dropped.  A
 // nil cost vector means unit costs.
-func NewBinateProblem(rows [][]BinateLit, ncols int, costs []int) (*BinateProblem, error) {
+func NewBinateProblem(rows [][]BinateLit, ncols int, costs []int) (p *BinateProblem, err error) {
+	defer guard(&err)
 	return bcp.New(rows, ncols, costs)
 }
 
@@ -37,5 +38,9 @@ func SolveBinate(p *BinateProblem, opt BinateOptions) *BinateResult {
 }
 
 // BinateFromUnate lifts a unate covering problem into binate form (all
-// literals positive); the optima coincide.
-func BinateFromUnate(p *Problem) *BinateProblem { return bcp.FromUnate(p) }
+// literals positive); the optima coincide.  The error reports invalid
+// input (negative costs or out-of-range column ids).
+func BinateFromUnate(p *Problem) (b *BinateProblem, err error) {
+	defer guard(&err)
+	return bcp.FromUnate(p)
+}

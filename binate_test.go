@@ -29,7 +29,11 @@ func TestBinateFromUnateAgrees(t *testing.T) {
 		t.Fatal(err)
 	}
 	exact := SolveExact(u, ExactOptions{})
-	b := SolveBinate(BinateFromUnate(u), BinateOptions{})
+	bp, err := BinateFromUnate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := SolveBinate(bp, BinateOptions{})
 	if !b.Feasible || b.Cost != exact.Cost {
 		t.Fatalf("binate lift cost %d, unate optimum %d", b.Cost, exact.Cost)
 	}

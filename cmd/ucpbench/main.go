@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ucp/internal/harness"
 )
@@ -26,9 +28,21 @@ func main() {
 		nodes      = flag.Int64("nodes", 50_000, "node budget for the exact comparator (0 = unlimited)")
 		numIter    = flag.Int("numiter", 2, "ZDD_SCG constructive runs for tables 3 and 4")
 		samples    = flag.Int("samples", 20, "instances in the bound study")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 5m (0 = unlimited); remaining experiments are skipped once it expires")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	// The deadline (and Ctrl-C) is checked between experiments: each
+	// experiment that starts runs to completion, so every printed table
+	// is whole and the run degrades by dropping trailing experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	run := func(name string) {
 		switch name {
@@ -77,8 +91,16 @@ func main() {
 
 	if *experiment == "all" {
 		for _, name := range []string{"figure1", "bounds", "easy", "table1", "table2", "table3", "table4", "ablations"} {
+			if err := ctx.Err(); err != nil {
+				fmt.Fprintf(w, "ucpbench: budget exhausted (%v); skipping %s and later experiments — results above are partial\n", err, name)
+				return
+			}
 			run(name)
 		}
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(w, "ucpbench: budget exhausted (%v) before the experiment started\n", err)
 		return
 	}
 	run(*experiment)

@@ -8,14 +8,19 @@
 //	ucpsolve -matrix f.ucp  [-solver scg|exact|greedy] [-bounds]
 //	ucpsolve -orlib scp41.txt [-solver scg|exact|greedy] [-bounds]
 //
-// The default solver is scg (the paper's ZDD_SCG heuristic).
+// The default solver is scg (the paper's ZDD_SCG heuristic).  With
+// -timeout the solve stops at the deadline and prints the best cover
+// and bound found so far; Ctrl-C does the same immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"time"
 
 	"ucp"
 )
@@ -30,9 +35,22 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for the stochastic runs")
 		numIter    = flag.Int("numiter", 1, "ZDD_SCG constructive runs")
 		maxNodes   = flag.Int64("maxnodes", 0, "node cap for the exact solver (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 30s (0 = unlimited); on expiry or Ctrl-C the best solution so far is printed")
 		bounds     = flag.Bool("bounds", false, "also print the four lower bounds (matrix mode)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the budget context: the solvers unwind with their
+	// best-so-far cover instead of the process dying mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	bud := ucp.Budget{Context: ctx}
+
 	inputs := 0
 	for _, v := range []string{*plaPath, *matrixPath, *orlibPath} {
 		if v != "" {
@@ -43,11 +61,11 @@ func main() {
 	case inputs != 1:
 		fatal("pass exactly one of -pla, -matrix and -orlib")
 	case *plaPath != "":
-		runPLA(*plaPath, *solver, *out, *seed, *numIter, *maxNodes)
+		runPLA(*plaPath, *solver, *out, *seed, *numIter, *maxNodes, bud)
 	case *matrixPath != "":
-		runMatrix(*matrixPath, false, *solver, *seed, *numIter, *maxNodes, *bounds)
+		runMatrix(*matrixPath, false, *solver, *seed, *numIter, *maxNodes, *bounds, bud)
 	default:
-		runMatrix(*orlibPath, true, *solver, *seed, *numIter, *maxNodes, *bounds)
+		runMatrix(*orlibPath, true, *solver, *seed, *numIter, *maxNodes, *bounds, bud)
 	}
 }
 
@@ -56,7 +74,13 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64) {
+func notice(interrupted bool, reason ucp.StopReason) {
+	if interrupted {
+		fmt.Printf("interrupted (%v): reporting the best solution found so far\n", reason)
+	}
+}
+
+func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64, bud ucp.Budget) {
 	f, err := ucp.ParsePLAFile(path)
 	if err != nil {
 		fatal("%v", err)
@@ -64,13 +88,13 @@ func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64) {
 	var res *ucp.TwoLevelResult
 	switch solver {
 	case "scg":
-		res, err = ucp.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter})
+		res, err = ucp.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Budget: bud})
 	case "exact":
-		res, err = ucp.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes})
+		res, err = ucp.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
 	case "espresso":
-		res = ucp.MinimizeEspresso(f, ucp.EspressoNormal)
+		res = ucp.MinimizeEspressoBudget(f, ucp.EspressoNormal, bud)
 	case "espresso-strong":
-		res = ucp.MinimizeEspresso(f, ucp.EspressoStrong)
+		res = ucp.MinimizeEspressoBudget(f, ucp.EspressoStrong, bud)
 	default:
 		fatal("unknown pla solver %q", solver)
 	}
@@ -80,6 +104,7 @@ func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64) {
 	if !ucp.Equivalent(f, res.Cover) {
 		fatal("internal error: result does not implement the function")
 	}
+	notice(res.Interrupted, res.StopReason)
 	fmt.Printf("products: %d", res.Products)
 	if res.ProvedOptimal {
 		fmt.Printf(" (proved optimal)")
@@ -88,7 +113,7 @@ func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64) {
 	}
 	fmt.Printf("\nprimes: %d   covering rows: %d   cyclic core: %dx%d\n",
 		res.Primes, res.Rows, res.CoreRows, res.CoreCols)
-	fmt.Printf("time: %v (cyclic core %v)\n", res.TotalTime.Round(1e6), res.CyclicCoreTime.Round(1e6))
+	fmt.Printf("time: %v (cyclic core %v)\n", res.TotalTime.Round(time.Millisecond), res.CyclicCoreTime.Round(time.Millisecond))
 	if out != "" {
 		g := &ucp.PLA{Space: f.Space, F: res.Cover, D: f.D, R: f.R, Type: "fd",
 			InputLabels: f.InputLabels, OutputLabels: f.OutputLabels}
@@ -104,7 +129,7 @@ func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64) {
 	}
 }
 
-func runMatrix(path string, orlib bool, solver string, seed int64, numIter int, maxNodes int64, bounds bool) {
+func runMatrix(path string, orlib bool, solver string, seed int64, numIter int, maxNodes int64, bounds bool, bud ucp.Budget) {
 	r, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -130,28 +155,33 @@ func runMatrix(path string, orlib bool, solver string, seed int64, numIter int, 
 	}
 	switch solver {
 	case "scg":
-		res := ucp.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter})
+		res := ucp.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter, Budget: bud})
 		if res.Solution == nil {
 			fatal("problem is infeasible")
 		}
+		notice(res.Interrupted, res.StopReason)
 		opt := ""
 		if res.ProvedOptimal {
 			opt = " (proved optimal)"
 		}
 		fmt.Printf("scg: cost %d%s, LB %.3f, columns %v\n", res.Cost, opt, res.LB, res.Solution)
 		fmt.Printf("core %dx%d, %d fixing steps, %v\n",
-			res.Stats.CoreRows, res.Stats.CoreCols, res.Stats.FixSteps, res.Stats.TotalTime.Round(1e6))
+			res.Stats.CoreRows, res.Stats.CoreCols, res.Stats.FixSteps, res.Stats.TotalTime.Round(time.Millisecond))
 	case "exact":
-		res := ucp.SolveExact(p, ucp.ExactOptions{MaxNodes: maxNodes})
+		res := ucp.SolveExact(p, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
 		if res.Solution == nil {
 			fatal("no solution found (infeasible, or node budget exhausted)")
 		}
-		fmt.Printf("exact: cost %d (optimal=%v), %d nodes, columns %v\n",
-			res.Cost, res.Optimal, res.Nodes, res.Solution)
+		notice(res.Interrupted, res.StopReason)
+		fmt.Printf("exact: cost %d (optimal=%v, LB %d), %d nodes, columns %v\n",
+			res.Cost, res.Optimal, res.LB, res.Nodes, res.Solution)
 	case "greedy":
-		sol := ucp.SolveGreedy(p)
-		if sol == nil {
-			fatal("problem is infeasible")
+		sol, interrupted, err := ucp.SolveGreedyBudget(p, bud)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if interrupted {
+			fmt.Println("interrupted: cover completed with the cheapest-column fallback")
 		}
 		fmt.Printf("greedy: cost %d, columns %v\n", p.CostOf(sol), sol)
 	default:

@@ -43,7 +43,10 @@ func main() {
 		exact.Solution, exact.Cost, exact.Nodes)
 
 	// And with the classical greedy heuristic.
-	g := ucp.SolveGreedy(p)
+	g, err := ucp.SolveGreedy(p)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("greedy  : workers %v, cost %d\n", g, p.CostOf(g))
 
 	// The four lower bounds of the paper's Proposition 1, in

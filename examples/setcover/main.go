@@ -46,7 +46,10 @@ func main() {
 	}
 	fmt.Printf("instance: %d demand points, %d facilities\n\n", points, facilities)
 
-	g := ucp.SolveGreedy(p)
+	g, err := ucp.SolveGreedy(p)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("greedy            cost %3d with %d facilities\n", p.CostOf(g), len(g))
 
 	one := ucp.SolveSCG(p, ucp.SCGOptions{Seed: 1})

@@ -70,6 +70,10 @@ func FuzzReadORLibProblem(f *testing.F) {
 	f.Add("1 1 1 1 1")
 	f.Add("0 1 7")
 	f.Add("2 2 1 1 0 0")
+	f.Add("3 3\n1 1 1\n1\n1\n1\n2\n1\n3\n")
+	f.Add("1 2\n5 5\n0\n")
+	f.Add("-1 -1\n")
+	f.Add("2 2\n1 1\n9 1 2\n1 1\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := ReadORLibProblem(strings.NewReader(src))
 		if err != nil {
@@ -81,6 +85,73 @@ func FuzzReadORLibProblem(f *testing.F) {
 		}
 		if _, err := ReadORLibProblem(&buf); err != nil {
 			t.Fatalf("re-read of own output failed: %v", err)
+		}
+	})
+}
+
+// FuzzSolveParsedProblem drives every unate solver on whatever the
+// matrix parser accepts: no input, however contrived, may panic a
+// solver reached through the public API, and anything a solver returns
+// must be a feasible cover.
+func FuzzSolveParsedProblem(f *testing.F) {
+	f.Add("p 2 3\nr 0 1\nr 2\n")
+	f.Add("p 1 1\nc 5\nr 0\n")
+	f.Add("p 3 3\nr 0 1\nr 1 2\nr 0 2\n")
+	f.Add("p 2 2\nr 0\nr\n") // second row uncoverable
+	f.Add("p 1 2\nc 0 0\nr 0 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadProblem(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if len(p.Rows) > 40 || p.NCol > 40 {
+			return // keep the harness fast; size adds nothing here
+		}
+		g, gerr := SolveGreedy(p)
+		if gerr == nil && !p.IsCover(g) {
+			t.Fatalf("greedy returned a non-cover %v", g)
+		}
+		res := SolveSCG(p, SCGOptions{Budget: Budget{IterCap: 30}})
+		if res.Solution != nil && !p.IsCover(res.Solution) {
+			t.Fatalf("scg returned a non-cover %v", res.Solution)
+		}
+		if (res.Solution == nil) != (gerr != nil) {
+			t.Fatalf("scg feasibility (%v) disagrees with greedy (%v)", res.Solution, gerr)
+		}
+		ex := SolveExact(p, ExactOptions{Budget: Budget{SearchCap: 200}})
+		if ex.Solution != nil && !p.IsCover(ex.Solution) {
+			t.Fatalf("exact returned a non-cover %v", ex.Solution)
+		}
+		if bp, err := BinateFromUnate(p); err == nil {
+			SolveBinate(bp, BinateOptions{MaxNodes: 200})
+		}
+	})
+}
+
+// FuzzMinimizeParsedPLA pushes whatever the PLA parser accepts through
+// the whole two-level pipeline (primes, covering, SCG, Espresso) under
+// a tight iteration budget, checking that the minimised covers still
+// implement the parsed function.
+func FuzzMinimizeParsedPLA(f *testing.F) {
+	f.Add(".i 2\n.o 1\n11 1\n00 1\n")
+	f.Add(".i 3\n.o 2\n.type fd\n1-- 10\n-1- 01\n--1 11\n")
+	f.Add(".i 1\n.o 1\n- 1\n")
+	f.Add(".i 2\n.o 1\n.type fr\n10 1\n01 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		pla, err := ParsePLA(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if pla.Space.Inputs() > 8 || pla.F.Len() > 16 {
+			return // exponential minterm work adds nothing to the fuzz
+		}
+		res, err := MinimizeSCG(pla, SCGOptions{Budget: Budget{IterCap: 30}})
+		if err == nil && !Equivalent(pla, res.Cover) {
+			t.Fatal("SCG cover does not implement the parsed function")
+		}
+		esp := MinimizeEspresso(pla, EspressoNormal)
+		if !Equivalent(pla, esp.Cover) {
+			t.Fatal("espresso cover does not implement the parsed function")
 		}
 	})
 }

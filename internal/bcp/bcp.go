@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ucp/internal/budget"
 	"ucp/internal/matrix"
 )
 
@@ -85,27 +86,36 @@ func New(rows [][]Lit, ncol int, cost []int) (*Problem, error) {
 }
 
 // FromUnate lifts a unate covering problem into the binate form (all
-// literals positive).  Optima coincide.
-func FromUnate(u *matrix.Problem) *Problem {
+// literals positive).  Optima coincide.  The error reports invalid
+// input (negative costs, out-of-range column ids) instead of assuming
+// u already passed matrix.New validation.
+func FromUnate(u *matrix.Problem) (*Problem, error) {
 	rows := make([][]Lit, len(u.Rows))
 	for i, r := range u.Rows {
 		for _, j := range r {
+			if j < 0 {
+				return nil, fmt.Errorf("bcp: row %d references negative column %d", i, j)
+			}
 			rows[i] = append(rows[i], Lit{Col: j})
 		}
 	}
-	p, err := New(rows, u.NCol, append([]int(nil), u.Cost...))
-	if err != nil {
-		panic(err) // a valid unate problem always lifts
-	}
-	return p
+	return New(rows, u.NCol, append([]int(nil), u.Cost...))
 }
 
 // Options controls the search.
 type Options struct {
 	// MaxNodes caps the branch-and-bound nodes (0 = unlimited); when
 	// exhausted the best solution so far is returned with Optimal
-	// unset.
+	// unset.  It is merged with Budget.SearchCap (the tighter cap
+	// wins).
 	MaxNodes int64
+	// Budget bounds the search (deadline, node cap).  When it runs out
+	// the best satisfying assignment found so far is returned with
+	// Interrupted set; unlike the unate solvers there is no cheap
+	// completion heuristic for binate clauses, so an interrupted search
+	// that never reached a satisfying assignment reports Feasible
+	// false without proving infeasibility (check Optimal).
+	Budget budget.Budget
 }
 
 // Result of a binate solve.
@@ -117,6 +127,11 @@ type Result struct {
 	Cost     int
 	Optimal  bool
 	Nodes    int64
+	// Interrupted reports that the budget (or MaxNodes) stopped the
+	// search early.
+	Interrupted bool
+	// StopReason says which budget limit ran out.
+	StopReason budget.Reason
 }
 
 const (
@@ -128,6 +143,7 @@ const (
 type solver struct {
 	p        *Problem
 	opt      Options
+	tr       *budget.Tracker
 	nodes    int64
 	exceeded bool
 	best     []int8
@@ -136,10 +152,18 @@ type solver struct {
 
 // Solve finds a minimum-cost satisfying assignment.
 func Solve(p *Problem, opt Options) *Result {
-	s := &solver{p: p, opt: opt, bestCost: 1 << 30}
+	b := opt.Budget
+	if opt.MaxNodes > 0 && (b.SearchCap == 0 || opt.MaxNodes < b.SearchCap) {
+		b.SearchCap = opt.MaxNodes
+	}
+	s := &solver{p: p, opt: opt, tr: b.Tracker(), bestCost: 1 << 30}
 	assign := make([]int8, p.NCol)
 	s.search(assign, 0)
 	res := &Result{Nodes: s.nodes, Optimal: !s.exceeded}
+	if r := s.tr.Reason(); r != budget.None {
+		res.Interrupted = true
+		res.StopReason = r
+	}
 	if s.best == nil {
 		return res // a completed search proves infeasibility
 	}
@@ -262,7 +286,7 @@ func (s *solver) lowerBound(assign []int8) int {
 // search explores assignments; depth counts decisions for reporting.
 func (s *solver) search(assign []int8, depth int) {
 	s.nodes++
-	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+	if s.tr.AddSearchNodes(1) {
 		s.exceeded = true
 		return
 	}

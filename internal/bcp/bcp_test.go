@@ -138,7 +138,11 @@ func TestUnateLiftMatchesUCP(t *testing.T) {
 		}
 		u := matrix.MustNew(rows, nc, cost)
 		want := bnb.Solve(u, bnb.Options{}).Cost
-		got := Solve(FromUnate(u), Options{})
+		lift, err := FromUnate(u)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := Solve(lift, Options{})
 		if !got.Feasible || got.Cost != want {
 			t.Fatalf("trial %d: binate lift cost %d, unate optimum %d", trial, got.Cost, want)
 		}

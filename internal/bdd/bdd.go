@@ -15,7 +15,14 @@
 // and no complement edges (kept simple deliberately).
 package bdd
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNodeLimit is the panic value raised when an operation would grow
+// the manager past its node limit; see SetNodeLimit.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
 
 // Node references a BDD node inside a Manager.  The terminals are
 // False and True.
@@ -51,6 +58,9 @@ type Manager struct {
 
 	ckeys []uint64
 	cvals []Node
+
+	// limit caps the node store; 0 = unlimited.
+	limit int
 }
 
 // New returns an empty manager.
@@ -69,6 +79,13 @@ func New() *Manager {
 
 // NodeCount returns the number of live nodes, terminals included.
 func (m *Manager) NodeCount() int { return len(m.varOf) }
+
+// SetNodeLimit caps the node store at n nodes (0 removes the cap).  An
+// operation that would allocate past the cap panics with ErrNodeLimit;
+// callers recover it at a phase boundary and fall back to an explicit
+// algorithm (the same graceful-degradation contract as the ZDD
+// manager's limit).
+func (m *Manager) SetNodeLimit(n int) { m.limit = n }
 
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
@@ -96,6 +113,9 @@ func (m *Manager) mk(v int32, lo, hi Node) Node {
 			return n
 		}
 		idx = (idx + 1) & m.umask
+	}
+	if m.limit > 0 && len(m.varOf) >= m.limit {
+		panic(ErrNodeLimit)
 	}
 	n := Node(len(m.varOf))
 	m.varOf = append(m.varOf, v)
@@ -310,10 +330,11 @@ func (m *Manager) gapTo(n Node, v int32, nvars int) int32 {
 
 // Minterms enumerates the satisfying assignments of f over nvars
 // variables, reported as bit masks (bit v = variable v).  Return false
-// from the callback to stop early.
-func (m *Manager) Minterms(f Node, nvars int, visit func(uint64) bool) {
+// from the callback to stop early.  Spaces beyond 63 variables do not
+// fit the mask and are rejected with an error.
+func (m *Manager) Minterms(f Node, nvars int, visit func(uint64) bool) error {
 	if nvars > 63 {
-		panic("bdd: minterm enumeration limited to 63 variables")
+		return fmt.Errorf("bdd: minterm enumeration limited to 63 variables, got %d", nvars)
 	}
 	var rec func(n Node, v int, acc uint64) bool
 	rec = func(n Node, v int, acc uint64) bool {
@@ -330,4 +351,5 @@ func (m *Manager) Minterms(f Node, nvars int, visit func(uint64) bool) {
 		return rec(n, v+1, acc) && rec(n, v+1, acc|1<<uint(v))
 	}
 	rec(f, 0, 0)
+	return nil
 }

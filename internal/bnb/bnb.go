@@ -13,6 +13,8 @@ package bnb
 import (
 	"sort"
 
+	"ucp/internal/budget"
+	"ucp/internal/greedy"
 	"ucp/internal/matrix"
 )
 
@@ -20,7 +22,8 @@ import (
 type Options struct {
 	// MaxNodes caps the number of branch-and-bound nodes; 0 means
 	// unlimited.  When the cap is hit the result is the best solution
-	// found so far with Optimal unset.
+	// found so far with Optimal unset.  It is merged with
+	// Budget.SearchCap (the tighter cap wins).
 	MaxNodes int64
 	// InitialUB, when positive, is the cost of a known cover: the
 	// search only looks for strictly better solutions but will return
@@ -32,6 +35,11 @@ type Options struct {
 	DisableLimitBound bool
 	// DisablePartition turns off independent-block decomposition.
 	DisablePartition bool
+	// Budget bounds the search (deadline, node cap).  When it runs out
+	// the best feasible cover found so far is returned with Interrupted
+	// set; if the search was cut before finding any cover, a greedy
+	// cover stands in so the result is still feasible.
+	Budget budget.Budget
 }
 
 // Result of an exact solve.
@@ -40,10 +48,19 @@ type Result struct {
 	Cost     int
 	Optimal  bool  // true when the search completed
 	Nodes    int64 // branch-and-bound nodes visited
+	// LB is a valid lower bound on the optimum: Cost when Optimal,
+	// otherwise the root relaxation bound.
+	LB int
+	// Interrupted reports that the budget (or MaxNodes) stopped the
+	// search early; Solution is then the best feasible cover found.
+	Interrupted bool
+	// StopReason says which budget limit ran out.
+	StopReason budget.Reason
 }
 
 type solver struct {
 	opt      Options
+	tr       *budget.Tracker
 	nodes    int64
 	exceeded bool
 }
@@ -51,13 +68,30 @@ type solver struct {
 // Solve finds a minimum-cost cover of p.  The returned solution is nil
 // only if the problem is infeasible (some row cannot be covered).
 func Solve(p *matrix.Problem, opt Options) *Result {
-	s := &solver{opt: opt}
+	b := opt.Budget
+	if opt.MaxNodes > 0 && (b.SearchCap == 0 || opt.MaxNodes < b.SearchCap) {
+		b.SearchCap = opt.MaxNodes
+	}
+	s := &solver{opt: opt, tr: b.Tracker()}
 	ub := 1 << 30
 	if opt.InitialUB > 0 {
 		ub = opt.InitialUB + 1 // allow matching the known bound
 	}
+	rootLB, _ := matrix.MISBound(p)
 	sol := s.search(p, ub)
-	res := &Result{Nodes: s.nodes}
+	res := &Result{Nodes: s.nodes, LB: rootLB}
+	if r := s.tr.Reason(); r != budget.None {
+		res.Interrupted = true
+		res.StopReason = r
+	}
+	if sol == nil && s.exceeded {
+		// The cap cut the search before any cover materialised; a
+		// greedy cover keeps the best-so-far contract (feasible
+		// whenever the problem is).
+		if g, err := greedy.Solve(p); err == nil {
+			sol = g
+		}
+	}
 	if sol == nil {
 		return res
 	}
@@ -65,6 +99,9 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	sort.Ints(res.Solution)
 	res.Cost = p.CostOf(sol)
 	res.Optimal = !s.exceeded
+	if res.Optimal {
+		res.LB = res.Cost
+	}
 	return res
 }
 
@@ -72,7 +109,7 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 // (or the node budget ran out).
 func (s *solver) search(p *matrix.Problem, ub int) []int {
 	s.nodes++
-	if s.opt.MaxNodes > 0 && s.nodes > s.opt.MaxNodes {
+	if s.tr.AddSearchNodes(1) {
 		s.exceeded = true
 		return nil
 	}

@@ -1,0 +1,172 @@
+// Package budget bounds the work a solver may do.  The paper sells
+// ZDD_SCG on predictable runtime, but subgradient ascent, implicit ZDD
+// reduction and branch and bound can all run (or allocate) unboundedly
+// on adversarial instances.  A Budget caps each of those resources;
+// every solver in this library threads a Tracker through its loops and,
+// when the budget runs out, stops gracefully with the best feasible
+// solution and the tightest valid lower bound found so far.
+package budget
+
+import (
+	"context"
+	"errors"
+)
+
+// Reason classifies why a solve stopped before finishing its work.
+type Reason int
+
+// Stop reasons, in the order the Tracker latches them.
+const (
+	// None: the solve ran to completion.
+	None Reason = iota
+	// Deadline: the budget context's deadline expired.
+	Deadline
+	// Cancelled: the budget context was cancelled explicitly (e.g. by
+	// a SIGINT handler).
+	Cancelled
+	// SearchCap: the branch-and-bound node cap was exhausted.
+	SearchCap
+	// IterCap: the subgradient iteration cap was exhausted.
+	IterCap
+)
+
+func (r Reason) String() string {
+	switch r {
+	case None:
+		return "none"
+	case Deadline:
+		return "deadline"
+	case Cancelled:
+		return "cancelled"
+	case SearchCap:
+		return "search-node cap"
+	case IterCap:
+		return "subgradient-iteration cap"
+	}
+	return "unknown"
+}
+
+// Budget bounds one solve.  The zero value is unlimited.  Budgets are
+// plain configuration: hand the same value to as many solves as you
+// like; each solve tracks its own consumption.
+type Budget struct {
+	// Context carries the wall-clock deadline and cancellation; nil
+	// means no deadline.
+	Context context.Context
+	// NodeCap caps the decision-diagram nodes of the implicit (ZDD)
+	// reduction phase; exhausting it is a graceful-degradation rung,
+	// not an interruption: the solve falls back to the explicit matrix
+	// path and still finishes.  0 = unlimited.
+	NodeCap int
+	// SearchCap caps branch-and-bound nodes across the whole solve.
+	// 0 = unlimited.
+	SearchCap int64
+	// IterCap caps subgradient iterations across the whole solve
+	// (all phases and restarts together).  0 = unlimited.
+	IterCap int
+}
+
+// Tracker returns the runtime state for one solve under b, or nil when
+// b imposes no interruptible limit (a nil *Tracker never interrupts —
+// every method has a nil-receiver fast path).
+func (b Budget) Tracker() *Tracker {
+	if b.Context == nil && b.SearchCap == 0 && b.IterCap == 0 {
+		return nil
+	}
+	t := &Tracker{searchCap: b.SearchCap, iterCap: b.IterCap}
+	if b.Context != nil {
+		t.done = b.Context.Done()
+		t.ctxErr = b.Context.Err
+	}
+	return t
+}
+
+// Tracker accumulates one solve's consumption against its Budget.  It
+// is single-threaded, like the solvers; the first exhausted limit is
+// latched and every later check reports it.
+type Tracker struct {
+	done   <-chan struct{}
+	ctxErr func() error
+
+	searchCap   int64
+	iterCap     int
+	searchNodes int64
+	iters       int
+
+	reason Reason
+}
+
+// Interrupted polls the budget: it returns true once the deadline has
+// passed, the context was cancelled, or a cap was exhausted.  The
+// verdict is latched — once true, always true.
+func (t *Tracker) Interrupted() bool {
+	if t == nil {
+		return false
+	}
+	if t.reason != None {
+		return true
+	}
+	if t.done != nil {
+		select {
+		case <-t.done:
+			if errors.Is(t.ctxErr(), context.DeadlineExceeded) {
+				t.reason = Deadline
+			} else {
+				t.reason = Cancelled
+			}
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// Reason reports why the tracker latched, or None.
+func (t *Tracker) Reason() Reason {
+	if t == nil {
+		return None
+	}
+	return t.reason
+}
+
+// AddSearchNodes charges n branch-and-bound nodes and reports whether
+// the budget is now exhausted (by any limit, not just the node cap).
+func (t *Tracker) AddSearchNodes(n int64) bool {
+	if t == nil {
+		return false
+	}
+	t.searchNodes += n
+	if t.searchCap > 0 && t.searchNodes > t.searchCap && t.reason == None {
+		t.reason = SearchCap
+	}
+	return t.Interrupted()
+}
+
+// AddIters charges n subgradient iterations and reports whether the
+// budget is now exhausted.
+func (t *Tracker) AddIters(n int) bool {
+	if t == nil {
+		return false
+	}
+	t.iters += n
+	if t.iterCap > 0 && t.iters > t.iterCap && t.reason == None {
+		t.reason = IterCap
+	}
+	return t.Interrupted()
+}
+
+// SearchNodes returns the branch-and-bound nodes charged so far.
+func (t *Tracker) SearchNodes() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.searchNodes
+}
+
+// Iters returns the subgradient iterations charged so far.
+func (t *Tracker) Iters() int {
+	if t == nil {
+		return 0
+	}
+	return t.iters
+}

@@ -383,13 +383,15 @@ func (s *Space) String(c Cube) string {
 // output o (o is ignored when the space has no outputs, and no
 // minterms are produced if the cube does not drive output o).  Each
 // minterm is reported as an integer whose bit i is input variable i.
-// The callback may return false to stop the enumeration early.
-func (s *Space) Minterms(c Cube, o int, visit func(m uint64) bool) {
-	if s.outputs > 0 && !s.Output(c, o) {
-		return
-	}
+// The callback may return false to stop the enumeration early.  Spaces
+// beyond 63 inputs do not fit the minterm mask and are rejected with
+// an error.
+func (s *Space) Minterms(c Cube, o int, visit func(m uint64) bool) error {
 	if s.inputs > 63 {
-		panic("cube: minterm enumeration limited to 63 inputs")
+		return fmt.Errorf("cube: minterm enumeration limited to 63 inputs, got %d", s.inputs)
+	}
+	if s.outputs > 0 && !s.Output(c, o) {
+		return nil
 	}
 	var rec func(i int, m uint64) bool
 	rec = func(i int, m uint64) bool {
@@ -408,6 +410,7 @@ func (s *Space) Minterms(c Cube, o int, visit func(m uint64) bool) {
 		}
 	}
 	rec(0, 0)
+	return nil
 }
 
 // CubeOfMinterm builds the single-minterm cube for input assignment m

@@ -10,6 +10,7 @@ package espresso
 import (
 	"sort"
 
+	"ucp/internal/budget"
 	"ucp/internal/cube"
 )
 
@@ -32,6 +33,10 @@ type Result struct {
 	Cover      *cube.Cover
 	Iterations int // improvement-loop passes executed
 	GaspRounds int // LAST_GASP rounds that improved the cover
+	// Interrupted reports that the budget cut the improvement loop
+	// short; Cover is still a valid irredundant cover of the function
+	// (the loop invariant holds between passes).
+	Interrupted bool
 }
 
 // Minimize heuristically minimises the number of product terms of the
@@ -39,6 +44,14 @@ type Result struct {
 // set d (d may be nil).  The returned cover is irredundant and every
 // cube is prime.
 func Minimize(f, d *cube.Cover, mode Mode) *Result {
+	return MinimizeBudget(f, d, mode, nil)
+}
+
+// MinimizeBudget is Minimize under a budget.  The tracker is polled
+// between expand/irredundant/reduce passes, where the working cover is
+// always a valid cover of the function: an interrupted minimisation
+// returns a correct, merely less optimised, result.
+func MinimizeBudget(f, d *cube.Cover, mode Mode, tr *budget.Tracker) *Result {
 	s := f.S
 	if d == nil {
 		d = cube.NewCover(s)
@@ -51,6 +64,10 @@ func Minimize(f, d *cube.Cover, mode Mode) *Result {
 
 	improve := func(G *cube.Cover, shift int) *cube.Cover {
 		for {
+			if tr.Interrupted() {
+				res.Interrupted = true
+				return G
+			}
 			res.Iterations++
 			before := G.Len()
 			G = reduceOrdered(G, d, shift)
@@ -68,6 +85,10 @@ func Minimize(f, d *cube.Cover, mode Mode) *Result {
 		// re-expanded into fresh primes) and improvement passes with
 		// rotated reduce orders, which land in different minima.
 		for round := 1; round <= 4; round++ {
+			if tr.Interrupted() {
+				res.Interrupted = true
+				break
+			}
 			improved := false
 			if G := lastGasp(F, d, offs); G.Len() < F.Len() {
 				F = improve(G, 0)

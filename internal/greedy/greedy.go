@@ -6,20 +6,38 @@
 // with the contribution.
 package greedy
 
-import "ucp/internal/matrix"
+import (
+	"ucp/internal/budget"
+	"ucp/internal/matrix"
+)
 
 // Solve returns a cover of p built by Chvátal's rule, made
-// irredundant, or nil when some row cannot be covered.  The H_n-factor
-// approximation guarantee of Chvátal (1979) applies to the cost before
-// the irredundant cleanup; the cleanup can only help.
-func Solve(p *matrix.Problem) []int {
+// irredundant, or matrix.ErrInfeasible when some row cannot be
+// covered.  The H_n-factor approximation guarantee of Chvátal (1979)
+// applies to the cost before the irredundant cleanup; the cleanup can
+// only help.
+func Solve(p *matrix.Problem) ([]int, error) {
+	sol, _, err := SolveBudget(p, nil)
+	return sol, err
+}
+
+// SolveBudget is Solve under a budget.  Greedy is the bottom rung of
+// the degradation ladder, so it never returns empty-handed: when the
+// budget runs out mid-construction it stops ratio scanning and
+// completes the cover with the cheapest column of each remaining
+// uncovered row (one O(nnz) sweep), reporting interrupted = true.
+// The returned cover is feasible in every case.
+func SolveBudget(p *matrix.Problem, tr *budget.Tracker) (sol []int, interrupted bool, err error) {
 	nr := len(p.Rows)
 	covered := make([]bool, nr)
 	nCovered := 0
 	colRows := p.ColumnRows()
 	inSol := make([]bool, p.NCol)
-	var sol []int
 	for nCovered < nr {
+		if tr.Interrupted() {
+			interrupted = true
+			break
+		}
 		best := -1
 		var bestNum, bestDen int // ratio cost/new as a fraction
 		for j := 0; j < p.NCol; j++ {
@@ -42,7 +60,7 @@ func Solve(p *matrix.Problem) []int {
 			}
 		}
 		if best < 0 {
-			return nil
+			return nil, interrupted, matrix.ErrInfeasible
 		}
 		inSol[best] = true
 		sol = append(sol, best)
@@ -53,5 +71,37 @@ func Solve(p *matrix.Problem) []int {
 			}
 		}
 	}
-	return p.Irredundant(sol)
+	if nCovered < nr {
+		// Budget ran out: finish with the cheapest column per uncovered
+		// row, no ratio scan.
+		for i, r := range p.Rows {
+			if covered[i] {
+				continue
+			}
+			best := -1
+			for _, j := range r {
+				if inSol[j] {
+					best = j // already paid for: row is actually covered
+					break
+				}
+				if best < 0 || p.Cost[j] < p.Cost[best] {
+					best = j
+				}
+			}
+			if best < 0 {
+				return nil, interrupted, matrix.ErrInfeasible
+			}
+			if !inSol[best] {
+				inSol[best] = true
+				sol = append(sol, best)
+			}
+			for _, k := range colRows[best] {
+				if !covered[k] {
+					covered[k] = true
+					nCovered++
+				}
+			}
+		}
+	}
+	return p.Irredundant(sol), interrupted, nil
 }

@@ -1,6 +1,7 @@
 package greedy
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -52,9 +53,9 @@ func TestGreedyCoversAndIsIrredundant(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	for trial := 0; trial < 300; trial++ {
 		p := randomProblem(rng, 10, 10, 4)
-		sol := Solve(p)
-		if sol == nil {
-			t.Fatalf("trial %d: greedy failed on feasible problem", trial)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: greedy failed on feasible problem: %v", trial, err)
 		}
 		if !p.IsCover(sol) {
 			t.Fatalf("trial %d: not a cover", trial)
@@ -70,7 +71,11 @@ func TestGreedyCoversAndIsIrredundant(t *testing.T) {
 
 func TestGreedyInfeasible(t *testing.T) {
 	p := &matrix.Problem{Rows: [][]int{{}}, NCol: 1, Cost: []int{1}}
-	if Solve(p) != nil {
+	sol, err := Solve(p)
+	if !errors.Is(err, matrix.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if sol != nil {
 		t.Fatal("greedy returned a cover for an uncoverable row")
 	}
 }
@@ -82,7 +87,7 @@ func TestGreedyApproximationRatio(t *testing.T) {
 	rng := rand.New(rand.NewSource(52))
 	for trial := 0; trial < 200; trial++ {
 		p := randomProblem(rng, 9, 9, 3)
-		sol := Solve(p)
+		sol, _ := Solve(p)
 		opt := bruteForce(p)
 		h := 0.0
 		for k := 1; k <= len(p.Rows); k++ {
@@ -100,7 +105,7 @@ func TestGreedyPicksRatioNotCost(t *testing.T) {
 	// cover one row each at cost 1 (ratio 1).  Greedy takes the unit
 	// columns and wins here.
 	p := matrix.MustNew([][]int{{0, 2}, {1, 2}}, 3, []int{1, 1, 3})
-	sol := Solve(p)
+	sol, _ := Solve(p)
 	if p.CostOf(sol) != 2 {
 		t.Fatalf("cost = %d, want 2 (sol %v)", p.CostOf(sol), sol)
 	}

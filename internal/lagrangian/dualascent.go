@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"ucp/internal/budget"
 	"ucp/internal/matrix"
 )
 
@@ -26,6 +27,15 @@ import (
 // rows as far as the slacks allow.  It returns m and its value e'm,
 // which is a lower bound on the optimum of p (LB_DA).
 func DualAscent(p *matrix.Problem, m0 []float64) ([]float64, float64) {
+	return DualAscentBudget(p, m0, nil)
+}
+
+// DualAscentBudget is DualAscent under a budget: the iterated
+// feasibility-restoring passes poll the tracker and, when the budget
+// runs out mid-restoration, the multipliers collapse to the all-zero
+// vector (trivially dual feasible, bound 0) so the returned value is
+// always a valid lower bound.
+func DualAscentBudget(p *matrix.Problem, m0 []float64, tr *budget.Tracker) ([]float64, float64) {
 	nr := len(p.Rows)
 	if nr == 0 {
 		return nil, 0
@@ -45,7 +55,7 @@ func DualAscent(p *matrix.Problem, m0 []float64) ([]float64, float64) {
 		for i := range m {
 			m[i] = math.Min(math.Max(m0[i], 0), cbar[i])
 		}
-		return ascend(p, cbar, m)
+		return ascend(p, cbar, m, tr)
 	}
 	// Cold start: try both the all-c̄ start (decrease into
 	// feasibility) and the independent-set start (already feasible, so
@@ -54,13 +64,13 @@ func DualAscent(p *matrix.Problem, m0 []float64) ([]float64, float64) {
 	// matrices.  Keep the stronger result.
 	full := make([]float64, nr)
 	copy(full, cbar)
-	mA, wA := ascend(p, cbar, full)
+	mA, wA := ascend(p, cbar, full, tr)
 	_, misRows := matrix.MISBound(p)
 	seed := make([]float64, nr)
 	for _, i := range misRows {
 		seed[i] = cbar[i]
 	}
-	mB, wB := ascend(p, cbar, seed)
+	mB, wB := ascend(p, cbar, seed, tr)
 	if wB > wA {
 		return mB, wB
 	}
@@ -69,7 +79,7 @@ func DualAscent(p *matrix.Problem, m0 []float64) ([]float64, float64) {
 
 // ascend runs the two dual-ascent phases from the start vector m,
 // which must already respect 0 ≤ m ≤ c̄.  m is modified in place.
-func ascend(p *matrix.Problem, cbar, m []float64) ([]float64, float64) {
+func ascend(p *matrix.Problem, cbar, m []float64, tr *budget.Tracker) ([]float64, float64) {
 	nr := len(p.Rows)
 
 	// colSum[j] = Σ_{i covered by j} m_i; viol_j = colSum[j] - c_j.
@@ -115,6 +125,15 @@ func ascend(p *matrix.Problem, cbar, m []float64) ([]float64, float64) {
 	// A single sweep may leave violations (each row only fixes its own
 	// worst constraint); iterate until feasible.
 	for pass := 0; pass < nr+1; pass++ {
+		if tr.Interrupted() {
+			// Mid-restoration the vector may be dual infeasible and its
+			// value would not be a valid bound; fall back to m = 0,
+			// which is feasible with value 0.
+			for i := range m {
+				m[i] = 0
+			}
+			return m, 0
+		}
 		fixed := true
 		for _, i := range order {
 			if m[i] == 0 {

@@ -3,6 +3,7 @@ package lagrangian
 import (
 	"math"
 
+	"ucp/internal/budget"
 	"ucp/internal/matrix"
 )
 
@@ -102,6 +103,16 @@ type Result struct {
 // λ from dual ascent and μ from a greedy cover).  ub0, if positive, is
 // a known feasible cost used as the initial upper bound.
 func Subgradient(p *matrix.Problem, prm Params, init *Multipliers, ub0 int) *Result {
+	return SubgradientBudget(p, prm, init, ub0, nil)
+}
+
+// SubgradientBudget is Subgradient under a budget: every iteration is
+// charged to the tracker and the ascent stops as soon as the budget
+// runs out.  The result is still usable — the initial greedy solution
+// guarantees Best is a feasible cover (when one exists) even with zero
+// iterations, and LB only ever reports bounds actually certified by
+// some multiplier vector.
+func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int, tr *budget.Tracker) *Result {
 	prm.fill()
 	nr, nc := len(p.Rows), p.NCol
 	res := &Result{}
@@ -131,7 +142,7 @@ func Subgradient(p *matrix.Problem, prm Params, init *Multipliers, ub0 int) *Res
 		mu = append([]float64(nil), init.Mu...)
 	} else {
 		// λ₀ from dual ascent (§3.3), μ₀ from the primal heuristic.
-		m, _ := DualAscent(p, nil)
+		m, _ := DualAscentBudget(p, nil, tr)
 		lambda = m
 		mu = make([]float64, nc)
 		for _, j := range best {
@@ -164,6 +175,9 @@ func Subgradient(p *matrix.Problem, prm Params, init *Multipliers, ub0 int) *Res
 	variant := GammaPerRow
 
 	for k := 0; k < prm.MaxIters; k++ {
+		if tr.AddIters(1) {
+			break // budget exhausted: keep the bounds certified so far
+		}
 		res.Iters = k + 1
 
 		// ----- primal lagrangian value at λ -----

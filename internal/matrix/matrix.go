@@ -6,9 +6,17 @@
 package matrix
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+
+	"ucp/internal/budget"
 )
+
+// ErrInfeasible reports a covering problem with an uncoverable row: no
+// column set can satisfy it.  Solvers return it (possibly wrapped)
+// instead of a bare nil solution.
+var ErrInfeasible = errors.New("covering problem is infeasible: some row cannot be covered")
 
 // Problem is a unate covering instance min c'p s.t. Ap ≥ e over binary
 // p.  Rows hold, for each row of A, the sorted ids of the columns that
@@ -202,6 +210,10 @@ type Reduction struct {
 	Core       *Problem // the cyclic core (may have zero rows)
 	Essential  []int    // column ids forced into every minimum solution
 	Infeasible bool     // an uncoverable row was found
+	// Stopped is set when a budget ran out before the fixpoint; the
+	// Core is then only partially reduced but still an equivalent
+	// problem (every pass preserves the optimum).
+	Stopped bool
 }
 
 // Reduce applies essential-column extraction, row dominance and column
@@ -211,6 +223,15 @@ type Reduction struct {
 // original problem survives in the core.
 func Reduce(p *Problem) *Reduction {
 	return &ReduceTracked(p).Reduction
+}
+
+// ReduceBudget is Reduce under a budget: the tracker is polled between
+// fixpoint passes and, when the budget runs out, the partially reduced
+// problem is returned with Stopped set.  Each individual pass
+// preserves the optimum, so a stopped reduction is still a valid,
+// equivalent covering problem.
+func ReduceBudget(p *Problem, tr *budget.Tracker) *Reduction {
+	return &reduceTracked(p, tr).Reduction
 }
 
 // TrackedReduction is a Reduction that also records, for every row of
@@ -225,6 +246,10 @@ type TrackedReduction struct {
 
 // ReduceTracked is Reduce with row provenance.
 func ReduceTracked(p *Problem) *TrackedReduction {
+	return reduceTracked(p, nil)
+}
+
+func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 	res := &TrackedReduction{}
 	cur := p.Clone()
 	origin := make([]int, len(cur.Rows))
@@ -232,6 +257,10 @@ func ReduceTracked(p *Problem) *TrackedReduction {
 		origin[i] = i
 	}
 	for {
+		if tr.Interrupted() {
+			res.Stopped = true
+			break
+		}
 		changed := false
 
 		// Empty rows mean infeasibility.

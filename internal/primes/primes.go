@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ucp/internal/budget"
 	"ucp/internal/cube"
 	"ucp/internal/matrix"
 )
@@ -20,6 +21,19 @@ import (
 // exactly the primes (Quine's theorem, extended to multiple outputs by
 // treating the output part as one multi-valued variable).
 func Generate(f, d *cube.Cover) *cube.Cover {
+	out, _ := GenerateBudget(f, d, nil)
+	return out
+}
+
+// GenerateBudget is Generate under a budget: the closure loop checks
+// the tracker between consensus sweeps (and periodically inside them)
+// and stops early when the budget runs out.  The returned cover is
+// then still a valid implicant set containing F ∪ D — every ON-minterm
+// remains coverable, so a covering problem built over it stays
+// feasible — but some cubes may not yet be prime.  complete reports
+// whether the closure finished (true ⇒ the cover is exactly the prime
+// set).
+func GenerateBudget(f, d *cube.Cover, tr *budget.Tracker) (out *cube.Cover, complete bool) {
 	s := f.S
 	work := cube.NewCover(s)
 	for _, c := range f.Cubes {
@@ -33,8 +47,15 @@ func Generate(f, d *cube.Cover) *cube.Cover {
 	work = work.Dedup()
 
 	for {
+		if tr.Interrupted() {
+			work.Sort()
+			return work, false
+		}
 		var pending []cube.Cube
 		for i := 0; i < len(work.Cubes); i++ {
+			if i%64 == 0 && tr.Interrupted() {
+				break // finish this sweep's bookkeeping below
+			}
 			for j := i + 1; j < len(work.Cubes); j++ {
 				cons := s.Consensus(work.Cubes[i], work.Cubes[j])
 				if cons == nil || s.IsEmpty(cons) {
@@ -61,13 +82,17 @@ func Generate(f, d *cube.Cover) *cube.Cover {
 			}
 		}
 		if len(pending) == 0 {
-			break
+			if tr.Interrupted() {
+				break // the sweep was cut short: closure not proven
+			}
+			work.Sort()
+			return work, true
 		}
 		work.Cubes = append(work.Cubes, pending...)
 		work = work.Dedup() // drop cubes swallowed by the new ones
 	}
 	work.Sort()
-	return work
+	return work, false
 }
 
 // RowID identifies one covering row: input minterm m of output o.
@@ -115,17 +140,21 @@ func BuildCovering(f, d *cube.Cover, prs *cube.Cover, cm CostModel) (*matrix.Pro
 	need := make(map[key]bool)
 	for o := 0; o < nOut; o++ {
 		for _, c := range f.Cubes {
-			s.Minterms(c, o, func(m uint64) bool {
+			if err := s.Minterms(c, o, func(m uint64) bool {
 				need[key{m, o}] = true
 				return true
-			})
+			}); err != nil {
+				return nil, nil, err
+			}
 		}
 		if d != nil {
 			for _, c := range d.Cubes {
-				s.Minterms(c, o, func(m uint64) bool {
+				if err := s.Minterms(c, o, func(m uint64) bool {
 					delete(need, key{m, o}) // don't cares need no cover
 					return true
-				})
+				}); err != nil {
+					return nil, nil, err
+				}
 			}
 		}
 	}

@@ -108,14 +108,17 @@ func TabularPrimes(s *cube.Space, on, dc []uint64) (*cube.Cover, error) {
 }
 
 // MintermsOf enumerates the input minterms of a single-output cover
-// (output 0 when the space has outputs).
+// (output 0 when the space has outputs).  Spaces beyond 63 inputs are
+// not enumerable; their cubes contribute no minterms.
 func MintermsOf(f *cube.Cover) []uint64 {
 	seen := make(map[uint64]bool)
 	for _, c := range f.Cubes {
-		f.S.Minterms(c, 0, func(m uint64) bool {
+		if err := f.S.Minterms(c, 0, func(m uint64) bool {
 			seen[m] = true
 			return true
-		})
+		}); err != nil {
+			break // >63 inputs: every cube fails the same way
+		}
 	}
 	out := make([]uint64, 0, len(seen))
 	for m := range seen {

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"ucp/internal/budget"
 	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
 )
@@ -61,6 +62,13 @@ type Options struct {
 	// previous phase's multipliers (for ablations; the paper
 	// warm-starts, §3.2).
 	DisableWarmStart bool
+	// Budget bounds the solve (wall-clock deadline, ZDD node cap,
+	// subgradient iteration cap).  The zero value is unlimited.  When
+	// the budget runs out the solver degrades gracefully: the implicit
+	// phase falls back to the explicit one, the fixing loop stops, and
+	// the best feasible solution found so far is returned with
+	// Interrupted set and a still-valid lower bound.
+	Budget budget.Budget
 }
 
 func (o *Options) fill() {
@@ -88,6 +96,9 @@ type Stats struct {
 	FixSteps       int // column-fixing iterations over all runs
 	Runs           int // constructive runs executed
 	SubgradIters   int // total subgradient iterations
+	// ImplicitAborted reports that the ZDD phase hit its node cap (or
+	// the deadline) and the solve fell back to the explicit path.
+	ImplicitAborted bool
 }
 
 // Result of a ZDD_SCG solve.
@@ -98,7 +109,14 @@ type Result struct {
 	// ProvedOptimal is true when Cost == ⌈LB⌉, so the heuristic
 	// solution is certified optimal.
 	ProvedOptimal bool
-	Stats         Stats
+	// Interrupted reports that the budget ran out before the solve
+	// finished; Solution is then still a feasible cover (when one
+	// exists) and LB a valid, if weaker, lower bound.
+	Interrupted bool
+	// StopReason says which budget limit ran out (None when not
+	// interrupted).
+	StopReason budget.Reason
+	Stats      Stats
 }
 
 // Solve runs ZDD_SCG on the covering problem p.
@@ -107,23 +125,35 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	t0 := time.Now()
 	res := &Result{}
 	rng := rand.New(rand.NewSource(opt.Seed))
+	tr := opt.Budget.Tracker()
+	defer func() {
+		if r := tr.Reason(); r != budget.None {
+			res.Interrupted = true
+			res.StopReason = r
+		}
+	}()
 
 	// ----- implicit reduction to (near) cyclic core -----
 	var essential []int
 	work := p
 	if !opt.DisableImplicit {
-		ir := ImplicitReduce(p, opt.MaxR, opt.MaxC)
+		ir := ImplicitReduceBudget(p, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr)
 		res.Stats.ZDDNodes = ir.ZDDNodes
-		if ir.Infeasible {
+		if ir.Aborted {
+			// Node cap or deadline: degrade to the explicit reduction
+			// path on the original matrix (the DisableImplicit route).
+			res.Stats.ImplicitAborted = true
+		} else if ir.Infeasible {
 			res.Stats.TotalTime = time.Since(t0)
 			return res
+		} else {
+			essential = append(essential, ir.Essential...)
+			work = ir.Core
 		}
-		essential = append(essential, ir.Essential...)
-		work = ir.Core
 	}
 
 	// ----- explicit reductions -----
-	red := matrix.Reduce(work)
+	red := matrix.ReduceBudget(work, tr)
 	if red.Infeasible {
 		res.Stats.TotalTime = time.Since(t0)
 		return res
@@ -161,7 +191,7 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	lbSum := float64(essCost)
 	ceilSum := essCost
 	for _, comp := range comps {
-		sol, lb, ok := solveCore(comp.Problem, opt, rng, &res.Stats)
+		sol, lb, ok := solveCore(comp.Problem, opt, rng, &res.Stats, tr)
 		if !ok {
 			res.Stats.TotalTime = time.Since(t0)
 			return res
@@ -179,14 +209,19 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 // it), returning the best cover found (column ids of the original
 // problem), a valid lower bound on the block's optimum, and whether
 // the block is coverable at all.
-func solveCore(core *matrix.Problem, opt Options, rng *rand.Rand, st *Stats) ([]int, float64, bool) {
+func solveCore(core *matrix.Problem, opt Options, rng *rand.Rand, st *Stats, tr *budget.Tracker) ([]int, float64, bool) {
 	compact, ids := core.Compact()
-	sg := lagrangian.Subgradient(compact, opt.Params, nil, 0)
+	sg := lagrangian.SubgradientBudget(compact, opt.Params, nil, 0, tr)
 	st.SubgradIters += sg.Iters
 	if sg.Best == nil {
 		return nil, 0, false
 	}
 	lb := sg.LB
+	if math.IsInf(lb, -1) {
+		// Zero iterations under an exhausted budget certify nothing
+		// beyond the trivial bound (costs are non-negative).
+		lb = 0
+	}
 	best := core.Irredundant(mapCols(sg.Best, ids))
 	bestCost := core.CostOf(best)
 	if float64(bestCost) <= math.Ceil(lb-1e-9) {
@@ -194,12 +229,15 @@ func solveCore(core *matrix.Problem, opt Options, rng *rand.Rand, st *Stats) ([]
 	}
 
 	for run := 1; run <= opt.NumIter; run++ {
+		if tr.Interrupted() {
+			break // keep the incumbent from the phases that did run
+		}
 		st.Runs++
 		window := 1 // first run: strictly best-rated column
 		if run > 1 {
 			window = opt.BestCol + (run - 2)
 		}
-		cand, candCost, lbRun, iters, steps := runOnce(core, bestCost, opt, rng, window)
+		cand, candCost, lbRun, iters, steps := runOnce(core, bestCost, opt, rng, window, tr)
 		st.SubgradIters += iters
 		st.FixSteps += steps
 		if lbRun > lb {
@@ -233,7 +271,7 @@ func (r *Result) finish(p *matrix.Problem, best []int, lb float64, ceilLB int, t
 // completed cover (or nil when every path was abandoned), its cost,
 // the best valid core lower bound observed (only the pre-fixing
 // subgradient phase produces one), and iteration counts.
-func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, window int) (sol []int, cost int, coreLB float64, sgIters, steps int) {
+func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, window int, tr *budget.Tracker) (sol []int, cost int, coreLB float64, sgIters, steps int) {
 	var fixed []int
 	cur := core.Clone()
 	coreLB = math.Inf(-1)
@@ -246,6 +284,11 @@ func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, windo
 	var muFull []float64
 
 	for {
+		if tr.Interrupted() {
+			// Abandon the run; the best candidate seen so far (possibly
+			// nil) goes back to solveCore, which keeps its incumbent.
+			return sol, cost, coreLB, sgIters, steps
+		}
 		steps++
 		if len(cur.Rows) == 0 {
 			full := core.Irredundant(fixed)
@@ -260,7 +303,7 @@ func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, windo
 			}
 			init = &lagrangian.Multipliers{Lambda: lambda, Mu: mu}
 		}
-		sg := lagrangian.Subgradient(compact, opt.Params, init, 0)
+		sg := lagrangian.SubgradientBudget(compact, opt.Params, init, 0, tr)
 		sgIters += sg.Iters
 		if sg.Best == nil {
 			return nil, 0, coreLB, sgIters, steps

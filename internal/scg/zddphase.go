@@ -3,6 +3,7 @@ package scg
 import (
 	"sort"
 
+	"ucp/internal/budget"
 	"ucp/internal/matrix"
 	"ucp/internal/zdd"
 )
@@ -12,8 +13,12 @@ type ImplicitResult struct {
 	Core       *matrix.Problem // decoded (near-)cyclic core
 	Essential  []int           // column ids fixed by singleton rows
 	Infeasible bool
-	ZDDNodes   int // nodes allocated by the manager
-	Passes     int // reduction sweeps executed
+	// Aborted is set when the node cap or the budget cut the phase
+	// short; the other fields are then meaningless and the caller must
+	// fall back to the explicit reduction path on the original matrix.
+	Aborted  bool
+	ZDDNodes int // nodes allocated by the manager
+	Passes   int // reduction sweeps executed
 }
 
 // ImplicitReduce loads the covering matrix into a single ZDD — one set
@@ -34,15 +39,52 @@ type ImplicitResult struct {
 // MaxR/MaxC early exit), and the surviving family is decoded back to a
 // sparse matrix.
 func ImplicitReduce(p *matrix.Problem, maxR, maxC int) *ImplicitResult {
+	return ImplicitReduceBudget(p, maxR, maxC, 0, nil)
+}
+
+// ImplicitReduceBudget is ImplicitReduce under a budget.  nodeCap
+// limits the ZDD manager's node store (0 = unlimited) and tr carries
+// the deadline; when either cuts the phase short the result comes back
+// with Aborted set and the caller degrades to the explicit reduction
+// path — the paper's algorithm still terminates with the same final
+// cover it would produce with the implicit phase disabled.
+func ImplicitReduceBudget(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget.Tracker) (res *ImplicitResult) {
+	res = &ImplicitResult{}
 	m := zdd.New()
+	m.SetNodeLimit(nodeCap)
+	defer func() {
+		if r := recover(); r != nil {
+			if r != zdd.ErrNodeLimit {
+				panic(r)
+			}
+			// The family under construction is lost; report abortion so
+			// the caller restarts on the explicit path.
+			*res = ImplicitResult{Aborted: true, ZDDNodes: m.NodeCount(), Passes: res.Passes}
+		}
+	}()
+
 	f := zdd.Empty
 	for _, r := range p.Rows {
-		f = m.Union(f, m.Set(r))
+		set, err := m.Set(r)
+		if err != nil {
+			// Negative column ids cannot index the cost vector; such a
+			// matrix is invalid, which matrix.New already rejects.
+			// Degrade to the explicit path, which reports the problem
+			// through its own validation.
+			res.Aborted = true
+			res.ZDDNodes = m.NodeCount()
+			return res
+		}
+		f = m.Union(f, set)
 	}
-	res := &ImplicitResult{}
 
 	for {
 		res.Passes++
+		if tr.Interrupted() {
+			res.Aborted = true
+			res.ZDDNodes = m.NodeCount()
+			return res
+		}
 		if m.HasEmptySet(f) {
 			res.Infeasible = true
 			res.ZDDNodes = m.NodeCount()

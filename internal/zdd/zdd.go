@@ -14,7 +14,15 @@
 // recomputation).
 package zdd
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNodeLimit is the panic value raised (and the error reported) when
+// an operation would grow the manager past its node limit; see
+// SetNodeLimit.
+var ErrNodeLimit = errors.New("zdd: node limit exceeded")
 
 // Node is a reference to a ZDD node inside a Manager.  The two
 // terminal nodes are Empty (the empty family, ⊥) and Base (the family
@@ -67,6 +75,9 @@ type Manager struct {
 	// Count cache: direct mapped, lossy.
 	nkeys []Node
 	nvals []uint64
+
+	// limit caps the node store; 0 = unlimited.
+	limit int
 }
 
 // New returns an empty manager.
@@ -89,6 +100,14 @@ func New() *Manager {
 // NodeCount returns the number of live nodes in the manager, including
 // the two terminals.
 func (m *Manager) NodeCount() int { return len(m.varOf) }
+
+// SetNodeLimit caps the node store at n nodes (0 removes the cap).  An
+// operation that would allocate past the cap panics with ErrNodeLimit;
+// callers that want graceful degradation recover it at their phase
+// boundary (see scg.ImplicitReduce) and fall back to an explicit
+// algorithm.  The manager's existing nodes stay valid after the panic,
+// but the family under construction is lost.
+func (m *Manager) SetNodeLimit(n int) { m.limit = n }
 
 // Var returns the top variable of f; it panics on terminals.
 func (m *Manager) Var(f Node) int {
@@ -135,6 +154,9 @@ func (m *Manager) mk(v int32, lo, hi Node) Node {
 			return n
 		}
 		idx = (idx + 1) & m.umask
+	}
+	if m.limit > 0 && len(m.varOf) >= m.limit {
+		panic(ErrNodeLimit)
 	}
 	n := Node(len(m.varOf))
 	m.varOf = append(m.varOf, v)
@@ -194,8 +216,9 @@ func (m *Manager) topVar(f Node) int32 { return m.varOf[f] }
 
 // Set builds the family containing exactly one set with the given
 // elements.  Elements may be passed in any order; duplicates are
-// collapsed.
-func (m *Manager) Set(elems []int) Node {
+// collapsed.  Negative elements are rejected with an error (elements
+// index ZDD variables, which are non-negative by construction).
+func (m *Manager) Set(elems []int) (Node, error) {
 	// Build bottom-up in decreasing variable order.
 	sorted := append([]int(nil), elems...)
 	for i := 1; i < len(sorted); i++ { // insertion sort: inputs are short
@@ -203,17 +226,17 @@ func (m *Manager) Set(elems []int) Node {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
+	if len(sorted) > 0 && sorted[0] < 0 {
+		return Empty, fmt.Errorf("zdd: negative element %d", sorted[0])
+	}
 	n := Base
 	for i := len(sorted) - 1; i >= 0; i-- {
 		if i+1 < len(sorted) && sorted[i] == sorted[i+1] {
 			continue
 		}
-		if sorted[i] < 0 {
-			panic(fmt.Sprintf("zdd: negative element %d", sorted[i]))
-		}
 		n = m.mk(int32(sorted[i]), Empty, n)
 	}
-	return n
+	return n, nil
 }
 
 // Single returns the family {{v}}.

@@ -159,7 +159,7 @@ func (a model) nonSupersets(b model) model {
 func build(m *Manager, a model) Node {
 	f := Empty
 	for k := range a {
-		f = m.Union(f, m.Set(setOf(k)))
+		f = m.Union(f, mustSet(m, setOf(k)))
 	}
 	return f
 }
@@ -216,7 +216,7 @@ func TestTerminals(t *testing.T) {
 
 func TestSetAndMember(t *testing.T) {
 	m := New()
-	f := m.Set([]int{3, 1, 2, 1}) // unsorted with duplicate
+	f := mustSet(m, []int{3, 1, 2, 1}) // unsorted with duplicate
 	if m.Count(f) != 1 {
 		t.Fatal("Set should contain one set")
 	}
@@ -226,7 +226,7 @@ func TestSetAndMember(t *testing.T) {
 	if m.Member(f, []int{1, 2}) || m.Member(f, []int{1, 2, 3, 4}) {
 		t.Fatal("false member")
 	}
-	g := m.Set([]int{1, 2, 3})
+	g := mustSet(m, []int{1, 2, 3})
 	if f != g {
 		t.Fatal("canonicity violated: same set, different nodes")
 	}
@@ -235,8 +235,8 @@ func TestSetAndMember(t *testing.T) {
 func TestCanonicity(t *testing.T) {
 	m := New()
 	// Build {{0,1},{2}} in two different insertion orders.
-	f := m.Union(m.Set([]int{0, 1}), m.Set([]int{2}))
-	g := m.Union(m.Set([]int{2}), m.Set([]int{0, 1}))
+	f := m.Union(mustSet(m, []int{0, 1}), mustSet(m, []int{2}))
+	g := m.Union(mustSet(m, []int{2}), mustSet(m, []int{0, 1}))
 	if f != g {
 		t.Fatal("union canonicity violated")
 	}
@@ -277,7 +277,7 @@ func TestSingletons(t *testing.T) {
 	m := New()
 	f := Empty
 	for _, s := range [][]int{{1}, {4}, {1, 2}, {2, 3}, {}} {
-		f = m.Union(f, m.Set(s))
+		f = m.Union(f, mustSet(m, s))
 	}
 	s := m.Singletons(f)
 	got := extract(m, s)
@@ -289,7 +289,7 @@ func TestSingletons(t *testing.T) {
 
 func TestSupport(t *testing.T) {
 	m := New()
-	f := m.Union(m.Set([]int{5, 9}), m.Set([]int{2}))
+	f := m.Union(mustSet(m, []int{5, 9}), mustSet(m, []int{2}))
 	got := m.Support(f)
 	want := []int{2, 5, 9}
 	if len(got) != len(want) {
@@ -306,7 +306,7 @@ func TestEnumerateEarlyStop(t *testing.T) {
 	m := New()
 	f := Empty
 	for i := 0; i < 10; i++ {
-		f = m.Union(f, m.Set([]int{i}))
+		f = m.Union(f, mustSet(m, []int{i}))
 	}
 	n := 0
 	m.Enumerate(f, func([]int) bool { n++; return n < 3 })
@@ -317,7 +317,7 @@ func TestEnumerateEarlyStop(t *testing.T) {
 
 func TestRemove(t *testing.T) {
 	m := New()
-	f := m.Union(m.Set([]int{1, 2}), m.Set([]int{2, 3}))
+	f := m.Union(mustSet(m, []int{1, 2}), mustSet(m, []int{2, 3}))
 	g := m.Remove(f, 2)
 	got := extract(m, g)
 	want := model{keyOf([]int{1}): {}, keyOf([]int{3}): {}}
@@ -325,7 +325,7 @@ func TestRemove(t *testing.T) {
 		t.Fatalf("remove = %v", got)
 	}
 	// Removing the sole element of a singleton yields the empty set.
-	h := m.Remove(m.Set([]int{4}), 4)
+	h := m.Remove(mustSet(m, []int{4}), 4)
 	if h != Base {
 		t.Fatal("removing single element should give {∅}")
 	}
@@ -342,7 +342,7 @@ func TestQuickUnionProperties(t *testing.T) {
 			for _, e := range set {
 				elems = append(elems, int(e%12))
 			}
-			f = m.Union(f, m.Set(elems))
+			f = m.Union(f, mustSet(m, elems))
 		}
 		return f
 	}
@@ -383,7 +383,7 @@ func TestQuickMinimalProperties(t *testing.T) {
 			for _, e := range set {
 				elems = append(elems, int(e%10))
 			}
-			f = m.Union(f, m.Set(elems))
+			f = m.Union(f, mustSet(m, elems))
 		}
 		min := m.Minimal(f)
 		if m.Minimal(min) != min {
@@ -407,7 +407,7 @@ func TestNodeCountGrowth(t *testing.T) {
 	start := m.NodeCount()
 	f := Empty
 	for i := 0; i < 50; i++ {
-		f = m.Union(f, m.Set([]int{i, i + 1}))
+		f = m.Union(f, mustSet(m, []int{i, i + 1}))
 	}
 	if m.NodeCount() <= start {
 		t.Fatal("no nodes allocated")
@@ -474,7 +474,7 @@ func TestMinimalMaximalDuality(t *testing.T) {
 	m := New()
 	f := Empty
 	for _, s := range [][]int{{1}, {1, 2}, {1, 2, 3}, {4}, {2, 3}} {
-		f = m.Union(f, m.Set(s))
+		f = m.Union(f, mustSet(m, s))
 	}
 	min := extract(m, m.Minimal(f))
 	max := extract(m, m.Maximal(f))
@@ -485,5 +485,22 @@ func TestMinimalMaximalDuality(t *testing.T) {
 	}
 	if !equalModels(max, wantMax) {
 		t.Fatalf("maximal = %v", max)
+	}
+}
+
+// mustSet builds the set ZDD for elems; test inputs are always valid,
+// so the validation error is fatal.
+func mustSet(m *Manager, elems []int) Node {
+	n, err := m.Set(elems)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestSetRejectsNegativeElement(t *testing.T) {
+	m := New()
+	if _, err := m.Set([]int{2, -1, 3}); err == nil {
+		t.Fatal("Set accepted a negative element")
 	}
 }

@@ -21,7 +21,8 @@ import (
 // Column ids are zero-based.
 
 // ReadProblem parses a covering problem in the text format above.
-func ReadProblem(r io.Reader) (*Problem, error) {
+func ReadProblem(r io.Reader) (p *Problem, err error) {
+	defer guard(&err)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var rows [][]int
@@ -125,7 +126,10 @@ func WriteProblem(w io.Writer, p *Problem) error {
 // ReadORLibProblem parses a set-covering instance in the Beasley
 // OR-Library "scp" format (row/column counts, the column costs, then
 // each row's degree and 1-based covering columns, all free-format).
-func ReadORLibProblem(r io.Reader) (*Problem, error) { return benchmarks.ReadORLib(r) }
+func ReadORLibProblem(r io.Reader) (p *Problem, err error) {
+	defer guard(&err)
+	return benchmarks.ReadORLib(r)
+}
 
 // WriteORLibProblem emits p in the Beasley OR-Library format.
 func WriteORLibProblem(w io.Writer, p *Problem) error { return benchmarks.WriteORLib(w, p) }

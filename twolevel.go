@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"ucp/internal/budget"
 	"ucp/internal/cube"
 	"ucp/internal/espresso"
 	"ucp/internal/pla"
@@ -24,10 +25,14 @@ type Space = cube.Space
 
 // ParsePLA reads a PLA file from r (.i/.o headers, {0,1,-} input
 // field, .type f/fd/fr/fdr output semantics).
-func ParsePLA(r io.Reader) (*PLA, error) { return pla.Parse(r) }
+func ParsePLA(r io.Reader) (f *PLA, err error) {
+	defer guard(&err)
+	return pla.Parse(r)
+}
 
 // ParsePLAFile reads a PLA from the named file.
-func ParsePLAFile(path string) (*PLA, error) {
+func ParsePLAFile(path string) (p *PLA, err error) {
+	defer guard(&err)
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -59,26 +64,48 @@ type TwoLevelResult struct {
 	CoreRows, CoreCols int // cyclic core size
 	CyclicCoreTime     time.Duration
 	TotalTime          time.Duration
+	// Interrupted reports that the budget cut the minimisation short
+	// (during prime generation or during the covering solve).  The
+	// cover is still a valid implementation of the function; LB and
+	// ProvedOptimal are conservative (a partial prime set certifies no
+	// bound on the true minimum).
+	Interrupted bool
+	// StopReason says which budget limit ran out.
+	StopReason StopReason
 }
 
 // BuildCovering reformulates the minimisation of f (ON-set F, DC-set
 // D) as a unate covering problem over the function's primes, returning
 // the problem and the prime cover indexed by its columns.
-func BuildCovering(f *PLA, cm CostModel) (*Problem, *Cover, error) {
-	prs := primes.Generate(f.F, f.DontCares())
+func BuildCovering(f *PLA, cm CostModel) (p *Problem, c *Cover, err error) {
+	defer guard(&err)
+	p, c, _, err = buildCovering(f, cm, nil)
+	return p, c, err
+}
+
+// buildCovering is BuildCovering under a budget: when the tracker cuts
+// prime generation short, the covering problem ranges over a partial
+// implicant set that still contains every cube of F ∪ D, so the
+// formulation stays feasible and every solution is a valid cover —
+// complete=false just means its optimum may exceed the true minimum.
+func buildCovering(f *PLA, cm CostModel, tr *budget.Tracker) (*Problem, *Cover, bool, error) {
+	prs, complete := primes.GenerateBudget(f.F, f.DontCares(), tr)
 	prob, _, err := primes.BuildCovering(f.F, f.DontCares(), prs, cm)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, complete, err
 	}
-	return prob, prs, nil
+	return prob, prs, complete, nil
 }
 
 // MinimizeSCG minimises the PLA with the paper's full pipeline:
 // prime generation, Quine–McCluskey covering formulation, implicit
 // (ZDD) and explicit reductions, and the ZDD_SCG lagrangian heuristic.
-func MinimizeSCG(f *PLA, opt SCGOptions) (*TwoLevelResult, error) {
+// The budget in opt spans the whole pipeline.
+func MinimizeSCG(f *PLA, opt SCGOptions) (out *TwoLevelResult, err error) {
+	defer guard(&err)
 	t0 := time.Now()
-	prob, prs, err := BuildCovering(f, UnitCost)
+	tr := opt.Budget.Tracker()
+	prob, prs, complete, err := buildCovering(f, UnitCost, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +114,7 @@ func MinimizeSCG(f *PLA, opt SCGOptions) (*TwoLevelResult, error) {
 		return nil, fmt.Errorf("ucp: covering problem unexpectedly infeasible")
 	}
 	cover := primes.CoverFromColumns(prs, res.Solution)
-	out := &TwoLevelResult{
+	out = &TwoLevelResult{
 		Cover:          cover,
 		Products:       res.Cost,
 		Literals:       cover.Literals(),
@@ -99,17 +126,31 @@ func MinimizeSCG(f *PLA, opt SCGOptions) (*TwoLevelResult, error) {
 		CoreCols:       res.Stats.CoreCols,
 		CyclicCoreTime: res.Stats.CyclicCoreTime,
 		TotalTime:      time.Since(t0),
+		Interrupted:    res.Interrupted || !complete,
+		StopReason:     res.StopReason,
+	}
+	if !complete {
+		// The covering ranged over a partial implicant set: its bound
+		// does not apply to the true minimum over all primes.
+		out.LB = 0
+		out.ProvedOptimal = false
+		if out.StopReason == StopNone {
+			out.StopReason = tr.Reason()
+		}
 	}
 	return out, nil
 }
 
 // MinimizeExact minimises the PLA exactly: prime generation, covering
 // formulation and branch and bound.  On hard instances bound the
-// search with ExactOptions.MaxNodes; the result then reports
-// Optimal=false via a zero LB.
-func MinimizeExact(f *PLA, opt ExactOptions) (*TwoLevelResult, error) {
+// search with ExactOptions.MaxNodes or ExactOptions.Budget; the result
+// then reports the best cover found with Interrupted set and a zero
+// LB.
+func MinimizeExact(f *PLA, opt ExactOptions) (out *TwoLevelResult, err error) {
+	defer guard(&err)
 	t0 := time.Now()
-	prob, prs, err := BuildCovering(f, UnitCost)
+	tr := opt.Budget.Tracker()
+	prob, prs, complete, err := buildCovering(f, UnitCost, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -118,17 +159,26 @@ func MinimizeExact(f *PLA, opt ExactOptions) (*TwoLevelResult, error) {
 		return nil, fmt.Errorf("ucp: exact search found no cover (node budget exhausted?)")
 	}
 	cover := primes.CoverFromColumns(prs, res.Solution)
-	out := &TwoLevelResult{
+	out = &TwoLevelResult{
 		Cover:         cover,
 		Products:      res.Cost,
 		Literals:      cover.Literals(),
-		ProvedOptimal: res.Optimal,
+		ProvedOptimal: res.Optimal && complete,
 		Primes:        prs.Len(),
 		Rows:          len(prob.Rows),
 		TotalTime:     time.Since(t0),
+		Interrupted:   res.Interrupted || !complete,
+		StopReason:    res.StopReason,
 	}
-	if res.Optimal {
+	if out.ProvedOptimal {
 		out.LB = float64(res.Cost)
+	} else if complete {
+		// The search bound is valid for the true minimum as long as
+		// the covering formulation saw every prime.
+		out.LB = float64(res.LB)
+	}
+	if !complete && out.StopReason == StopNone {
+		out.StopReason = tr.Reason()
 	}
 	return out, nil
 }
@@ -146,13 +196,24 @@ const (
 // expand/irredundant/reduce heuristic (the baseline of the paper's
 // Tables 1 and 2).  It never certifies optimality.
 func MinimizeEspresso(f *PLA, mode EspressoMode) *TwoLevelResult {
+	return MinimizeEspressoBudget(f, mode, Budget{})
+}
+
+// MinimizeEspressoBudget is MinimizeEspresso under a budget: the
+// improvement loop stops at the first pass boundary after the budget
+// runs out, where the working cover is always a valid implementation
+// of the function.
+func MinimizeEspressoBudget(f *PLA, mode EspressoMode, b Budget) *TwoLevelResult {
 	t0 := time.Now()
-	res := espresso.Minimize(f.F, f.DontCares(), mode)
+	tr := b.Tracker()
+	res := espresso.MinimizeBudget(f.F, f.DontCares(), mode, tr)
 	return &TwoLevelResult{
-		Cover:     res.Cover,
-		Products:  res.Cover.Len(),
-		Literals:  res.Cover.Literals(),
-		TotalTime: time.Since(t0),
+		Cover:       res.Cover,
+		Products:    res.Cover.Len(),
+		Literals:    res.Cover.Literals(),
+		TotalTime:   time.Since(t0),
+		Interrupted: res.Interrupted,
+		StopReason:  tr.Reason(),
 	}
 }
 

@@ -27,9 +27,11 @@
 package ucp
 
 import (
+	"fmt"
 	"math"
 
 	"ucp/internal/bnb"
+	"ucp/internal/budget"
 	"ucp/internal/greedy"
 	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
@@ -37,13 +39,56 @@ import (
 	"ucp/internal/simplex"
 )
 
+// Budget bounds the work a solve may do: a wall-clock deadline or
+// cancellation via Context, a node cap for the implicit (ZDD) phase, a
+// branch-and-bound node cap and a subgradient iteration cap.  The zero
+// value is unlimited.  Every solver accepts one through its options
+// struct and, when the budget runs out, stops gracefully with the best
+// feasible solution and the tightest valid lower bound found so far,
+// reporting Interrupted and a StopReason on its result.
+type Budget = budget.Budget
+
+// StopReason classifies why an interrupted solve stopped early.
+type StopReason = budget.Reason
+
+// Stop reasons reported by interrupted solves.
+const (
+	// StopNone: the solve ran to completion.
+	StopNone = budget.None
+	// StopDeadline: the budget context's deadline expired.
+	StopDeadline = budget.Deadline
+	// StopCancelled: the budget context was cancelled (e.g. SIGINT).
+	StopCancelled = budget.Cancelled
+	// StopSearchCap: the branch-and-bound node cap was exhausted.
+	StopSearchCap = budget.SearchCap
+	// StopIterCap: the subgradient iteration cap was exhausted.
+	StopIterCap = budget.IterCap
+)
+
+// ErrInfeasible reports a covering problem in which some row is not
+// covered by any column, so no cover exists.
+var ErrInfeasible = matrix.ErrInfeasible
+
+// guard converts a panic escaping the internal layers into a returned
+// error, so no malformed input can crash a caller of the public API.
+func guard(errp *error) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*errp = fmt.Errorf("ucp: internal error: %w", e)
+		} else {
+			*errp = fmt.Errorf("ucp: internal error: %v", r)
+		}
+	}
+}
+
 // Problem is a unate covering instance: for each row, the sorted ids
 // of the columns covering it, plus a per-column cost vector.
 type Problem = matrix.Problem
 
 // NewProblem builds and validates a covering problem.  Rows are
 // sorted and deduplicated; a nil cost vector means unit costs.
-func NewProblem(rows [][]int, ncols int, costs []int) (*Problem, error) {
+func NewProblem(rows [][]int, ncols int, costs []int) (p *Problem, err error) {
+	defer guard(&err)
 	return matrix.New(rows, ncols, costs)
 }
 
@@ -77,8 +122,24 @@ type ExactResult = bnb.Result
 func SolveExact(p *Problem, opt ExactOptions) *ExactResult { return bnb.Solve(p, opt) }
 
 // SolveGreedy runs the classical Chvátal greedy heuristic and returns
-// an irredundant cover, or nil when the problem is infeasible.
-func SolveGreedy(p *Problem) []int { return greedy.Solve(p) }
+// an irredundant cover.  The error is ErrInfeasible when some row of p
+// cannot be covered.
+func SolveGreedy(p *Problem) (sol []int, err error) {
+	defer guard(&err)
+	sol, err = greedy.Solve(p)
+	return sol, err
+}
+
+// SolveGreedyBudget is SolveGreedy under a budget.  Greedy is the
+// bottom rung of the degradation ladder: when the budget runs out
+// mid-construction it completes the cover with the cheapest column per
+// remaining uncovered row, so the returned cover is feasible in every
+// case (interrupted reports whether that happened).
+func SolveGreedyBudget(p *Problem, b Budget) (sol []int, interrupted bool, err error) {
+	defer guard(&err)
+	sol, interrupted, err = greedy.SolveBudget(p, b.Tracker())
+	return sol, interrupted, err
+}
 
 // Bounds carries the four lower bounds compared in the paper's
 // Proposition 1, in increasing order of strength (and cost):

@@ -76,9 +76,9 @@ func TestCoveringAPI(t *testing.T) {
 	if ex.Cost != 2 || !ex.Optimal {
 		t.Fatalf("exact: %+v", ex)
 	}
-	g := SolveGreedy(p)
-	if g == nil || !p.IsCover(g) {
-		t.Fatal("greedy failed")
+	g, gerr := SolveGreedy(p)
+	if gerr != nil || !p.IsCover(g) {
+		t.Fatalf("greedy failed: %v", gerr)
 	}
 	red := ReduceProblem(p)
 	if len(red.Core.Rows) != 3 {
