@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build test check fuzz bench
+# The hot-substrate microbenches tracked across PRs (see BENCH_pr2.json
+# for the committed baseline and DESIGN.md for interpretation).
+SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$
+
+.PHONY: build test check fuzz bench bench-all
 
 build:
 	$(GO) build ./...
@@ -10,12 +14,14 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: vet plus the full suite under the race
-# detector, which exercises the budget/cancellation paths with a
-# concurrent context in play.
+# check is the pre-merge gate: vet, the full suite under the race
+# detector (which exercises the budget/cancellation paths and the
+# restart portfolio with real concurrency), and a one-iteration smoke
+# run of the substrate benches so a broken bench never reaches main.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x . >/dev/null
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
 # acceptance bar: no panic reachable through the public API).
@@ -27,5 +33,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveParsedProblem$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMinimizeParsedPLA$$' -fuzztime $(FUZZTIME) .
 
+# bench measures the hot substrates (5 repetitions each, plus the
+# portfolio under -cpu 1,2,4,8) and records the results in
+# BENCH_pr2.json; commit the refreshed file when a change moves them.
 bench:
+	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; } \
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr2.json \
+	  -note "vs PR1 baseline: ZDDReductions ~4.8-7.2ms, Subgradient ~23-25ms, SCGCore ~557-602ms. Portfolio cost/op must match across -cpu settings (determinism contract); wall-clock -cpu scaling needs >1 physical CPU."
+
+# bench-all runs every benchmark once: the paper tables, the ablations
+# and the substrates.
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -251,6 +251,27 @@ func BenchmarkSCGCore(b *testing.B) {
 	}
 }
 
+// BenchmarkSCGPortfolio measures an 8-restart ZDD_SCG solve through
+// the worker-pool portfolio.  Run with -cpu 1,2,4,8 to observe the
+// restart-level scaling; the solution and Stats are bit-identical
+// across the settings by the determinism contract (DESIGN.md).
+func BenchmarkSCGPortfolio(b *testing.B) {
+	p := benchmarks.CyclicCovering(13, 250, 120, 3)
+	b.ResetTimer()
+	var cost int
+	for i := 0; i < b.N; i++ {
+		res := scg.Solve(p, scg.Options{Seed: 5, NumIter: 8})
+		if res.Solution == nil {
+			b.Fatal("no solution")
+		}
+		if cost != 0 && res.Cost != cost {
+			b.Fatalf("nondeterministic portfolio: cost %d then %d", cost, res.Cost)
+		}
+		cost = res.Cost
+	}
+	b.ReportMetric(float64(cost), "cost/op")
+}
+
 // BenchmarkPrimesAndCovering measures the Quine–McCluskey front end on
 // the t1 replica.
 func BenchmarkPrimesAndCovering(b *testing.B) {

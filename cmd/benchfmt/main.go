@@ -1,0 +1,165 @@
+// Command benchfmt converts `go test -bench` text output (on stdin)
+// into a small JSON document: one entry per benchmark line with every
+// reported metric, plus a per-benchmark min/mean/max summary across
+// -count repetitions.  It exists so `make bench` can commit a stable,
+// diffable baseline (BENCH_pr2.json) instead of raw bench text.
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchfmt -o BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name    string             `json:"name"`  // without the -procs suffix
+	Procs   int                `json:"procs"` // GOMAXPROCS suffix (1 if absent)
+	Runs    int64              `json:"runs"`  // b.N
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Stat summarises one metric of one benchmark across repetitions.
+type Stat struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	NumCPU    int    `json:"numcpu"`
+	Note      string `json:"note,omitempty"`
+	Entries   []Entry
+	// Summary maps "name-procs" → metric → stats.
+	Summary map[string]map[string]*Stat `json:"summary"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	flag.Parse()
+
+	doc := &Doc{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Note:      *note,
+		Summary:   map[string]map[string]*Stat{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			doc.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		doc.Entries = append(doc.Entries, e)
+		key := fmt.Sprintf("%s-%d", e.Name, e.Procs)
+		m := doc.Summary[key]
+		if m == nil {
+			m = map[string]*Stat{}
+			doc.Summary[key] = m
+		}
+		for unit, v := range e.Metrics {
+			s := m[unit]
+			if s == nil {
+				s = &Stat{Min: v, Max: v}
+				m[unit] = s
+			}
+			s.Count++
+			s.Mean += v // sum for now; divided below
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read: %v", err)
+	}
+	for _, m := range doc.Summary {
+		for _, s := range m {
+			s.Mean /= float64(s.Count)
+		}
+	}
+	sort.Slice(doc.Entries, func(a, b int) bool {
+		ea, eb := doc.Entries[a], doc.Entries[b]
+		if ea.Name != eb.Name {
+			return ea.Name < eb.Name
+		}
+		return ea.Procs < eb.Procs
+	})
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+}
+
+// parseLine decodes one "BenchmarkName-8  N  v1 unit1  v2 unit2 ..."
+// result line; ok is false for any other line.
+func parseLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+		return Entry{}, false
+	}
+	e := Entry{Name: f[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(f[0], '-'); i > 0 {
+		if procs, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			e.Name, e.Procs = f[0][:i], procs
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.Runs = runs
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[f[i+1]] = v
+	}
+	return e, true
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchfmt: "+format+"\n", args...)
+	os.Exit(1)
+}

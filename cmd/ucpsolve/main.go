@@ -34,6 +34,7 @@ func main() {
 		out        = flag.String("o", "", "write the minimised PLA here (pla mode)")
 		seed       = flag.Int64("seed", 1, "seed for the stochastic runs")
 		numIter    = flag.Int("numiter", 1, "ZDD_SCG constructive runs")
+		workers    = flag.Int("workers", 0, "goroutines for the ZDD_SCG restart portfolio (0 = GOMAXPROCS); results are identical for a given seed regardless")
 		maxNodes   = flag.Int64("maxnodes", 0, "node cap for the exact solver (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 30s (0 = unlimited); on expiry or Ctrl-C the best solution so far is printed")
 		bounds     = flag.Bool("bounds", false, "also print the four lower bounds (matrix mode)")
@@ -61,11 +62,11 @@ func main() {
 	case inputs != 1:
 		fatal("pass exactly one of -pla, -matrix and -orlib")
 	case *plaPath != "":
-		runPLA(*plaPath, *solver, *out, *seed, *numIter, *maxNodes, bud)
+		runPLA(*plaPath, *solver, *out, *seed, *numIter, *workers, *maxNodes, bud)
 	case *matrixPath != "":
-		runMatrix(*matrixPath, false, *solver, *seed, *numIter, *maxNodes, *bounds, bud)
+		runMatrix(*matrixPath, false, *solver, *seed, *numIter, *workers, *maxNodes, *bounds, bud)
 	default:
-		runMatrix(*orlibPath, true, *solver, *seed, *numIter, *maxNodes, *bounds, bud)
+		runMatrix(*orlibPath, true, *solver, *seed, *numIter, *workers, *maxNodes, *bounds, bud)
 	}
 }
 
@@ -80,7 +81,7 @@ func notice(interrupted bool, reason ucp.StopReason) {
 	}
 }
 
-func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64, bud ucp.Budget) {
+func runPLA(path, solver, out string, seed int64, numIter, workers int, maxNodes int64, bud ucp.Budget) {
 	f, err := ucp.ParsePLAFile(path)
 	if err != nil {
 		fatal("%v", err)
@@ -88,7 +89,7 @@ func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64, b
 	var res *ucp.TwoLevelResult
 	switch solver {
 	case "scg":
-		res, err = ucp.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Budget: bud})
+		res, err = ucp.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
 	case "exact":
 		res, err = ucp.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
 	case "espresso":
@@ -129,7 +130,7 @@ func runPLA(path, solver, out string, seed int64, numIter int, maxNodes int64, b
 	}
 }
 
-func runMatrix(path string, orlib bool, solver string, seed int64, numIter int, maxNodes int64, bounds bool, bud ucp.Budget) {
+func runMatrix(path string, orlib bool, solver string, seed int64, numIter, workers int, maxNodes int64, bounds bool, bud ucp.Budget) {
 	r, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -155,7 +156,7 @@ func runMatrix(path string, orlib bool, solver string, seed int64, numIter int, 
 	}
 	switch solver {
 	case "scg":
-		res := ucp.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter, Budget: bud})
+		res := ucp.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
 		if res.Solution == nil {
 			fatal("problem is infeasible")
 		}

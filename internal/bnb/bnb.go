@@ -13,6 +13,7 @@ package bnb
 import (
 	"sort"
 
+	"ucp/internal/bitmat"
 	"ucp/internal/budget"
 	"ucp/internal/greedy"
 	"ucp/internal/matrix"
@@ -102,7 +103,29 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	if res.Optimal {
 		res.LB = res.Cost
 	}
+	verifyCover(p, res.Solution)
 	return res
+}
+
+// verifyCover asserts — on instances small and dense enough for the
+// word-parallel kernel — that the incumbent really covers every row
+// before it leaves the solver.  bnb is the optimality oracle of the
+// whole test-suite, so a corrupted incumbent must fail loudly here
+// rather than silently certify wrong "optima" downstream.  One
+// bit-matrix build and an AND-sweep per solve: negligible next to the
+// search itself.
+func verifyCover(p *matrix.Problem, sol []int) {
+	if !matrix.DenseEligible(p) {
+		return
+	}
+	bm := bitmat.Build(p.Rows, p.NCol)
+	sel := bitmat.NewVec(p.NCol)
+	for _, j := range sol {
+		sel.Set(j)
+	}
+	if !bm.IsCover(sel) {
+		panic("bnb: incumbent solution is not a cover")
+	}
 }
 
 // search returns a cover of p with cost < ub, or nil when none exists

@@ -10,6 +10,7 @@ package budget
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 )
 
 // Reason classifies why a solve stopped before finishing its work.
@@ -73,7 +74,7 @@ func (b Budget) Tracker() *Tracker {
 	if b.Context == nil && b.SearchCap == 0 && b.IterCap == 0 {
 		return nil
 	}
-	t := &Tracker{searchCap: b.SearchCap, iterCap: b.IterCap}
+	t := &Tracker{searchCap: b.SearchCap, iterCap: int64(b.IterCap)}
 	if b.Context != nil {
 		t.done = b.Context.Done()
 		t.ctxErr = b.Context.Err
@@ -81,19 +82,31 @@ func (b Budget) Tracker() *Tracker {
 	return t
 }
 
-// Tracker accumulates one solve's consumption against its Budget.  It
-// is single-threaded, like the solvers; the first exhausted limit is
-// latched and every later check reports it.
+// Tracker accumulates one solve's consumption against its Budget.  All
+// methods are safe for concurrent use: the portfolio solver charges
+// iterations from several restart workers against the same caps, and a
+// cancellation must be observed by every worker.  The first exhausted
+// limit is latched and every later check reports it.
+//
+// Note that with concurrent chargers the exact instant a shared cap
+// trips depends on scheduling, so interrupted solves are best-effort;
+// the determinism contract of the portfolio solver applies to solves
+// the budget did not cut short.
 type Tracker struct {
 	done   <-chan struct{}
 	ctxErr func() error
 
 	searchCap   int64
-	iterCap     int
-	searchNodes int64
-	iters       int
+	iterCap     int64
+	searchNodes atomic.Int64
+	iters       atomic.Int64
 
-	reason Reason
+	reason atomic.Int32
+}
+
+// latch records r as the stop reason unless one is already set.
+func (t *Tracker) latch(r Reason) {
+	t.reason.CompareAndSwap(int32(None), int32(r))
 }
 
 // Interrupted polls the budget: it returns true once the deadline has
@@ -103,16 +116,16 @@ func (t *Tracker) Interrupted() bool {
 	if t == nil {
 		return false
 	}
-	if t.reason != None {
+	if Reason(t.reason.Load()) != None {
 		return true
 	}
 	if t.done != nil {
 		select {
 		case <-t.done:
 			if errors.Is(t.ctxErr(), context.DeadlineExceeded) {
-				t.reason = Deadline
+				t.latch(Deadline)
 			} else {
-				t.reason = Cancelled
+				t.latch(Cancelled)
 			}
 			return true
 		default:
@@ -126,7 +139,7 @@ func (t *Tracker) Reason() Reason {
 	if t == nil {
 		return None
 	}
-	return t.reason
+	return Reason(t.reason.Load())
 }
 
 // AddSearchNodes charges n branch-and-bound nodes and reports whether
@@ -135,9 +148,8 @@ func (t *Tracker) AddSearchNodes(n int64) bool {
 	if t == nil {
 		return false
 	}
-	t.searchNodes += n
-	if t.searchCap > 0 && t.searchNodes > t.searchCap && t.reason == None {
-		t.reason = SearchCap
+	if t.searchNodes.Add(n) > t.searchCap && t.searchCap > 0 {
+		t.latch(SearchCap)
 	}
 	return t.Interrupted()
 }
@@ -148,9 +160,8 @@ func (t *Tracker) AddIters(n int) bool {
 	if t == nil {
 		return false
 	}
-	t.iters += n
-	if t.iterCap > 0 && t.iters > t.iterCap && t.reason == None {
-		t.reason = IterCap
+	if t.iters.Add(int64(n)) > t.iterCap && t.iterCap > 0 {
+		t.latch(IterCap)
 	}
 	return t.Interrupted()
 }
@@ -160,7 +171,7 @@ func (t *Tracker) SearchNodes() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.searchNodes
+	return t.searchNodes.Load()
 }
 
 // Iters returns the subgradient iterations charged so far.
@@ -168,5 +179,5 @@ func (t *Tracker) Iters() int {
 	if t == nil {
 		return 0
 	}
-	return t.iters
+	return int(t.iters.Load())
 }

@@ -2,7 +2,9 @@ package lagrangian
 
 import (
 	"math"
+	"sync/atomic"
 
+	"ucp/internal/bitmat"
 	"ucp/internal/matrix"
 )
 
@@ -28,6 +30,32 @@ const (
 // The per-column "uncovered rows" counts (and, for the fourth variant,
 // scarcity weights) are maintained incrementally, so one full build
 // costs O(nnz + picks·columns) rather than O(picks·nnz).
+// log2Cache holds the shared table with t[n] = lg₂(n+1): the greedy
+// rating loops evaluate lg₂ once per candidate per pick, and a table
+// of the exact same math.Log2 values (so bit-identical ratings) turns
+// that hot transcendental into a load.  The table is grown
+// copy-on-write behind an atomic pointer — entries depend only on
+// their index, so concurrent growers in the restart portfolio all
+// produce prefixes of the same table and any published version is
+// valid.
+var log2Cache atomic.Pointer[[]float64]
+
+func log2Table(max int) []float64 {
+	if t := log2Cache.Load(); t != nil && len(*t) > max {
+		return *t
+	}
+	n := 2 * (max + 1)
+	if t := log2Cache.Load(); t != nil && 2*len(*t) > n {
+		n = 2 * len(*t)
+	}
+	nt := make([]float64, n)
+	for i := 1; i < n; i++ {
+		nt[i] = math.Log2(float64(i) + 1)
+	}
+	log2Cache.Store(&nt)
+	return nt
+}
+
 func GreedyLagrangian(p *matrix.Problem, colRows [][]int, ctilde []float64, v GammaVariant) []int {
 	nr := len(p.Rows)
 	covered := make([]bool, nr)
@@ -85,6 +113,10 @@ func GreedyLagrangian(p *matrix.Problem, colRows [][]int, ctilde []float64, v Ga
 		}
 	}
 
+	var lg []float64
+	if v == GammaLog || v == GammaRowLog {
+		lg = log2Table(nr)
+	}
 	for nCovered < nr {
 		best, bestGamma := -1, math.Inf(1)
 		for j := 0; j < p.NCol; j++ {
@@ -98,13 +130,13 @@ func GreedyLagrangian(p *matrix.Problem, colRows [][]int, ctilde []float64, v Ga
 			case GammaPerRow:
 				gamma = ctilde[j] / float64(n[j])
 			case GammaLog:
-				gamma = ctilde[j] / math.Log2(float64(n[j])+1)
+				gamma = ctilde[j] / lg[n[j]]
 			case GammaRowLog:
-				gamma = ctilde[j] / (float64(n[j]) * math.Log2(float64(n[j])+1))
+				gamma = ctilde[j] / (float64(n[j]) * lg[n[j]])
 			case GammaRowImportance:
 				gamma = ctilde[j] / w[j]
 			}
-			if gamma < bestGamma || (gamma == bestGamma && best >= 0 && p.Cost[j] < p.Cost[best]) {
+			if best < 0 || betterGamma(gamma, bestGamma, p.Cost[j], p.Cost[best], j, best) {
 				best, bestGamma = j, gamma
 			}
 		}
@@ -116,13 +148,115 @@ func GreedyLagrangian(p *matrix.Problem, colRows [][]int, ctilde []float64, v Ga
 	return p.Irredundant(sol)
 }
 
+// betterGamma is the full deterministic order on greedy candidates:
+// smaller rating first, then smaller true cost, then smaller column
+// id.  Spelling out the whole chain (instead of relying on the scan
+// direction to break the final tie) makes the argmin independent of
+// column visit order, which the sparse and dense greedy kernels — and
+// the parallel restart portfolio built on their determinism — require.
+func betterGamma(gamma, bestGamma float64, cost, bestCost, j, bestJ int) bool {
+	if gamma != bestGamma {
+		return gamma < bestGamma
+	}
+	if cost != bestCost {
+		return cost < bestCost
+	}
+	return j < bestJ
+}
+
+// GreedyLagrangianDense is GreedyLagrangian on a dense bit-matrix: the
+// covered-row set is a bitset, cover updates are word-wise ORs, and
+// the per-column uncovered counts are popcounts of column ∧ uncovered.
+// It produces exactly the same cover as the sparse kernel (same counts,
+// same ratings, same tie-breaks); the differential tests hold the two
+// to bit-equality.  The scarcity-weighted variant needs per-row float
+// weights, which bitsets cannot fold, so it stays on the sparse path.
+func GreedyLagrangianDense(p *matrix.Problem, bm *bitmat.Matrix, ctilde []float64, v GammaVariant) []int {
+	if v == GammaRowImportance {
+		return GreedyLagrangian(p, p.ColumnRows(), ctilde, v)
+	}
+	nr := len(p.Rows)
+	uncovered := bitmat.NewVec(nr)
+	uncovered.SetAll(nr)
+	left := nr
+	inSol := make([]bool, p.NCol)
+	var sol []int
+
+	add := func(j int) {
+		inSol[j] = true
+		sol = append(sol, j)
+		uncovered.AndNot(bm.Col(j))
+		left = uncovered.Popcount()
+	}
+
+	// Start from the relaxed solution.
+	for j := 0; j < p.NCol; j++ {
+		if ctilde[j] <= 0 && bm.ColLen(j) > 0 {
+			add(j)
+		}
+	}
+
+	var lg []float64
+	if v == GammaLog || v == GammaRowLog {
+		lg = log2Table(nr)
+	}
+	// Per-pick candidate counts, gathered from the sparse rows of the
+	// still-uncovered set: n[j] built this way equals the bit-kernel
+	// count popcount(col_j ∧ uncovered) exactly, but costs O(uncovered
+	// nnz) instead of O(columns · words) — and after the relaxed start
+	// the uncovered set is typically tiny.  betterGamma is a total
+	// order, so the argmin does not depend on candidate visit order.
+	cnt := make([]int32, p.NCol)
+	cand := make([]int32, 0, p.NCol)
+	for left > 0 {
+		cand = cand[:0]
+		uncovered.Range(func(i int) bool {
+			for _, j := range p.Rows[i] {
+				if cnt[j] == 0 {
+					cand = append(cand, int32(j))
+				}
+				cnt[j]++
+			}
+			return true
+		})
+		best, bestGamma := -1, math.Inf(1)
+		for _, jj := range cand {
+			j := int(jj)
+			n := int(cnt[j])
+			cnt[j] = 0 // reset for the next pick as we scan
+			if inSol[j] {
+				continue
+			}
+			var gamma float64
+			switch v {
+			case GammaPerRow:
+				gamma = ctilde[j] / float64(n)
+			case GammaLog:
+				gamma = ctilde[j] / lg[n]
+			case GammaRowLog:
+				gamma = ctilde[j] / (float64(n) * lg[n])
+			}
+			if best < 0 || betterGamma(gamma, bestGamma, p.Cost[j], p.Cost[best], j, best) {
+				best, bestGamma = j, gamma
+			}
+		}
+		if best < 0 {
+			return nil // uncoverable row
+		}
+		add(best)
+	}
+	return p.IrredundantDense(bm, sol)
+}
+
 // BestGreedy runs all four rating variants and returns the cheapest
 // resulting cover (by true cost), or nil if the problem is infeasible.
-func BestGreedy(p *matrix.Problem, colRows [][]int, ctilde []float64) []int {
+// A non-nil bm routes the unweighted variants through the dense
+// bit-matrix kernel.
+func BestGreedy(p *matrix.Problem, colRows [][]int, bm *bitmat.Matrix, ctilde []float64) []int {
 	var best []int
 	bestCost := math.MaxInt
 	for v := GammaPerRow; v <= GammaRowImportance; v++ {
-		sol := GreedyLagrangian(p, colRows, ctilde, v)
+		sol := greedyAuto(p, colRows, bm, ctilde, v)
 		if sol == nil {
 			continue
 		}
@@ -131,6 +265,14 @@ func BestGreedy(p *matrix.Problem, colRows [][]int, ctilde []float64) []int {
 		}
 	}
 	return best
+}
+
+// greedyAuto routes one greedy build to the dense or sparse kernel.
+func greedyAuto(p *matrix.Problem, colRows [][]int, bm *bitmat.Matrix, ctilde []float64, v GammaVariant) []int {
+	if bm != nil && v != GammaRowImportance {
+		return GreedyLagrangianDense(p, bm, ctilde, v)
+	}
+	return GreedyLagrangian(p, colRows, ctilde, v)
 }
 
 // FloatCosts converts the integer cost vector of p to float64 for use

@@ -1,0 +1,68 @@
+package lagrangian
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ucp/internal/bitmat"
+	"ucp/internal/matrix"
+)
+
+// TestDenseSparseGreedyAgree holds the dense and sparse greedy kernels
+// to bit-equality: same counts, same ratings, same tie-breaks, so the
+// exact same cover in the exact same order (before the shared
+// irredundant cleanup normalises it further).
+func TestDenseSparseGreedyAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 300; trial++ {
+		nr, nc := 1+rng.Intn(40), 1+rng.Intn(40)
+		rows := make([][]int, nr)
+		for i := range rows {
+			for j := 0; j < nc; j++ {
+				if rng.Intn(3) == 0 {
+					rows[i] = append(rows[i], j)
+				}
+			}
+			if len(rows[i]) == 0 {
+				rows[i] = append(rows[i], rng.Intn(nc))
+			}
+		}
+		cost := make([]int, nc)
+		for j := range cost {
+			cost[j] = 1 + rng.Intn(4)
+		}
+		p := matrix.MustNew(rows, nc, cost)
+		colRows := p.ColumnRows()
+		bm := bitmat.Build(p.Rows, p.NCol)
+
+		// Random lagrangian costs, some non-positive to exercise the
+		// relaxed start set.
+		ctilde := make([]float64, nc)
+		for j := range ctilde {
+			ctilde[j] = rng.Float64()*4 - 1
+		}
+
+		for v := GammaPerRow; v <= GammaRowLog; v++ {
+			sparse := GreedyLagrangian(p, colRows, ctilde, v)
+			dense := GreedyLagrangianDense(p, bm, ctilde, v)
+			if !reflect.DeepEqual(sparse, dense) {
+				t.Fatalf("trial %d variant %d: sparse %v dense %v", trial, v, sparse, dense)
+			}
+		}
+	}
+}
+
+// TestDenseGreedyInfeasible: a row no column covers must yield nil on
+// both paths.
+func TestDenseGreedyInfeasible(t *testing.T) {
+	p := &matrix.Problem{Rows: [][]int{{0}, {}}, NCol: 2, Cost: []int{1, 1}}
+	bm := bitmat.Build(p.Rows, p.NCol)
+	ctilde := []float64{1, 1}
+	if got := GreedyLagrangianDense(p, bm, ctilde, GammaPerRow); got != nil {
+		t.Fatalf("dense greedy returned %v on infeasible problem", got)
+	}
+	if got := GreedyLagrangian(p, p.ColumnRows(), ctilde, GammaPerRow); got != nil {
+		t.Fatalf("sparse greedy returned %v on infeasible problem", got)
+	}
+}

@@ -3,6 +3,7 @@ package lagrangian
 import (
 	"math"
 
+	"ucp/internal/bitmat"
 	"ucp/internal/budget"
 	"ucp/internal/matrix"
 )
@@ -123,9 +124,17 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 	}
 	colRows := p.ColumnRows()
 
+	// Dense bit-matrix sidecar for the coverage-counting kernels (the
+	// greedy primal heuristic and the per-iteration subgradient s);
+	// nil above the density/size threshold keeps everything sparse.
+	var bm *bitmat.Matrix
+	if matrix.DenseEligible(p) {
+		bm = bitmat.Build(p.Rows, p.NCol)
+	}
+
 	// ----- initial feasible solution (upper bound) -----
 	trueCosts := FloatCosts(p)
-	best := BestGreedy(p, colRows, trueCosts)
+	best := BestGreedy(p, colRows, bm, trueCosts)
 	if best == nil {
 		// Some row is uncoverable; report infeasibility by a nil Best.
 		return res
@@ -158,6 +167,10 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 	ctilde := make([]float64, nc)
 	s := make([]float64, nr) // primal subgradient e − Ap*
 	g := make([]float64, nc) // dual subgradient c − A'm*
+	var nonpos bitmat.Vec    // columns with c̃ ≤ 0, for the dense kernel
+	if bm != nil {
+		nonpos = bitmat.NewVec(nc)
+	}
 	m := make([]float64, nr) // dual-lagrangian inner solution
 	cbar := make([]float64, nr)
 	for i, r := range p.Rows {
@@ -206,7 +219,7 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 
 		// ----- primal heuristic on the lagrangian costs -----
 		if improved || k%prm.GreedyEvery == 0 {
-			sol := GreedyLagrangian(p, colRows, ctilde, variant)
+			sol := greedyAuto(p, colRows, bm, ctilde, variant)
 			variant = (variant + 1) % 4
 			if sol != nil {
 				if c := p.CostOf(sol); c < res.BestCost {
@@ -263,15 +276,31 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 		}
 
 		// ----- primal subgradient step (formula 2) -----
+		// s_i = 1 − |{j ∈ row i : c̃_j ≤ 0}|: with the dense sidecar
+		// the count is a popcount of row ∧ mask instead of a walk over
+		// the sparse row (identical integer, so identical floats).
 		norm := 0.0
-		for i := 0; i < nr; i++ {
-			s[i] = 1
-			for _, j := range p.Rows[i] {
+		if bm != nil {
+			nonpos.Zero()
+			for j := 0; j < nc; j++ {
 				if ctilde[j] <= 0 {
-					s[i]--
+					nonpos.Set(j)
 				}
 			}
-			norm += s[i] * s[i]
+			for i := 0; i < nr; i++ {
+				s[i] = 1 - float64(bm.Row(i).AndPopcount(nonpos))
+				norm += s[i] * s[i]
+			}
+		} else {
+			for i := 0; i < nr; i++ {
+				s[i] = 1
+				for _, j := range p.Rows[i] {
+					if ctilde[j] <= 0 {
+						s[i]--
+					}
+				}
+				norm += s[i] * s[i]
+			}
 		}
 		if norm == 0 {
 			// The relaxed solution is feasible and tight: λ is optimal.

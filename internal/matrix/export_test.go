@@ -1,0 +1,19 @@
+package matrix
+
+// SetReduceEngine forces a reduction engine in tests: "auto" (default
+// threshold-driven choice), "sparse", or "dense".  It returns a restore
+// function.
+func SetReduceEngine(mode string) func() {
+	old := reduceOverride
+	switch mode {
+	case "auto":
+		reduceOverride = 0
+	case "sparse":
+		reduceOverride = 1
+	case "dense":
+		reduceOverride = 2
+	default:
+		panic("unknown reduce engine " + mode)
+	}
+	return func() { reduceOverride = old }
+}

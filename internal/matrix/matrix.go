@@ -88,18 +88,32 @@ func (p *Problem) NumRows() int { return len(p.Rows) }
 // ActiveCols returns the sorted ids of the columns appearing in at
 // least one row.
 func (p *Problem) ActiveCols() []int {
-	seen := make(map[int]bool)
+	seen := make([]bool, p.NCol)
+	n := 0
 	for _, r := range p.Rows {
 		for _, j := range r {
-			seen[j] = true
+			if !seen[j] {
+				seen[j] = true
+				n++
+			}
 		}
 	}
-	out := make([]int, 0, len(seen))
-	for j := range seen {
-		out = append(out, j)
+	out := make([]int, 0, n)
+	for j, s := range seen {
+		if s {
+			out = append(out, j)
+		}
 	}
-	sort.Ints(out)
 	return out
+}
+
+// NNZ returns the number of non-zero entries (total row lengths).
+func (p *Problem) NNZ() int {
+	n := 0
+	for _, r := range p.Rows {
+		n += len(r)
+	}
+	return n
 }
 
 // ColumnRows returns, for every column id, the sorted list of row
@@ -116,7 +130,7 @@ func (p *Problem) ColumnRows() [][]int {
 
 // IsCover reports whether the column set covers every row.
 func (p *Problem) IsCover(cols []int) bool {
-	in := make(map[int]bool, len(cols))
+	in := make([]bool, p.NCol)
 	for _, j := range cols {
 		in[j] = true
 	}
@@ -150,46 +164,88 @@ func (p *Problem) CostOf(cols []int) int {
 // counts are maintained incrementally, so the whole cleanup costs
 // O(nnz + removals·|cols|·degree).
 func (p *Problem) Irredundant(cols []int) []int {
-	in := make(map[int]bool, len(cols))
-	for _, j := range cols {
-		in[j] = true
+	// sel[j] is 1+position of j in cols, 0 when unselected: a dense
+	// slice probe instead of the map lookups this loop used to spend
+	// half its time in.
+	sel := make([]int32, p.NCol)
+	for k, j := range cols {
+		if sel[j] == 0 { // a duplicate keeps its first occurrence's rows
+			sel[j] = int32(k) + 1
+		}
 	}
-	// Rows covered by each selected column, and per-row cover counts.
-	colRowsSel := make(map[int][]int, len(cols))
-	coverCnt := make([]int, len(p.Rows))
+	// Rows covered by each selected column (CSR over the selection
+	// order) and per-row cover counts, built in two passes over nnz.
+	cnt := make([]int32, len(cols)+1)
+	coverCnt := make([]int32, len(p.Rows))
+	for _, r := range p.Rows {
+		for _, j := range r {
+			if k := sel[j]; k != 0 {
+				cnt[k]++
+			}
+		}
+	}
+	// off[q] is the start of selection-position q's bucket: cnt[k]
+	// holds the size of bucket k−1, so the prefix sum lands one ahead.
+	off := make([]int32, len(cols)+1)
+	for k := 1; k <= len(cols); k++ {
+		off[k] = off[k-1] + cnt[k]
+	}
+	rowsOf := make([]int32, off[len(cols)])
+	fill := append([]int32(nil), off...)
 	for i, r := range p.Rows {
 		for _, j := range r {
-			if in[j] {
+			if k := sel[j]; k != 0 {
 				coverCnt[i]++
-				colRowsSel[j] = append(colRowsSel[j], i)
+				rowsOf[fill[k-1]] = int32(i)
+				fill[k-1]++
 			}
 		}
 	}
-	alive := append([]int(nil), cols...)
-	for {
-		// A column is redundant when every row it covers is covered at
-		// least twice; drop the most expensive one first.
-		best := -1
-		for k, j := range alive {
-			red := true
-			for _, i := range colRowsSel[j] {
-				if coverCnt[i] == 1 {
-					red = false
-					break
-				}
-			}
-			if red && (best < 0 || p.Cost[j] > p.Cost[alive[best]]) {
-				best = k
+	covered := func(k int) []int32 { return rowsOf[off[k]:fill[k]] }
+
+	// A column is redundant when every row it covers is covered at
+	// least twice.  Removing a column only decrements cover counts, so
+	// a column that is not redundant now never becomes redundant later:
+	// one pass over the selection in (cost desc, position asc) order
+	// performs exactly the removals, in exactly the order, that the
+	// round-based drop-most-expensive-first loop prescribes — without
+	// its rescan of every survivor per removal.
+	order := make([]int32, len(cols))
+	for k := range order {
+		order[k] = int32(k)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		ca, cb := p.Cost[cols[ka]], p.Cost[cols[kb]]
+		if ca != cb {
+			return ca > cb
+		}
+		return ka < kb
+	})
+	removed := make([]bool, len(cols))
+	for _, k := range order {
+		red := true
+		for _, i := range covered(int(k)) {
+			if coverCnt[i] == 1 {
+				red = false
+				break
 			}
 		}
-		if best < 0 {
-			return alive
+		if !red {
+			continue
 		}
-		for _, i := range colRowsSel[alive[best]] {
+		removed[k] = true
+		for _, i := range covered(int(k)) {
 			coverCnt[i]--
 		}
-		alive = append(alive[:best], alive[best+1:]...)
 	}
+	out := make([]int, 0, len(cols))
+	for k, j := range cols {
+		if !removed[k] {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 func containsSorted(r []int, j int) bool {
@@ -251,6 +307,15 @@ func ReduceTracked(p *Problem) *TrackedReduction {
 
 func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 	res := &TrackedReduction{}
+	// The dense bit-matrix engine and this sparse loop implement the
+	// identical fixpoint (same orders, same tie-breaks); the choice is
+	// purely a data-layout decision.
+	useDense := reduceOverride == 2 || (reduceOverride == 0 && DenseEligible(p))
+	if useDense {
+		denseReduce(p, tr, res)
+		sort.Ints(res.Essential)
+		return res
+	}
 	cur := p.Clone()
 	origin := make([]int, len(cur.Rows))
 	for i := range origin {
@@ -274,17 +339,22 @@ func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 		}
 
 		// Essential columns: any row covered by a single column.
-		ess := make(map[int]bool)
+		var ess []bool
+		nEss := 0
 		for _, r := range cur.Rows {
 			if len(r) == 1 {
-				ess[r[0]] = true
+				if ess == nil {
+					ess = make([]bool, cur.NCol)
+				}
+				if !ess[r[0]] {
+					ess[r[0]] = true
+					nEss++
+					res.Essential = append(res.Essential, r[0])
+				}
 			}
 		}
-		if len(ess) > 0 {
+		if nEss > 0 {
 			changed = true
-			for j := range ess {
-				res.Essential = append(res.Essential, j)
-			}
 			var rows [][]int
 			var keptOrigin []int
 			for i, r := range cur.Rows {
@@ -337,12 +407,20 @@ func dropSupersetRows(p *Problem, origin []int) ([]int, bool) {
 		keep[i] = true
 	}
 	// Sort row order by length so subsets come first; compare each row
-	// against shorter (or equal, earlier) rows.
+	// against shorter (or equal, earlier) rows.  The index tie-break
+	// makes the survivor among duplicate rows canonical (smallest row
+	// index), so the sparse and dense reduction engines agree exactly.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return len(p.Rows[order[a]]) < len(p.Rows[order[b]]) })
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(p.Rows[order[a]]), len(p.Rows[order[b]])
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
 	changed := false
 	for ai, a := range order {
 		if !keep[a] {
@@ -391,7 +469,8 @@ func isSubsetSorted(a, b []int) bool { // a ⊆ b, both sorted
 func dropDominatedCols(p *Problem) bool {
 	cols := p.ColumnRows()
 	active := p.ActiveCols()
-	dead := make(map[int]bool)
+	dead := make([]bool, p.NCol)
+	nDead := 0
 	for _, k := range active {
 		for _, j := range active {
 			if j == k || dead[j] || dead[k] {
@@ -409,10 +488,11 @@ func dropDominatedCols(p *Problem) bool {
 				continue
 			}
 			dead[k] = true
+			nDead++
 			break
 		}
 	}
-	if len(dead) == 0 {
+	if nDead == 0 {
 		return false
 	}
 	for i, r := range p.Rows {
@@ -490,10 +570,13 @@ func Components(p *Problem) []Component {
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
 
-	colFirst := make(map[int]int)
+	colFirst := make([]int, p.NCol)
+	for j := range colFirst {
+		colFirst[j] = -1
+	}
 	for i, r := range p.Rows {
 		for _, j := range r {
-			if f, ok := colFirst[j]; ok {
+			if f := colFirst[j]; f >= 0 {
 				union(i, f)
 			} else {
 				colFirst[j] = i

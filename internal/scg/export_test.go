@@ -1,0 +1,10 @@
+package scg
+
+// SetDenseImplicit flips the dense shortcut of the implicit phase for
+// a test and returns a restore func, so the ZDD engine can be
+// exercised on instances the shortcut would otherwise claim.
+func SetDenseImplicit(on bool) (restore func()) {
+	old := denseImplicit
+	denseImplicit = on
+	return func() { denseImplicit = old }
+}

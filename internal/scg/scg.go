@@ -62,6 +62,13 @@ type Options struct {
 	// previous phase's multipliers (for ablations; the paper
 	// warm-starts, §3.2).
 	DisableWarmStart bool
+	// Workers bounds the restart/block portfolio: the independent
+	// blocks of the cyclic core and the NumIter stochastic restarts of
+	// each block run on up to Workers goroutines.  0 means GOMAXPROCS,
+	// 1 is fully sequential.  The solution and every Stats counter are
+	// bit-identical for a given Seed regardless of Workers (timings and
+	// interrupted solves excepted); see DESIGN.md for the contract.
+	Workers int
 	// Budget bounds the solve (wall-clock deadline, ZDD node cap,
 	// subgradient iteration cap).  The zero value is unlimited.  When
 	// the budget runs out the solver degrades gracefully: the implicit
@@ -99,6 +106,10 @@ type Stats struct {
 	// ImplicitAborted reports that the ZDD phase hit its node cap (or
 	// the deadline) and the solve fell back to the explicit path.
 	ImplicitAborted bool
+	// ImplicitDense reports that the implicit phase ran on the dense
+	// bit-matrix engine instead of the ZDD (small dense instances);
+	// ZDDNodes is then zero by construction.
+	ImplicitDense bool
 }
 
 // Result of a ZDD_SCG solve.
@@ -124,7 +135,6 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	opt.fill()
 	t0 := time.Now()
 	res := &Result{}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	tr := opt.Budget.Tracker()
 	defer func() {
 		if r := tr.Reason(); r != budget.None {
@@ -139,6 +149,7 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	if !opt.DisableImplicit {
 		ir := ImplicitReduceBudget(p, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr)
 		res.Stats.ZDDNodes = ir.ZDDNodes
+		res.Stats.ImplicitDense = ir.Dense
 		if ir.Aborted {
 			// Node cap or deadline: degrade to the explicit reduction
 			// path on the original matrix (the DisableImplicit route).
@@ -180,18 +191,21 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 		return res
 	}
 
-	// ----- solve the cyclic core, one independent block at a time -----
+	// ----- solve the cyclic core, one independent block at a time;
+	// the blocks and their stochastic restarts run as a deterministic
+	// worker-pool portfolio (see portfolio.go) -----
 	comps := []matrix.Component{{Problem: core}}
 	if !opt.DisablePartition {
 		if split := matrix.Components(core); len(split) > 1 {
 			comps = split
 		}
 	}
+	states := solveBlocks(comps, opt, tr)
 	best := append([]int(nil), essential...)
 	lbSum := float64(essCost)
 	ceilSum := essCost
-	for _, comp := range comps {
-		sol, lb, ok := solveCore(comp.Problem, opt, rng, &res.Stats, tr)
+	for _, cs := range states {
+		sol, lb, ok := cs.merge(&res.Stats)
 		if !ok {
 			res.Stats.TotalTime = time.Since(t0)
 			return res
@@ -202,55 +216,6 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	}
 	res.finish(p, best, lbSum, ceilSum, t0)
 	return res
-}
-
-// solveCore runs the initial subgradient phase plus the NumIter
-// constructive runs on one cyclic core (or one independent block of
-// it), returning the best cover found (column ids of the original
-// problem), a valid lower bound on the block's optimum, and whether
-// the block is coverable at all.
-func solveCore(core *matrix.Problem, opt Options, rng *rand.Rand, st *Stats, tr *budget.Tracker) ([]int, float64, bool) {
-	compact, ids := core.Compact()
-	sg := lagrangian.SubgradientBudget(compact, opt.Params, nil, 0, tr)
-	st.SubgradIters += sg.Iters
-	if sg.Best == nil {
-		return nil, 0, false
-	}
-	lb := sg.LB
-	if math.IsInf(lb, -1) {
-		// Zero iterations under an exhausted budget certify nothing
-		// beyond the trivial bound (costs are non-negative).
-		lb = 0
-	}
-	best := core.Irredundant(mapCols(sg.Best, ids))
-	bestCost := core.CostOf(best)
-	if float64(bestCost) <= math.Ceil(lb-1e-9) {
-		return best, lb, true
-	}
-
-	for run := 1; run <= opt.NumIter; run++ {
-		if tr.Interrupted() {
-			break // keep the incumbent from the phases that did run
-		}
-		st.Runs++
-		window := 1 // first run: strictly best-rated column
-		if run > 1 {
-			window = opt.BestCol + (run - 2)
-		}
-		cand, candCost, lbRun, iters, steps := runOnce(core, bestCost, opt, rng, window, tr)
-		st.SubgradIters += iters
-		st.FixSteps += steps
-		if lbRun > lb {
-			lb = lbRun
-		}
-		if cand != nil && candCost < bestCost {
-			best, bestCost = cand, candCost
-		}
-		if float64(bestCost) <= math.Ceil(lb-1e-9) {
-			break
-		}
-	}
-	return best, lb, true
 }
 
 // finish cleans up and records the combined solution.  ceilLB is the

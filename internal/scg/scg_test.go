@@ -168,41 +168,51 @@ func TestAblationsStillValid(t *testing.T) {
 }
 
 func TestImplicitReducePreservesOptimum(t *testing.T) {
-	rng := rand.New(rand.NewSource(86))
-	for trial := 0; trial < 150; trial++ {
-		p := randomProblem(rng, 9, 9, 3)
-		want := bnb.Solve(p, bnb.Options{}).Cost
-		ir := ImplicitReduce(p, 1, 1) // thresholds tiny: run to fixpoint
-		if ir.Infeasible {
-			t.Fatalf("trial %d: feasible problem reported infeasible", trial)
+	// Both implicit engines must preserve the optimum: the dense
+	// shortcut (default on these small dense instances) and the ZDD.
+	for _, dense := range []bool{true, false} {
+		restore := SetDenseImplicit(dense)
+		rng := rand.New(rand.NewSource(86))
+		for trial := 0; trial < 150; trial++ {
+			p := randomProblem(rng, 9, 9, 3)
+			want := bnb.Solve(p, bnb.Options{}).Cost
+			ir := ImplicitReduce(p, 1, 1) // thresholds tiny: run to fixpoint
+			if ir.Infeasible {
+				t.Fatalf("dense=%v trial %d: feasible problem reported infeasible", dense, trial)
+			}
+			got := p.CostOf(ir.Essential)
+			if len(ir.Core.Rows) > 0 {
+				got += bnb.Solve(ir.Core, bnb.Options{}).Cost
+			}
+			if got != want {
+				t.Fatalf("dense=%v trial %d: implicit reduction changed optimum: %d != %d\nrows=%v cost=%v ess=%v core=%v",
+					dense, trial, got, want, p.Rows, p.Cost, ir.Essential, ir.Core.Rows)
+			}
 		}
-		got := p.CostOf(ir.Essential)
-		if len(ir.Core.Rows) > 0 {
-			got += bnb.Solve(ir.Core, bnb.Options{}).Cost
-		}
-		if got != want {
-			t.Fatalf("trial %d: implicit reduction changed optimum: %d != %d\nrows=%v cost=%v ess=%v core=%v",
-				trial, got, want, p.Rows, p.Cost, ir.Essential, ir.Core.Rows)
-		}
+		restore()
 	}
 }
 
 func TestImplicitReduceAgreesWithExplicit(t *testing.T) {
-	rng := rand.New(rand.NewSource(87))
-	for trial := 0; trial < 100; trial++ {
-		p := randomProblem(rng, 9, 9, 1)
-		ir := ImplicitReduce(p, 1, 1)
-		er := matrix.Reduce(p)
-		if ir.Infeasible != er.Infeasible {
-			t.Fatalf("trial %d: infeasibility disagreement", trial)
+	for _, dense := range []bool{true, false} {
+		restore := SetDenseImplicit(dense)
+		rng := rand.New(rand.NewSource(87))
+		for trial := 0; trial < 100; trial++ {
+			p := randomProblem(rng, 9, 9, 1)
+			ir := ImplicitReduce(p, 1, 1)
+			er := matrix.Reduce(p)
+			if ir.Infeasible != er.Infeasible {
+				t.Fatalf("dense=%v trial %d: infeasibility disagreement", dense, trial)
+			}
+			// The cyclic cores must have the same number of rows: both
+			// reduction systems implement the same fixpoint.
+			irFinal := matrix.Reduce(ir.Core) // implicit may stop at threshold
+			if len(irFinal.Core.Rows) != len(er.Core.Rows) {
+				t.Fatalf("dense=%v trial %d: core sizes differ: %d vs %d",
+					dense, trial, len(irFinal.Core.Rows), len(er.Core.Rows))
+			}
 		}
-		// The cyclic cores must have the same number of rows: both
-		// reduction systems implement the same fixpoint.
-		irFinal := matrix.Reduce(ir.Core) // implicit may stop at threshold
-		if len(irFinal.Core.Rows) != len(er.Core.Rows) {
-			t.Fatalf("trial %d: core sizes differ: %d vs %d",
-				trial, len(irFinal.Core.Rows), len(er.Core.Rows))
-		}
+		restore()
 	}
 }
 
@@ -221,6 +231,19 @@ func TestStatsPopulated(t *testing.T) {
 	if res.Stats.TotalTime <= 0 {
 		t.Fatal("total time not measured")
 	}
+	// The implicit phase ran on exactly one engine: ZDD nodes were
+	// allocated, or the dense shortcut claimed the instance.
+	if res.Stats.ZDDNodes == 0 && !res.Stats.ImplicitDense {
+		t.Fatal("implicit phase did not run")
+	}
+	if res.Stats.ZDDNodes > 0 && res.Stats.ImplicitDense {
+		t.Fatal("both implicit engines claim to have run")
+	}
+
+	// Forcing the ZDD engine must still populate its node counter.
+	restore := SetDenseImplicit(false)
+	defer restore()
+	res = Solve(p, Options{NumIter: 2, Seed: 1})
 	if res.Stats.ZDDNodes == 0 {
 		t.Fatal("ZDD phase did not run")
 	}

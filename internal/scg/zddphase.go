@@ -19,6 +19,32 @@ type ImplicitResult struct {
 	Aborted  bool
 	ZDDNodes int // nodes allocated by the manager
 	Passes   int // reduction sweeps executed
+	// Dense is set when the phase ran on the dense bit-matrix engine
+	// instead of the ZDD: the instance was small and dense enough that
+	// word-parallel explicit reductions beat ZDD operations outright.
+	// ZDDNodes and Passes are then zero.
+	Dense bool
+}
+
+// denseImplicit gates the dense shortcut of ImplicitReduceBudget; the
+// tests flip it to exercise the ZDD engine on instances the shortcut
+// would otherwise claim.
+var denseImplicit = true
+
+// validCols reports whether every entry indexes the cost vector.
+// matrix.New enforces this, but the implicit phase is also the place
+// where hand-built Problems get caught, so the dense shortcut (whose
+// kernels index unchecked) verifies before claiming the instance; the
+// ZDD path reports bad ids through m.Set.
+func validCols(p *matrix.Problem) bool {
+	for _, r := range p.Rows {
+		for _, j := range r {
+			if j < 0 || j >= p.NCol {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // ImplicitReduce loads the covering matrix into a single ZDD — one set
@@ -50,6 +76,27 @@ func ImplicitReduce(p *matrix.Problem, maxR, maxC int) *ImplicitResult {
 // cover it would produce with the implicit phase disabled.
 func ImplicitReduceBudget(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget.Tracker) (res *ImplicitResult) {
 	res = &ImplicitResult{}
+
+	// Small dense instances skip the ZDD entirely: the dense bit-matrix
+	// engine reaches the same fixpoint (same reductions, same
+	// tie-breaks) in word-parallel passes with none of the ZDD-node
+	// overhead.  A node cap is an explicit request to budget the ZDD
+	// engine — the cap→abort→explicit degradation ladder is part of the
+	// budget contract — so the shortcut only applies without one.  If
+	// the deadline cuts the dense pass short the partially reduced core
+	// is still an equivalent problem, so it is returned rather than
+	// aborted.
+	if denseImplicit && nodeCap == 0 && validCols(p) && matrix.DenseEligible(p) {
+		red := matrix.ReduceBudget(p, tr)
+		res.Dense = true
+		res.Infeasible = red.Infeasible
+		if !red.Infeasible {
+			res.Essential = red.Essential
+			res.Core = red.Core
+		}
+		return res
+	}
+
 	m := zdd.New()
 	m.SetNodeLimit(nodeCap)
 	defer func() {
