@@ -2,11 +2,11 @@
 
 GO ?= go
 
-# The hot-substrate microbenches tracked across PRs (see BENCH_pr2.json
+# The hot-substrate microbenches tracked across PRs (see BENCH_pr3.json
 # for the committed baseline and DESIGN.md for interpretation).
 SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$
 
-.PHONY: build test check fuzz bench bench-all
+.PHONY: build test check bench-diff fuzz bench bench-all
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,21 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: vet, the full suite under the race
-# detector (which exercises the budget/cancellation paths and the
-# restart portfolio with real concurrency), and a one-iteration smoke
-# run of the substrate benches so a broken bench never reaches main.
+# detector (which exercises the budget/cancellation paths, the restart
+# portfolio and the pooled-scratch reuse with real concurrency), and
+# the bench-diff regression gate on the substrate benches.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x . >/dev/null
+	$(MAKE) bench-diff
+
+# bench-diff reruns the substrate benches and fails on regression
+# against the committed baseline: >25% ns/op growth or >0.5% allocs/op
+# growth — the allowance absorbs the parallel portfolio's
+# scheduler-dependent pool jitter (see cmd/benchfmt).
+bench-diff:
+	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . \
+	| $(GO) run ./cmd/benchfmt -against BENCH_pr3.json
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
 # acceptance bar: no panic reachable through the public API).
@@ -35,12 +43,12 @@ fuzz:
 
 # bench measures the hot substrates (5 repetitions each, plus the
 # portfolio under -cpu 1,2,4,8) and records the results in
-# BENCH_pr2.json; commit the refreshed file when a change moves them.
+# BENCH_pr3.json; commit the refreshed file when a change moves them.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; } \
-	| $(GO) run ./cmd/benchfmt -o BENCH_pr2.json \
-	  -note "vs PR1 baseline: ZDDReductions ~4.8-7.2ms, Subgradient ~23-25ms, SCGCore ~557-602ms. Portfolio cost/op must match across -cpu settings (determinism contract); wall-clock -cpu scaling needs >1 physical CPU."
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr3.json \
+	  -note "PR3: zero-allocation subgradient core (CSC mirror, incremental caches, count-derived greedy starts, scratch reuse). vs PR2 baseline mins: Subgradient 8.8ms -> ~5.8-7ms, SCGCore 247ms -> ~191ms, SCGPortfolio 1.85s -> ~1.47s. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
 
 # bench-all runs every benchmark once: the paper tables, the ablations
 # and the substrates.

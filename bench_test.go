@@ -25,6 +25,7 @@ import (
 // BenchmarkFigure1Bounds regenerates Figure 1: the bound chain
 // LB_MIS < LB_DA < LB_LR on the witness matrix.
 func BenchmarkFigure1Bounds(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.Figure1()
 		if r.MIS != 1 || r.DualAscent != 2 || r.Optimum != 3 {
@@ -37,6 +38,7 @@ func BenchmarkFigure1Bounds(b *testing.B) {
 // easy cyclic instances, reporting the total-cost metrics the paper
 // quotes (total 5225 vs bound 5213, 0.22% gap, on the originals).
 func BenchmarkEasyCyclic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := harness.EasyCyclic()
 		b.ReportMetric(float64(s.TotalSCG), "totalcost/op")
@@ -48,6 +50,7 @@ func BenchmarkEasyCyclic(b *testing.B) {
 }
 
 func benchHeuristicTable(b *testing.B, rows func() []harness.HeuristicRow) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := rows()
 		scgTotal, espTotal, strongTotal, optimal := 0, 0, 0, 0
@@ -75,6 +78,7 @@ func BenchmarkTable1(b *testing.B) { benchHeuristicTable(b, harness.Table1) }
 func BenchmarkTable2(b *testing.B) { benchHeuristicTable(b, harness.Table2) }
 
 func benchExactTable(b *testing.B, rows func(int, int64) []harness.ExactRow) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := rows(2, 50_000)
 		scgTotal, exTotal := 0, 0
@@ -106,6 +110,7 @@ func BenchmarkTable4(b *testing.B) { benchExactTable(b, harness.Table4) }
 // BenchmarkBoundsStudy regenerates the Proposition 1 comparison on 20
 // random covering instances.
 func BenchmarkBoundsStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := harness.BoundsStudy(20)
 		strict := 0
@@ -122,6 +127,7 @@ func BenchmarkBoundsStudy(b *testing.B) {
 
 // BenchmarkAblationAlpha sweeps the fixing weight α of σ = c̃ − α·μ.
 func BenchmarkAblationAlpha(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, r := range harness.AblationAlpha() {
 			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
@@ -131,6 +137,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 
 // BenchmarkAblationGamma compares the four greedy rating functions.
 func BenchmarkAblationGamma(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, g := range harness.AblationGamma() {
 			b.ReportMetric(float64(g.Total), g.Label+"/op")
@@ -141,6 +148,7 @@ func BenchmarkAblationGamma(b *testing.B) {
 // BenchmarkAblationPenalties measures the penalty and promising-column
 // fixing machinery.
 func BenchmarkAblationPenalties(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, r := range harness.AblationPenalties() {
 			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
@@ -150,6 +158,7 @@ func BenchmarkAblationPenalties(b *testing.B) {
 
 // BenchmarkAblationRestarts sweeps the stochastic restart count.
 func BenchmarkAblationRestarts(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, r := range harness.AblationRestarts() {
 			b.ReportMetric(float64(r.Total), r.Label+"-cost/op")
@@ -160,6 +169,7 @@ func BenchmarkAblationRestarts(b *testing.B) {
 // BenchmarkAblationWarmStart contrasts dual-ascent vs zero multiplier
 // initialisation under a tight iteration budget.
 func BenchmarkAblationWarmStart(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := harness.AblationWarmStart()
 		b.ReportMetric(rows[0].TotalLB, "warm-LB/op")
@@ -170,6 +180,7 @@ func BenchmarkAblationWarmStart(b *testing.B) {
 // BenchmarkAblationSolverWarmStart compares inheriting multipliers
 // across fixing phases against cold dual-ascent restarts.
 func BenchmarkAblationSolverWarmStart(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, r := range harness.AblationSolverWarmStart() {
 			b.ReportMetric(r.Time.Seconds(), r.Label+"-sec/op")
@@ -181,6 +192,7 @@ func BenchmarkAblationSolverWarmStart(b *testing.B) {
 // BenchmarkAblationImplicit compares ZDD-implicit against purely
 // explicit reductions inside ZDD_SCG.
 func BenchmarkAblationImplicit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, r := range harness.AblationImplicit() {
 			b.ReportMetric(r.Time.Seconds(), r.Label+"-sec/op")
@@ -193,6 +205,7 @@ func BenchmarkAblationImplicit(b *testing.B) {
 // BenchmarkZDDReductions measures the implicit reduction of a 300x120
 // cyclic covering matrix to its core.
 func BenchmarkZDDReductions(b *testing.B) {
+	b.ReportAllocs()
 	p := benchmarks.CyclicCovering(9, 300, 120, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -206,6 +219,7 @@ func BenchmarkZDDReductions(b *testing.B) {
 // BenchmarkZDDUnion measures raw family construction: inserting 2000
 // random triples into one ZDD.
 func BenchmarkZDDUnion(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	sets := make([][]int, 2000)
 	for i := range sets {
@@ -227,6 +241,7 @@ func BenchmarkZDDUnion(b *testing.B) {
 // BenchmarkSubgradient measures one full subgradient ascent phase on a
 // 200x100 cyclic core.
 func BenchmarkSubgradient(b *testing.B) {
+	b.ReportAllocs()
 	p := benchmarks.CyclicCovering(11, 200, 100, 3)
 	q, _ := p.Compact()
 	b.ResetTimer()
@@ -241,6 +256,7 @@ func BenchmarkSubgradient(b *testing.B) {
 // BenchmarkSCGCore measures ZDD_SCG end to end on one mid-size cyclic
 // covering matrix.
 func BenchmarkSCGCore(b *testing.B) {
+	b.ReportAllocs()
 	p := benchmarks.CyclicCovering(13, 250, 120, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -256,6 +272,7 @@ func BenchmarkSCGCore(b *testing.B) {
 // restart-level scaling; the solution and Stats are bit-identical
 // across the settings by the determinism contract (DESIGN.md).
 func BenchmarkSCGPortfolio(b *testing.B) {
+	b.ReportAllocs()
 	p := benchmarks.CyclicCovering(13, 250, 120, 3)
 	b.ResetTimer()
 	var cost int
@@ -275,6 +292,7 @@ func BenchmarkSCGPortfolio(b *testing.B) {
 // BenchmarkPrimesAndCovering measures the Quine–McCluskey front end on
 // the t1 replica.
 func BenchmarkPrimesAndCovering(b *testing.B) {
+	b.ReportAllocs()
 	var inst benchmarks.Instance
 	for _, in := range benchmarks.DifficultCyclic() {
 		if in.Name == "t1" {
@@ -295,6 +313,7 @@ func BenchmarkPrimesAndCovering(b *testing.B) {
 // matrix is loaded as a ZDD family of rows and, for comparison, each
 // instance's ON-set minterms are encoded as a characteristic BDD.
 func BenchmarkImplicitEncodingZDD(b *testing.B) {
+	b.ReportAllocs()
 	p := benchmarks.CyclicCovering(17, 400, 150, 3)
 	nodes := 0
 	for i := 0; i < b.N; i++ {
@@ -314,6 +333,7 @@ func BenchmarkImplicitEncodingZDD(b *testing.B) {
 // BenchmarkImplicitEncodingBDD measures the characteristic-function
 // encoding of the t1 replica's ON-set minterms.
 func BenchmarkImplicitEncodingBDD(b *testing.B) {
+	b.ReportAllocs()
 	var inst benchmarks.Instance
 	for _, in := range benchmarks.DifficultCyclic() {
 		if in.Name == "t1" {

@@ -2,9 +2,14 @@
 // into a small JSON document: one entry per benchmark line with every
 // reported metric, plus a per-benchmark min/mean/max summary across
 // -count repetitions.  It exists so `make bench` can commit a stable,
-// diffable baseline (BENCH_pr2.json) instead of raw bench text.
+// diffable baseline (BENCH_pr3.json) instead of raw bench text.
 //
-//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchfmt -o BENCH_pr2.json
+//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchfmt -o BENCH_pr3.json
+//
+// With -against it also diffs the run against a committed baseline and
+// exits non-zero on regression (`make bench-diff`):
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 3 . | benchfmt -against BENCH_pr2.json
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -53,6 +59,7 @@ type Doc struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the document")
+	against := flag.String("against", "", "baseline JSON document to compare with; exits non-zero on regression")
 	flag.Parse()
 
 	doc := &Doc{
@@ -122,13 +129,95 @@ func main() {
 		fatal("marshal: %v", err)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal("write: %v", err)
+		}
+	} else if *against == "" {
 		os.Stdout.Write(buf)
-		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal("write: %v", err)
+
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			fatal("baseline: %v", err)
+		}
+		base := &Doc{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fatal("baseline %s: %v", *against, err)
+		}
+		if !compare(os.Stdout, doc, base, *against) {
+			os.Exit(1)
+		}
 	}
+}
+
+// Regression thresholds for -against: timing may wobble by up to 25%
+// before failing the gate (shared machines are noisy), plus an
+// absolute slack so sub-millisecond benchmarks — whose noise floor
+// (scheduler ticks, cold caches) is a large fraction of the runtime —
+// don't flake the gate while it stays meaningful for the ms-to-s
+// benches.  Allocation counts are near-deterministic, but the parallel
+// portfolio's sync.Pool behaviour is scheduler-dependent, so its count
+// jitters by a few per-op in the hundreds of thousands between runs; a
+// 0.5% allowance absorbs that while a real leak (orders of magnitude
+// larger) still fails.
+const (
+	maxNsGrowth     = 0.25
+	minNsSlack      = 100e3 // 100µs
+	maxAllocsGrowth = 0.005
+)
+
+// compare prints a per-benchmark delta table of the current document
+// against a baseline and reports whether the gate passes.  Metrics are
+// compared on their minima (the least-noise repetition); benchmarks or
+// metrics absent from the baseline are reported but never fail.
+func compare(w io.Writer, doc, base *Doc, name string) bool {
+	fmt.Fprintf(w, "\nvs %s:\n", name)
+	keys := make([]string, 0, len(doc.Summary))
+	for key := range doc.Summary {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	ok := true
+	for _, key := range keys {
+		bm := base.Summary[key]
+		if bm == nil {
+			fmt.Fprintf(w, "  %-44s (not in baseline)\n", key)
+			continue
+		}
+		units := make([]string, 0, len(doc.Summary[key]))
+		for unit := range doc.Summary[key] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			s, bs := doc.Summary[key][unit], bm[unit]
+			if bs == nil {
+				fmt.Fprintf(w, "  %-44s %12.4g %-11s (metric not in baseline)\n", key, s.Min, unit)
+				continue
+			}
+			verdict := ""
+			switch {
+			case unit == "allocs/op" && s.Min > bs.Min*(1+maxAllocsGrowth):
+				verdict = "REGRESSION (allocation growth)"
+				ok = false
+			case unit == "ns/op" && bs.Min > 0 && s.Min > bs.Min*(1+maxNsGrowth)+minNsSlack:
+				verdict = fmt.Sprintf("REGRESSION (>%d%% slower)", int(maxNsGrowth*100))
+				ok = false
+			}
+			delta := "n/a"
+			if bs.Min != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (s.Min-bs.Min)/bs.Min*100)
+			}
+			fmt.Fprintf(w, "  %-44s %12.4g %-11s baseline %12.4g  %8s  %s\n",
+				key, s.Min, unit, bs.Min, delta, verdict)
+		}
+	}
+	if ok {
+		fmt.Fprintln(w, "  no regressions")
+	}
+	return ok
 }
 
 // parseLine decodes one "BenchmarkName-8  N  v1 unit1  v2 unit2 ..."

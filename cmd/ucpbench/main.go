@@ -20,6 +20,7 @@ import (
 	"os/signal"
 
 	"ucp/internal/harness"
+	"ucp/internal/prof"
 )
 
 func main() {
@@ -29,9 +30,18 @@ func main() {
 		numIter    = flag.Int("numiter", 2, "ZDD_SCG constructive runs for tables 3 and 4")
 		samples    = flag.Int("samples", 20, "instances in the bound study")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 5m (0 = unlimited); remaining experiments are skipped once it expires")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucpbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	// The deadline (and Ctrl-C) is checked between experiments: each
 	// experiment that starts runs to completion, so every printed table
@@ -84,6 +94,7 @@ func main() {
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "ucpbench: unknown experiment %q\n", name)
+			stopProf() // os.Exit skips the deferred flush
 			os.Exit(2)
 		}
 		fmt.Fprintln(w)

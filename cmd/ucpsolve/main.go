@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ucp"
+	"ucp/internal/prof"
 )
 
 func main() {
@@ -38,8 +39,17 @@ func main() {
 		maxNodes   = flag.Int64("maxnodes", 0, "node cap for the exact solver (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 30s (0 = unlimited); on expiry or Ctrl-C the best solution so far is printed")
 		bounds     = flag.Bool("bounds", false, "also print the four lower bounds (matrix mode)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	flushProfiles = stopProf
+	defer stopProf()
 
 	// Ctrl-C cancels the budget context: the solvers unwind with their
 	// best-so-far cover instead of the process dying mid-solve.
@@ -70,8 +80,13 @@ func main() {
 	}
 }
 
+// flushProfiles writes any active profiles; fatal must run it because
+// os.Exit skips the deferred flush in main.
+var flushProfiles = func() {}
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ucpsolve: "+format+"\n", args...)
+	flushProfiles()
 	os.Exit(1)
 }
 

@@ -124,6 +124,18 @@ func (v Vec) AndNot(w Vec) {
 	}
 }
 
+// AndNotPopcount removes w's bits from v and returns the number of
+// bits still set, in one pass over the words.
+func (v Vec) AndNotPopcount(w Vec) int {
+	n := 0
+	for k := range v {
+		x := v[k] &^ w[k]
+		v[k] = x
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
 // Range calls fn for every set bit in ascending order until fn returns
 // false.
 func (v Vec) Range(fn func(i int) bool) {

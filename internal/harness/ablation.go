@@ -130,7 +130,7 @@ func AblationGamma() []GammaResult {
 		for _, in := range ablationInstances() {
 			prob := Covering(in)
 			q, _ := prob.Compact()
-			sol := lagrangian.GreedyLagrangian(q, q.ColumnRows(), lagrangian.FloatCosts(q), v)
+			sol := lagrangian.GreedyLagrangian(q, lagrangian.FloatCosts(q), v)
 			g.Total += q.CostOf(sol)
 		}
 		out = append(out, g)

@@ -10,7 +10,7 @@ package lagrangian
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"ucp/internal/budget"
 	"ucp/internal/matrix"
@@ -36,11 +36,23 @@ func DualAscent(p *matrix.Problem, m0 []float64) ([]float64, float64) {
 // vector (trivially dual feasible, bound 0) so the returned value is
 // always a valid lower bound.
 func DualAscentBudget(p *matrix.Problem, m0 []float64, tr *budget.Tracker) ([]float64, float64) {
+	var da daScratch
+	m, w := da.run(p, m0, tr)
+	if m == nil {
+		return nil, w
+	}
+	return append([]float64(nil), m...), w
+}
+
+// run is the dual ascent against da's buffers; the returned slice is
+// backed by da, valid until its next use.
+func (da *daScratch) run(p *matrix.Problem, m0 []float64, tr *budget.Tracker) ([]float64, float64) {
 	nr := len(p.Rows)
 	if nr == 0 {
 		return nil, 0
 	}
-	cbar := make([]float64, nr)
+	da.cbar = growF64(da.cbar, nr)
+	cbar := da.cbar
 	for i, r := range p.Rows {
 		cb := math.Inf(1)
 		for _, j := range r {
@@ -50,27 +62,29 @@ func DualAscentBudget(p *matrix.Problem, m0 []float64, tr *budget.Tracker) ([]fl
 		}
 		cbar[i] = cb
 	}
+	da.m = growF64(da.m, nr)
 	if m0 != nil {
-		m := make([]float64, nr)
-		for i := range m {
-			m[i] = math.Min(math.Max(m0[i], 0), cbar[i])
+		for i := range da.m {
+			da.m[i] = math.Min(math.Max(m0[i], 0), cbar[i])
 		}
-		return ascend(p, cbar, m, tr)
+		return da.ascend(p, cbar, da.m, tr)
 	}
 	// Cold start: try both the all-c̄ start (decrease into
 	// feasibility) and the independent-set start (already feasible, so
 	// only phase 2 applies).  The latter guarantees the Proposition 1
 	// dominance LB_DA ≥ LB_MIS; the former often does better on dense
 	// matrices.  Keep the stronger result.
-	full := make([]float64, nr)
-	copy(full, cbar)
-	mA, wA := ascend(p, cbar, full, tr)
+	copy(da.m, cbar)
+	mA, wA := da.ascend(p, cbar, da.m, tr)
 	_, misRows := matrix.MISBound(p)
-	seed := make([]float64, nr)
-	for _, i := range misRows {
-		seed[i] = cbar[i]
+	da.seed = growF64(da.seed, nr)
+	for i := range da.seed {
+		da.seed[i] = 0
 	}
-	mB, wB := ascend(p, cbar, seed, tr)
+	for _, i := range misRows {
+		da.seed[i] = cbar[i]
+	}
+	mB, wB := da.ascend(p, cbar, da.seed, tr)
 	if wB > wA {
 		return mB, wB
 	}
@@ -79,11 +93,15 @@ func DualAscentBudget(p *matrix.Problem, m0 []float64, tr *budget.Tracker) ([]fl
 
 // ascend runs the two dual-ascent phases from the start vector m,
 // which must already respect 0 ≤ m ≤ c̄.  m is modified in place.
-func ascend(p *matrix.Problem, cbar, m []float64, tr *budget.Tracker) ([]float64, float64) {
+func (da *daScratch) ascend(p *matrix.Problem, cbar, m []float64, tr *budget.Tracker) ([]float64, float64) {
 	nr := len(p.Rows)
 
 	// colSum[j] = Σ_{i covered by j} m_i; viol_j = colSum[j] - c_j.
-	colSum := make([]float64, p.NCol)
+	da.colSum = growF64(da.colSum, p.NCol)
+	colSum := da.colSum
+	for j := range colSum {
+		colSum[j] = 0
+	}
 	for i, r := range p.Rows {
 		for _, j := range r {
 			colSum[j] += m[i]
@@ -91,19 +109,23 @@ func ascend(p *matrix.Problem, cbar, m []float64, tr *budget.Tracker) ([]float64
 	}
 
 	// Phase 1: decrease.  Rows covered by many columns first: lowering
-	// them relaxes many constraints per unit of objective lost.
-	order := make([]int, nr)
-	for i := range order {
-		order[i] = i
+	// them relaxes many constraints per unit of objective lost.  The
+	// (length desc, index asc) comparator is total, so sorting packed
+	// (maxPack − length, index) keys gives the identical order without
+	// a comparator closure.
+	da.order = growI32(da.order, nr)
+	da.keys = growI64(da.keys, nr)
+	const maxPack = 1<<31 - 1
+	for i := 0; i < nr; i++ {
+		da.keys[i] = int64(maxPack-len(p.Rows[i]))<<32 | int64(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		la, lb := len(p.Rows[order[a]]), len(p.Rows[order[b]])
-		if la != lb {
-			return la > lb
-		}
-		return order[a] < order[b]
-	})
-	for _, i := range order {
+	slices.Sort(da.keys)
+	order := da.order
+	for k, key := range da.keys {
+		order[k] = int32(key & 0xffffffff)
+	}
+	for _, oi := range order {
+		i := int(oi)
 		worst := 0.0
 		for _, j := range p.Rows[i] {
 			if v := colSum[j] - float64(p.Cost[j]); v > worst {
@@ -135,7 +157,8 @@ func ascend(p *matrix.Problem, cbar, m []float64, tr *budget.Tracker) ([]float64
 			return m, 0
 		}
 		fixed := true
-		for _, i := range order {
+		for _, oi := range order {
+			i := int(oi)
 			if m[i] == 0 {
 				continue
 			}
@@ -160,11 +183,10 @@ func ascend(p *matrix.Problem, cbar, m []float64, tr *budget.Tracker) ([]float64
 	}
 
 	// Phase 2: increase.  Rows covered by few columns first: raising
-	// them consumes slack in few constraints.
-	for k := len(order)/2 - 1; k >= 0; k-- { // reverse: ascending order
-		order[k], order[len(order)-1-k] = order[len(order)-1-k], order[k]
-	}
-	for _, i := range order {
+	// them consumes slack in few constraints — the phase-1 order walked
+	// backwards.
+	for k := len(order) - 1; k >= 0; k-- {
+		i := int(order[k])
 		slack := math.Inf(1)
 		for _, j := range p.Rows[i] {
 			if s := float64(p.Cost[j]) - colSum[j]; s < slack {

@@ -33,7 +33,6 @@ func TestDenseSparseGreedyAgree(t *testing.T) {
 			cost[j] = 1 + rng.Intn(4)
 		}
 		p := matrix.MustNew(rows, nc, cost)
-		colRows := p.ColumnRows()
 		bm := bitmat.Build(p.Rows, p.NCol)
 
 		// Random lagrangian costs, some non-positive to exercise the
@@ -44,7 +43,7 @@ func TestDenseSparseGreedyAgree(t *testing.T) {
 		}
 
 		for v := GammaPerRow; v <= GammaRowLog; v++ {
-			sparse := GreedyLagrangian(p, colRows, ctilde, v)
+			sparse := GreedyLagrangian(p, ctilde, v)
 			dense := GreedyLagrangianDense(p, bm, ctilde, v)
 			if !reflect.DeepEqual(sparse, dense) {
 				t.Fatalf("trial %d variant %d: sparse %v dense %v", trial, v, sparse, dense)
@@ -62,7 +61,7 @@ func TestDenseGreedyInfeasible(t *testing.T) {
 	if got := GreedyLagrangianDense(p, bm, ctilde, GammaPerRow); got != nil {
 		t.Fatalf("dense greedy returned %v on infeasible problem", got)
 	}
-	if got := GreedyLagrangian(p, p.ColumnRows(), ctilde, GammaPerRow); got != nil {
+	if got := GreedyLagrangian(p, ctilde, GammaPerRow); got != nil {
 		t.Fatalf("sparse greedy returned %v on infeasible problem", got)
 	}
 }

@@ -131,9 +131,8 @@ func TestGreedyProducesIrredundantCover(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	for trial := 0; trial < 200; trial++ {
 		p := randomProblem(rng, 9, 9, 4)
-		colRows := p.ColumnRows()
 		for v := GammaPerRow; v <= GammaRowImportance; v++ {
-			sol := GreedyLagrangian(p, colRows, FloatCosts(p), v)
+			sol := GreedyLagrangian(p, FloatCosts(p), v)
 			if sol == nil {
 				t.Fatalf("trial %d: greedy failed on feasible problem", trial)
 			}

@@ -82,18 +82,26 @@ type Multipliers struct {
 	Mu     []float64
 }
 
-// Result is the outcome of one subgradient ascent phase.
+// Result is the outcome of one subgradient ascent phase.  Every slice
+// is freshly allocated — a Result never aliases the Scratch it was
+// computed with.
 type Result struct {
 	Lambda        []float64 // multipliers achieving LB
 	Mu            []float64 // dual-lagrangian multipliers achieving UBDual
 	CTilde        []float64 // lagrangian costs c − A'λ at Lambda
 	LB            float64   // best lagrangian lower bound z*_LP(λ)
 	UBDual        float64   // best dual-lagrangian upper bound on z*_P
-	Best          []int     // cheapest feasible solution found
-	BestCost      int
-	ProvedOptimal bool // BestCost == ⌈LB⌉
+	Best          []int     // cheapest feasible solution found by the heuristic
+	BestCost      int       // true cost of Best (always p.CostOf(Best))
+	ProvedOptimal bool      // BestCost == ⌈LB⌉
 	Iters         int
 }
+
+// debugIterCheck, when non-nil, is invoked at the end of every
+// subgradient iteration with the engine's scratch so differential
+// tests can hold the incremental caches (c̃, e, m, g, cnt) to
+// bit-equality against from-scratch recomputation.
+var debugIterCheck func(p *matrix.Problem, sc *Scratch)
 
 // Subgradient runs the two-sided subgradient scheme of §3.2–3.3 on the
 // compact problem p: the primal lagrangian multipliers λ are pushed
@@ -102,7 +110,9 @@ type Result struct {
 // supplies the bound the other uses in its step size.  init may carry
 // multipliers from a previous phase (nil for a cold start, which seeds
 // λ from dual ascent and μ from a greedy cover).  ub0, if positive, is
-// a known feasible cost used as the initial upper bound.
+// a known feasible cost used as an external upper bound: it tightens
+// the stopping tests and step sizes but never masquerades as Best —
+// Result.BestCost is always the cost of Result.Best.
 func Subgradient(p *matrix.Problem, prm Params, init *Multipliers, ub0 int) *Result {
 	return SubgradientBudget(p, prm, init, ub0, nil)
 }
@@ -114,6 +124,25 @@ func Subgradient(p *matrix.Problem, prm Params, init *Multipliers, ub0 int) *Res
 // iterations, and LB only ever reports bounds actually certified by
 // some multiplier vector.
 func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int, tr *budget.Tracker) *Result {
+	var sc Scratch
+	return SubgradientScratch(p, prm, init, ub0, tr, &sc)
+}
+
+// SubgradientScratch is SubgradientBudget against caller-owned
+// scratch, the allocation-free core the fixing loop and the restart
+// portfolio run on.  All per-iteration state — the lagrangian costs
+// c̃ = c − A'λ, the dual partials e_i = 1 − Σμ, the inner dual
+// solution m and its subgradient g = c − A'm — lives in sc and is
+// updated incrementally: a multiplier step regathers only the columns
+// (rows) whose value actually changed, over the problem's CSC mirror,
+// and each regather replays the exact subtraction sequence of a full
+// rebuild, so every float is bit-identical to the from-scratch
+// computation (see DESIGN.md §9).  Steady-state iterations perform no
+// heap allocation.
+func SubgradientScratch(p *matrix.Problem, prm Params, init *Multipliers, ub0 int, tr *budget.Tracker, sc *Scratch) *Result {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	prm.fill()
 	nr, nc := len(p.Rows), p.NCol
 	res := &Result{}
@@ -122,70 +151,122 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 		res.ProvedOptimal = true
 		return res
 	}
-	colRows := p.ColumnRows()
-
-	// Dense bit-matrix sidecar for the coverage-counting kernels (the
-	// greedy primal heuristic and the per-iteration subgradient s);
-	// nil above the density/size threshold keeps everything sparse.
-	var bm *bitmat.Matrix
-	if matrix.DenseEligible(p) {
-		bm = bitmat.Build(p.Rows, p.NCol)
-	}
+	start, idx := p.CSC()
+	sc.attach(p)
+	cbar := sc.cbar
 
 	// ----- initial feasible solution (upper bound) -----
-	trueCosts := FloatCosts(p)
-	best := BestGreedy(p, colRows, bm, trueCosts)
-	if best == nil {
+	sc.trueCosts = growF64(sc.trueCosts, nc)
+	trueCosts := sc.trueCosts
+	for j := 0; j < nc; j++ {
+		trueCosts[j] = float64(p.Cost[j])
+	}
+	bestSol := sc.bestGreedy(p, trueCosts)
+	if bestSol == nil {
 		// Some row is uncoverable; report infeasibility by a nil Best.
 		return res
 	}
-	res.Best, res.BestCost = best, p.CostOf(best)
-	if ub0 > 0 && ub0 < res.BestCost {
-		res.BestCost = ub0 // caller knows a better cover elsewhere
+	res.Best = append(make([]int, 0, nc), bestSol...)
+	res.BestCost = p.CostOf(res.Best)
+	// ubKnown is the tightest feasible cost known anywhere — our own
+	// Best or the caller's external bound.  It drives the stopping
+	// tests and step sizes; Best/BestCost stay a consistent pair.
+	ubKnown := res.BestCost
+	if ub0 > 0 && ub0 < ubKnown {
+		ubKnown = ub0
 	}
 
 	// ----- multiplier initialisation -----
-	var lambda, mu []float64
+	sc.lambda = growF64(sc.lambda, nr)
+	sc.mu = growF64(sc.mu, nc)
+	lambda, mu := sc.lambda, sc.mu
 	if init != nil && len(init.Lambda) == nr && len(init.Mu) == nc {
-		lambda = append([]float64(nil), init.Lambda...)
-		mu = append([]float64(nil), init.Mu...)
+		copy(lambda, init.Lambda)
+		copy(mu, init.Mu)
 	} else {
 		// λ₀ from dual ascent (§3.3), μ₀ from the primal heuristic.
-		m, _ := DualAscentBudget(p, nil, tr)
-		lambda = m
-		mu = make([]float64, nc)
-		for _, j := range best {
+		m, _ := sc.da.run(p, nil, tr)
+		copy(lambda, m)
+		for j := range mu {
+			mu[j] = 0
+		}
+		for _, j := range res.Best {
 			mu[j] = 1
 		}
 	}
 
 	res.Lambda = append([]float64(nil), lambda...)
 	res.Mu = append([]float64(nil), mu...)
+	res.CTilde = make([]float64, nc)
 	res.LB = math.Inf(-1)
 	res.UBDual = math.Inf(1)
 
-	ctilde := make([]float64, nc)
-	s := make([]float64, nr) // primal subgradient e − Ap*
-	g := make([]float64, nc) // dual subgradient c − A'm*
-	var nonpos bitmat.Vec    // columns with c̃ ≤ 0, for the dense kernel
-	if bm != nil {
-		nonpos = bitmat.NewVec(nc)
+	// ----- incremental caches at (λ₀, μ₀) -----
+	// c̃_j gathered down column j subtracts the λ_i in ascending row
+	// order — the same sequence the row-major scatter produces — and
+	// cnt[i] counts the c̃ ≤ 0 columns of each row.  negCt mirrors the
+	// sign of every c̃_j, so both refresh paths can update cnt purely by
+	// sign flips (an exact integer delta) instead of rebuilding it.
+	sc.ctilde = growF64(sc.ctilde, nc)
+	sc.cnt = growI32(sc.cnt, nr)
+	ctilde, cnt := sc.ctilde, sc.cnt
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	m := make([]float64, nr) // dual-lagrangian inner solution
-	cbar := make([]float64, nr)
-	for i, r := range p.Rows {
-		cb := math.Inf(1)
-		for _, j := range r {
-			if float64(p.Cost[j]) < cb {
-				cb = float64(p.Cost[j])
+	sc.negCt = bitmat.GrowVec(sc.negCt, nc)
+	negCt := sc.negCt
+	negCt.Zero()
+	for j := 0; j < nc; j++ {
+		ctilde[j] = bitmat.GatherSub32(trueCosts[j], idx[start[j]:start[j+1]], lambda)
+		if ctilde[j] <= 0 {
+			negCt.Set(j)
+			for _, i := range idx[start[j]:start[j+1]] {
+				cnt[i]++
 			}
 		}
-		cbar[i] = cb
 	}
+	// Dual side: e_i = 1 − Σ_{j∋i} μ_j, the inner solution m_i = c̄_i
+	// when e_i > 0, and its subgradient g = c − A'm (gathering m down
+	// each column; the zero m_i subtract as exact no-ops, so skipping
+	// or including them is bit-identical).
+	sc.e = growF64(sc.e, nr)
+	sc.m = growF64(sc.m, nr)
+	e, m := sc.e, sc.m
+	for i := 0; i < nr; i++ {
+		e[i] = bitmat.GatherSub(1.0, p.Rows[i], mu)
+		if e[i] > 0 {
+			m[i] = cbar[i]
+		} else {
+			m[i] = 0
+		}
+	}
+	sc.g = growF64(sc.g, nc)
+	g := sc.g
+	for j := 0; j < nc; j++ {
+		g[j] = bitmat.GatherSub32(trueCosts[j], idx[start[j]:start[j+1]], m)
+	}
+	sc.s = growF64(sc.s, nr)
+	s := sc.s
+	sc.dirtyCols = bitmat.GrowVec(sc.dirtyCols, nc)
+	sc.dirtyRows = bitmat.GrowVec(sc.dirtyRows, nr)
+	sc.gDirty = bitmat.GrowVec(sc.gDirty, nc)
+	dirtyCols, dirtyRows, gDirty := sc.dirtyCols, sc.dirtyRows, sc.gDirty
+	sc.chRows = growI32(sc.chRows, nr)
+	sc.chCols = growI32(sc.chCols, nc)
+	chRows, chCols := sc.chRows, sc.chCols
 
 	t := prm.T0
 	sinceImprove := 0
 	variant := GammaPerRow
+
+	// zlL carries Σλ between iterations: the λ step re-accumulates it
+	// over the freshly written multipliers in the same ascending order
+	// as this seed loop, so the running value is always bit-identical
+	// to a from-scratch sum.
+	zlL := 0.0
+	for i := 0; i < nr; i++ {
+		zlL += lambda[i]
+	}
 
 	for k := 0; k < prm.MaxIters; k++ {
 		if tr.AddIters(1) {
@@ -193,70 +274,70 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 		}
 		res.Iters = k + 1
 
-		// ----- primal lagrangian value at λ -----
-		for j := 0; j < nc; j++ {
-			ctilde[j] = float64(p.Cost[j])
-		}
-		zl := 0.0
-		for i := 0; i < nr; i++ {
-			zl += lambda[i]
-			for _, j := range p.Rows[i] {
-				ctilde[j] -= lambda[i]
-			}
-		}
+		// ----- bound ingredients, fused -----
+		// One pass over the columns and one over the rows compute every
+		// per-iteration aggregate: z_λ (seeded with Σλ, then the c̃ ≤ 0
+		// terms in ascending column order), w_LD (μ·c terms first, then
+		// the e·c̄ terms — the exact order of the two-loop spelling),
+		// ‖g‖² and ‖s‖².  Each accumulator still sums its own terms in
+		// its own ascending order, so fusing changes no bits; g, e and
+		// cnt are untouched between here and their use below, so hoisting
+		// the norms costs nothing but a wasted sum on an early break.
+		zl := zlL
+		wld := 0.0
+		gnorm := 0.0
 		for j := 0; j < nc; j++ {
 			if ctilde[j] <= 0 {
 				zl += ctilde[j]
 			}
+			wld += mu[j] * trueCosts[j]
+			gnorm += g[j] * g[j]
+		}
+		norm := 0.0
+		for i := 0; i < nr; i++ {
+			if e[i] > 0 {
+				wld += e[i] * cbar[i]
+			}
+			si := 1 - float64(cnt[i])
+			s[i] = si
+			norm += si * si
 		}
 		improved := false
 		if zl > res.LB {
 			res.LB = zl
 			copy(res.Lambda, lambda)
-			res.CTilde = append(res.CTilde[:0], ctilde...)
 			improved = true
 		}
 
 		// ----- primal heuristic on the lagrangian costs -----
 		if improved || k%prm.GreedyEvery == 0 {
-			sol := greedyAuto(p, colRows, bm, ctilde, variant)
+			sol := sc.greedyAuto(p, ctilde, variant, cnt)
 			variant = (variant + 1) % 4
 			if sol != nil {
 				if c := p.CostOf(sol); c < res.BestCost {
-					res.Best, res.BestCost = sol, c
+					res.Best = append(res.Best[:0], sol...)
+					res.BestCost = c
+					if c < ubKnown {
+						ubKnown = c
+					}
 				}
 			}
 		}
 
-		// Integer costs: a solution matching ⌈LB⌉ is optimal.
-		if float64(res.BestCost) <= math.Ceil(res.LB-1e-9) {
-			res.ProvedOptimal = true
+		// Integer costs: a feasible cost matching ⌈LB⌉ ends the ascent
+		// (the closing check below decides whether our own Best earns
+		// the optimality certificate).
+		if float64(ubKnown) <= math.Ceil(res.LB-1e-9) {
 			break
 		}
 
-		// ----- dual lagrangian value at μ -----
-		wld := 0.0
-		for j := 0; j < nc; j++ {
-			wld += mu[j] * float64(p.Cost[j])
-		}
-		for i := 0; i < nr; i++ {
-			et := 1.0
-			for _, j := range p.Rows[i] {
-				et -= mu[j]
-			}
-			if et > 0 {
-				m[i] = cbar[i]
-				wld += et * cbar[i]
-			} else {
-				m[i] = 0
-			}
-		}
+		// ----- dual lagrangian value at μ, from the cached partials -----
 		if wld < res.UBDual {
 			res.UBDual = wld
 			copy(res.Mu, mu)
 		}
 
-		ub := math.Min(res.UBDual, float64(res.BestCost))
+		ub := math.Min(res.UBDual, float64(ubKnown))
 
 		// ----- stopping tests -----
 		if ub-zl < prm.Delta {
@@ -276,77 +357,194 @@ func SubgradientBudget(p *matrix.Problem, prm Params, init *Multipliers, ub0 int
 		}
 
 		// ----- primal subgradient step (formula 2) -----
-		// s_i = 1 − |{j ∈ row i : c̃_j ≤ 0}|: with the dense sidecar
-		// the count is a popcount of row ∧ mask instead of a walk over
-		// the sparse row (identical integer, so identical floats).
-		norm := 0.0
-		if bm != nil {
-			nonpos.Zero()
-			for j := 0; j < nc; j++ {
-				if ctilde[j] <= 0 {
-					nonpos.Set(j)
-				}
-			}
-			for i := 0; i < nr; i++ {
-				s[i] = 1 - float64(bm.Row(i).AndPopcount(nonpos))
-				norm += s[i] * s[i]
-			}
-		} else {
-			for i := 0; i < nr; i++ {
-				s[i] = 1
-				for _, j := range p.Rows[i] {
-					if ctilde[j] <= 0 {
-						s[i]--
-					}
-				}
-				norm += s[i] * s[i]
-			}
-		}
+		// s_i = 1 − |{j ∈ row i : c̃_j ≤ 0}| straight from the
+		// maintained counts (s and ‖s‖² were filled in the fused pass).
 		if norm == 0 {
 			// The relaxed solution is feasible and tight: λ is optimal.
 			break
 		}
 		step := t * math.Abs(ub-zl) / norm
+		nch := 0
+		zlL = 0
 		for i := 0; i < nr; i++ {
-			lambda[i] = math.Max(lambda[i]+step*s[i], 0)
+			// Branch clamp, bit-identical to math.Max(·, 0): every
+			// non-positive value (including −0) maps to +0, NaN passes.
+			nl := lambda[i] + step*s[i]
+			if nl <= 0 {
+				nl = 0
+			}
+			// Bit compare: one integer test covering both a value change
+			// and a ±0 sign flip.
+			if math.Float64bits(nl) != math.Float64bits(lambda[i]) {
+				lambda[i] = nl
+				chRows[nch] = int32(i)
+				nch++
+			}
+			zlL += lambda[i]
+		}
+		// Both refresh paths below produce bit-identical c̃ and cnt — a
+		// full column gather replays the exact subtraction order of a
+		// rebuild — so the dense/sparse choice is purely a cost decision:
+		// when most of the matrix changed, straight loops beat paying
+		// bitset marking on top of the same regathers.  The volume proxy
+		// is the changed-row count against the row count (average row
+		// length cancels), which keeps the step loop free of per-row
+		// length lookups.
+		if nch*4 >= nr {
+			// Row-major scatter instead of per-column gathers: for any
+			// fixed column the subtractions still arrive in ascending row
+			// order — the gather's exact sequence — and rows with λ_i = 0
+			// are skipped outright, which is a bitwise no-op (x − (+0)
+			// keeps every payload, and the clamp never produces −0).
+			copy(ctilde, trueCosts)
+			for i := 0; i < nr; i++ {
+				if li := lambda[i]; li != 0 {
+					for _, j := range p.Rows[i] {
+						ctilde[j] -= li
+					}
+				}
+			}
+			// cnt by sign flips against the negCt mirror — an exact
+			// integer delta, so no clear-and-rebuild pass over the rows.
+			for j := 0; j < nc; j++ {
+				if now := ctilde[j] <= 0; now != negCt.Has(j) {
+					if now {
+						negCt.Set(j)
+						for _, i := range idx[start[j]:start[j+1]] {
+							cnt[i]++
+						}
+					} else {
+						negCt.Clear(j)
+						for _, i := range idx[start[j]:start[j+1]] {
+							cnt[i]--
+						}
+					}
+				}
+			}
+		} else if nch > 0 {
+			for _, i := range chRows[:nch] {
+				for _, j := range p.Rows[i] {
+					dirtyCols.Set(j)
+				}
+			}
+			dirtyCols.Range(func(j int) bool {
+				nv := bitmat.GatherSub32(trueCosts[j], idx[start[j]:start[j+1]], lambda)
+				ctilde[j] = nv
+				if now := nv <= 0; now != negCt.Has(j) {
+					if now {
+						negCt.Set(j)
+						for _, i := range idx[start[j]:start[j+1]] {
+							cnt[i]++
+						}
+					} else {
+						negCt.Clear(j)
+						for _, i := range idx[start[j]:start[j+1]] {
+							cnt[i]--
+						}
+					}
+				}
+				return true
+			})
+			dirtyCols.Zero()
 		}
 
 		// ----- dual subgradient step (descent on w_LD) -----
-		gnorm := 0.0
-		for j := 0; j < nc; j++ {
-			g[j] = float64(p.Cost[j])
-		}
-		for i := 0; i < nr; i++ {
-			if m[i] > 0 {
-				for _, j := range p.Rows[i] {
-					g[j] -= m[i]
-				}
-			}
-		}
-		for j := 0; j < nc; j++ {
-			gnorm += g[j] * g[j]
-		}
+		// ‖g‖² comes from the fused pass: g last changed in the previous
+		// iteration's dual refresh, so the early value is the same value.
 		if gnorm > 0 {
 			// LB is the tightest available lower estimate of z*_P for
 			// sizing the descent step on the dual side.
 			dstep := t * math.Abs(wld-res.LB) / gnorm
+			nch = 0
 			for j := 0; j < nc; j++ {
-				mu[j] = math.Min(math.Max(mu[j]-dstep*g[j], 0), 1)
+				// Branch clamp, bit-identical to Min(Max(·, 0), 1).
+				nv := mu[j] - dstep*g[j]
+				if nv <= 0 {
+					nv = 0
+				} else if nv > 1 {
+					nv = 1
+				}
+				if math.Float64bits(nv) != math.Float64bits(mu[j]) {
+					mu[j] = nv
+					chCols[nch] = int32(j)
+					nch++
+				}
 			}
+			// Same dense/sparse split as the primal side: the full path
+			// regathers every e, m and g — bit-identical to the selective
+			// refresh, since unchanged inputs regather to unchanged bits.
+			if nch*4 >= nc {
+				// Scatter both halves with zero skipping.  e: start from
+				// the all-ones vector and subtract each non-zero μ_j down
+				// its column — for a fixed row the subtractions arrive in
+				// ascending column order, the per-row gather's exact
+				// sequence, and skipping μ_j = 0 is a bitwise no-op.
+				// g: scatter the m_i > 0 rows into c, same argument on
+				// the other axis (ascending row order down each column).
+				for i := 0; i < nr; i++ {
+					e[i] = 1
+				}
+				for j := 0; j < nc; j++ {
+					if mj := mu[j]; mj != 0 {
+						for _, i := range idx[start[j]:start[j+1]] {
+							e[i] -= mj
+						}
+					}
+				}
+				copy(g, trueCosts)
+				for i := 0; i < nr; i++ {
+					if e[i] > 0 {
+						mi := cbar[i]
+						m[i] = mi
+						for _, j := range p.Rows[i] {
+							g[j] -= mi
+						}
+					} else {
+						m[i] = 0
+					}
+				}
+			} else if nch > 0 {
+				for _, j := range chCols[:nch] {
+					for _, i := range idx[start[j]:start[j+1]] {
+						dirtyRows.Set(int(i))
+					}
+				}
+				// Refresh e for the touched rows; when the inner solution
+				// m_i flips, the columns of row i need their g regathered.
+				dirtyRows.Range(func(i int) bool {
+					e[i] = bitmat.GatherSub(1.0, p.Rows[i], mu)
+					nm := 0.0
+					if e[i] > 0 {
+						nm = cbar[i]
+					}
+					if nm != m[i] {
+						m[i] = nm
+						for _, j := range p.Rows[i] {
+							gDirty.Set(j)
+						}
+					}
+					return true
+				})
+				dirtyRows.Zero()
+				gDirty.Range(func(j int) bool {
+					g[j] = bitmat.GatherSub32(trueCosts[j], idx[start[j]:start[j+1]], m)
+					return true
+				})
+				gDirty.Zero()
+			}
+		}
+
+		if debugIterCheck != nil {
+			debugIterCheck(p, sc)
 		}
 	}
 
-	if res.CTilde == nil {
-		// MaxIters = 0 corner: compute c̃ at the initial λ.
-		res.CTilde = make([]float64, nc)
-		for j := 0; j < nc; j++ {
-			res.CTilde[j] = float64(p.Cost[j])
-		}
-		for i := 0; i < nr; i++ {
-			for _, j := range p.Rows[i] {
-				res.CTilde[j] -= res.Lambda[i]
-			}
-		}
+	// One gather at exit replaces a copy on every LB improvement: the
+	// incremental cache invariant says c̃ at any λ equals the full
+	// column gather at that λ bit for bit, so gathering at res.Lambda
+	// reproduces exactly the cache contents the improving iteration saw.
+	for j := 0; j < nc; j++ {
+		res.CTilde[j] = bitmat.GatherSub32(trueCosts[j], idx[start[j]:start[j+1]], res.Lambda)
 	}
 	if float64(res.BestCost) <= math.Ceil(res.LB-1e-9) {
 		res.ProvedOptimal = true

@@ -1,0 +1,72 @@
+package matrix
+
+import "sync/atomic"
+
+// cscIndex is the column-major (CSC) mirror of Problem.Rows: one
+// contiguous row-index array plus per-column offsets.  The rows of
+// column j are Idx[Start[j]:Start[j+1]], ascending — the same order a
+// row-major scan visits them, which is what lets the lagrangian engine
+// swap its O(nnz) row scatters for column gathers without changing a
+// single bit of the float results (subtracting λ_i down a column hits
+// the same values in the same order as scattering row by row).
+type cscIndex struct {
+	Start []int32 // len NCol+1
+	Idx   []int32 // len NNZ, row indices grouped by column
+}
+
+// CSC returns the cached column-major mirror of the problem, building
+// it on first use.  The two slices are shared and must be treated as
+// read-only; concurrent callers (the restart portfolio's workers all
+// rate columns of the same cyclic core) may race the first build, in
+// which case each builds an identical index and one of them wins the
+// cache slot.
+//
+// The cache follows Rows: every method of this package that mutates
+// Rows in place invalidates it, but callers who reach into the
+// exported fields directly must call InvalidateCSC themselves.
+func (p *Problem) CSC() (start, idx []int32) {
+	if c := p.csc.Load(); c != nil {
+		return c.Start, c.Idx
+	}
+	c := buildCSC(p)
+	p.csc.Store(c)
+	return c.Start, c.Idx
+}
+
+func buildCSC(p *Problem) *cscIndex {
+	nnz := 0
+	for _, r := range p.Rows {
+		nnz += len(r)
+	}
+	c := &cscIndex{Start: make([]int32, p.NCol+1), Idx: make([]int32, nnz)}
+	for _, r := range p.Rows {
+		for _, j := range r {
+			c.Start[j+1]++
+		}
+	}
+	for j := 0; j < p.NCol; j++ {
+		c.Start[j+1] += c.Start[j]
+	}
+	// Fill cursor per column; a second pass in row order keeps each
+	// column's row list ascending.
+	fill := make([]int32, p.NCol)
+	copy(fill, c.Start[:p.NCol])
+	for i, r := range p.Rows {
+		for _, j := range r {
+			c.Idx[fill[j]] = int32(i)
+			fill[j]++
+		}
+	}
+	return c
+}
+
+// InvalidateCSC drops the cached column-major mirror.  Call it after
+// mutating Rows through the exported fields; the reduction passes in
+// this package call it for their own in-place edits.
+func (p *Problem) InvalidateCSC() { p.csc.Store(nil) }
+
+// cscCache is the cache slot embedded in Problem.  It lives in its own
+// struct so Problem literals elsewhere keep working unchanged.
+type cscCache struct {
+	csc atomic.Pointer[cscIndex]
+}

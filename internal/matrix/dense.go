@@ -63,57 +63,8 @@ func DenseEligible(p *Problem) bool {
 // without the O(nnz) selection-CSR build the sparse version pays, so
 // the greedy heuristic can afford its per-build cleanup.
 func (p *Problem) IrredundantDense(bm *bitmat.Matrix, cols []int) []int {
-	first := make([]bool, p.NCol)
-	removed := make([]bool, len(cols))
-	coverCnt := make([]int32, len(p.Rows))
-	for k, j := range cols {
-		if first[j] {
-			// A duplicate owns no rows (its first occurrence does), so it
-			// is trivially redundant, exactly as in the sparse version.
-			removed[k] = true
-			continue
-		}
-		first[j] = true
-		bm.Col(j).Range(func(i int) bool { coverCnt[i]++; return true })
-	}
-	order := make([]int32, len(cols))
-	for k := range order {
-		order[k] = int32(k)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ka, kb := order[a], order[b]
-		ca, cb := p.Cost[cols[ka]], p.Cost[cols[kb]]
-		if ca != cb {
-			return ca > cb
-		}
-		return ka < kb
-	})
-	for _, k := range order {
-		if removed[k] {
-			continue
-		}
-		col := bm.Col(cols[k])
-		red := true
-		col.Range(func(i int) bool {
-			if coverCnt[i] == 1 {
-				red = false
-				return false
-			}
-			return true
-		})
-		if !red {
-			continue
-		}
-		removed[k] = true
-		col.Range(func(i int) bool { coverCnt[i]--; return true })
-	}
-	out := make([]int, 0, len(cols))
-	for k, j := range cols {
-		if !removed[k] {
-			out = append(out, j)
-		}
-	}
-	return out
+	var ws Workspace
+	return p.IrredundantDenseWs(&ws, bm, cols)
 }
 
 // denseReducer runs the essential / row-dominance / column-dominance

@@ -26,6 +26,8 @@ type Problem struct {
 	Rows [][]int // sorted column ids per row
 	NCol int     // size of the column universe (ids are < NCol)
 	Cost []int   // cost per column id, len NCol
+
+	cscCache // lazy column-major mirror, see CSC()
 }
 
 // New builds a problem, sorting and deduplicating each row's column
@@ -162,90 +164,11 @@ func (p *Problem) CostOf(cols []int) int {
 // highest-cost redundant column first, as the paper prescribes for the
 // final cleanup of p_best.  The input is not modified.  Coverage
 // counts are maintained incrementally, so the whole cleanup costs
-// O(nnz + removals·|cols|·degree).
+// O(nnz + removals·|cols|·degree).  The scratch-reusing variant is
+// IrredundantWs; this wrapper returns a fresh caller-owned slice.
 func (p *Problem) Irredundant(cols []int) []int {
-	// sel[j] is 1+position of j in cols, 0 when unselected: a dense
-	// slice probe instead of the map lookups this loop used to spend
-	// half its time in.
-	sel := make([]int32, p.NCol)
-	for k, j := range cols {
-		if sel[j] == 0 { // a duplicate keeps its first occurrence's rows
-			sel[j] = int32(k) + 1
-		}
-	}
-	// Rows covered by each selected column (CSR over the selection
-	// order) and per-row cover counts, built in two passes over nnz.
-	cnt := make([]int32, len(cols)+1)
-	coverCnt := make([]int32, len(p.Rows))
-	for _, r := range p.Rows {
-		for _, j := range r {
-			if k := sel[j]; k != 0 {
-				cnt[k]++
-			}
-		}
-	}
-	// off[q] is the start of selection-position q's bucket: cnt[k]
-	// holds the size of bucket k−1, so the prefix sum lands one ahead.
-	off := make([]int32, len(cols)+1)
-	for k := 1; k <= len(cols); k++ {
-		off[k] = off[k-1] + cnt[k]
-	}
-	rowsOf := make([]int32, off[len(cols)])
-	fill := append([]int32(nil), off...)
-	for i, r := range p.Rows {
-		for _, j := range r {
-			if k := sel[j]; k != 0 {
-				coverCnt[i]++
-				rowsOf[fill[k-1]] = int32(i)
-				fill[k-1]++
-			}
-		}
-	}
-	covered := func(k int) []int32 { return rowsOf[off[k]:fill[k]] }
-
-	// A column is redundant when every row it covers is covered at
-	// least twice.  Removing a column only decrements cover counts, so
-	// a column that is not redundant now never becomes redundant later:
-	// one pass over the selection in (cost desc, position asc) order
-	// performs exactly the removals, in exactly the order, that the
-	// round-based drop-most-expensive-first loop prescribes — without
-	// its rescan of every survivor per removal.
-	order := make([]int32, len(cols))
-	for k := range order {
-		order[k] = int32(k)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ka, kb := order[a], order[b]
-		ca, cb := p.Cost[cols[ka]], p.Cost[cols[kb]]
-		if ca != cb {
-			return ca > cb
-		}
-		return ka < kb
-	})
-	removed := make([]bool, len(cols))
-	for _, k := range order {
-		red := true
-		for _, i := range covered(int(k)) {
-			if coverCnt[i] == 1 {
-				red = false
-				break
-			}
-		}
-		if !red {
-			continue
-		}
-		removed[k] = true
-		for _, i := range covered(int(k)) {
-			coverCnt[i]--
-		}
-	}
-	out := make([]int, 0, len(cols))
-	for k, j := range cols {
-		if !removed[k] {
-			out = append(out, j)
-		}
-	}
-	return out
+	var ws Workspace
+	return p.IrredundantWs(&ws, cols)
 }
 
 func containsSorted(r []int, j int) bool {
@@ -372,6 +295,7 @@ func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 			}
 			cur.Rows = rows
 			origin = keptOrigin
+			cur.InvalidateCSC()
 		}
 
 		// Row dominance: keep only inclusion-minimal rows (a row that
@@ -447,6 +371,7 @@ func dropSupersetRows(p *Problem, origin []int) ([]int, bool) {
 		}
 		p.Rows = rows
 		origin = keptOrigin
+		p.InvalidateCSC()
 	}
 	return origin, changed
 }
@@ -504,6 +429,7 @@ func dropDominatedCols(p *Problem) bool {
 		}
 		p.Rows[i] = out
 	}
+	p.InvalidateCSC()
 	return true
 }
 

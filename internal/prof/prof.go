@@ -1,0 +1,54 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the command-line tools.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins a CPU profile in cpuFile and arranges for a heap
+// profile in memFile; either may be empty.  The returned stop function
+// flushes both and is idempotent, so commands can both defer it and
+// call it on their fatal-exit path — including the SIGINT unwind,
+// where the budget context cancels, the solver returns early and the
+// deferred stop still writes complete profiles.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				if err := cpu.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				}
+			}
+			if memFile != "" {
+				f, err := os.Create(memFile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+					return
+				}
+				runtime.GC() // up-to-date heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				}
+				f.Close()
+			}
+		})
+	}, nil
+}

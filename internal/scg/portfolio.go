@@ -91,13 +91,20 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker) []*c
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// One scratch pool per solve: each worker goroutine checks out a
+	// lagrangian.Scratch for its whole claim loop, so every restart it
+	// runs reuses the same buffers.  Scratch contents never reach a
+	// Result (see the ownership rules on lagrangian.Scratch), so the
+	// pooling cannot perturb the bit-identical merge.
+	pool := &sync.Pool{New: newScratch}
+
 	// The init jobs run unconditionally (nil tracker: no claim guard):
 	// even with the budget already exhausted the initial subgradient
 	// phase must produce its greedy feasible cover — the bottom rung of
 	// the degradation ladder.  Each job observes the real tracker
 	// internally and returns promptly.
-	parallelDo(len(states), workers, nil, func(c int) {
-		states[c].init(opt, tr)
+	parallelDo(len(states), workers, nil, pool, func(c int, sc *lagrangian.Scratch) {
+		states[c].init(opt, tr, sc)
 	})
 
 	type job struct{ c, r int }
@@ -109,17 +116,17 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker) []*c
 			}
 		}
 	}
-	parallelDo(len(jobs), workers, tr, func(k int) {
-		states[jobs[k].c].runJob(jobs[k].r, opt, tr)
+	parallelDo(len(jobs), workers, tr, pool, func(k int, sc *lagrangian.Scratch) {
+		states[jobs[k].c].runJob(jobs[k].r, opt, tr, sc)
 	})
 	return states
 }
 
 // init runs the block's initial subgradient phase and prepares the
 // restart slots.
-func (cs *compState) init(opt Options, tr *budget.Tracker) {
+func (cs *compState) init(opt Options, tr *budget.Tracker, sc *lagrangian.Scratch) {
 	compact, ids := cs.core.Compact()
-	sg := lagrangian.SubgradientBudget(compact, opt.Params, nil, 0, tr)
+	sg := lagrangian.SubgradientScratch(compact, opt.Params, nil, 0, tr, sc)
 	cs.initIters = sg.Iters
 	if sg.Best == nil {
 		return // uncoverable block: ok stays false
@@ -144,7 +151,7 @@ func (cs *compState) init(opt Options, tr *budget.Tracker) {
 
 // runJob executes restart r (1-based) of the block, then advances the
 // early-exit fold over the completed prefix.
-func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker) {
+func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker, sc *lagrangian.Scratch) {
 	if ex := cs.exitAt.Load(); ex > 0 && int(ex) < r {
 		return // a completed prefix already met the exit condition
 	}
@@ -153,7 +160,7 @@ func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker) {
 		window = opt.BestCol + (r - 2)
 	}
 	rng := rand.New(rand.NewSource(runSeed(opt.Seed, cs.idx, r)))
-	sol, cost, lbRun, iters, steps := runOnce(cs.core, cs.bestCost, opt, rng, window, tr)
+	sol, cost, lbRun, iters, steps := runOnce(cs.core, cs.bestCost, opt, rng, window, tr, sc)
 
 	cs.mu.Lock()
 	rr := &cs.runs[r-1]
@@ -208,23 +215,32 @@ func (cs *compState) merge(st *Stats) ([]int, float64, bool) {
 	return best, lb, true
 }
 
+// newScratch feeds the per-solve pool.  It is a variable so the
+// determinism tests can seed the pool with scratches already dirtied
+// on unrelated problems, proving reuse cannot leak into results.
+var newScratch = func() any { return &lagrangian.Scratch{} }
+
 // parallelDo runs fn(0..n-1) on up to workers goroutines.  Indices are
 // claimed in order from a shared counter, and claiming stops once the
 // budget interrupts (tr nil: never) — in-flight jobs finish (they
 // observe the interruption themselves), queued ones are abandoned, so
-// every block is left with a clean executed prefix.
-func parallelDo(n, workers int, tr *budget.Tracker, fn func(k int)) {
+// every block is left with a clean executed prefix.  Each goroutine
+// holds one pooled Scratch across its whole claim loop and passes it
+// to every job it runs.
+func parallelDo(n, workers int, tr *budget.Tracker, pool *sync.Pool, fn func(k int, sc *lagrangian.Scratch)) {
 	if workers > n {
 		workers = n
 	}
 	var next atomic.Int64
 	work := func() {
+		sc := pool.Get().(*lagrangian.Scratch)
+		defer pool.Put(sc)
 		for {
 			k := int(next.Add(1)) - 1
 			if k >= n || tr.Interrupted() {
 				return
 			}
-			fn(k)
+			fn(k, sc)
 		}
 	}
 	if workers <= 1 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ucp/internal/bnb"
+	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
 )
 
@@ -47,7 +48,7 @@ func TestWorkersBitIdentical(t *testing.T) {
 			}
 			gs, bs := got.Stats, base.Stats
 			gs.CyclicCoreTime, bs.CyclicCoreTime = 0, 0 // timings are
-			gs.TotalTime, bs.TotalTime = 0, 0 // exempt from the contract
+			gs.TotalTime, bs.TotalTime = 0, 0           // exempt from the contract
 			if gs != bs {
 				t.Fatalf("trial %d: workers=%d stats %+v != sequential %+v",
 					trial, workers, gs, bs)
@@ -73,6 +74,49 @@ func TestWorkersStillValid(t *testing.T) {
 		}
 		if res.ProvedOptimal && res.Cost != opt.Cost {
 			t.Fatalf("trial %d: false optimality certificate", trial)
+		}
+	}
+}
+
+// TestDirtyScratchPoolBitIdentical seeds the portfolio's scratch pool
+// with buffers already dirtied on unrelated problems — the worst case
+// of cross-restart scratch reuse — and holds every result to
+// bit-identity with a clean-pool solve at every worker count.
+func TestDirtyScratchPoolBitIdentical(t *testing.T) {
+	clean := newScratch
+	defer func() { newScratch = clean }()
+
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(rng, 14, 14, 3)
+		newScratch = clean
+		base := Solve(p, Options{NumIter: 8, Seed: int64(trial), Workers: 1})
+
+		// Every scratch the pool hands out starts full of state from a
+		// differently-shaped problem.
+		dirtySeed := int64(1000 + trial)
+		newScratch = func() any {
+			sc := &lagrangian.Scratch{}
+			drng := rand.New(rand.NewSource(dirtySeed))
+			q := randomProblem(drng, 25, 40, 6)
+			lagrangian.SubgradientScratch(q, lagrangian.Params{MaxIters: 25}, nil, 0, nil, sc)
+			return sc
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := Solve(p, Options{NumIter: 8, Seed: int64(trial), Workers: workers})
+			if !reflect.DeepEqual(got.Solution, base.Solution) ||
+				got.Cost != base.Cost || got.LB != base.LB ||
+				got.ProvedOptimal != base.ProvedOptimal {
+				t.Fatalf("trial %d workers=%d: dirty-pool result (%v, %d) != clean (%v, %d)",
+					trial, workers, got.Solution, got.Cost, base.Solution, base.Cost)
+			}
+			gs, bs := got.Stats, base.Stats
+			gs.CyclicCoreTime, bs.CyclicCoreTime = 0, 0
+			gs.TotalTime, bs.TotalTime = 0, 0
+			if gs != bs {
+				t.Fatalf("trial %d workers=%d: dirty-pool stats %+v != clean %+v",
+					trial, workers, gs, bs)
+			}
 		}
 	}
 }

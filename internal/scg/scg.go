@@ -236,7 +236,7 @@ func (r *Result) finish(p *matrix.Problem, best []int, lb float64, ceilLB int, t
 // completed cover (or nil when every path was abandoned), its cost,
 // the best valid core lower bound observed (only the pre-fixing
 // subgradient phase produces one), and iteration counts.
-func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, window int, tr *budget.Tracker) (sol []int, cost int, coreLB float64, sgIters, steps int) {
+func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, window int, tr *budget.Tracker, sc *lagrangian.Scratch) (sol []int, cost int, coreLB float64, sgIters, steps int) {
 	var fixed []int
 	cur := core.Clone()
 	coreLB = math.Inf(-1)
@@ -268,7 +268,7 @@ func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, windo
 			}
 			init = &lagrangian.Multipliers{Lambda: lambda, Mu: mu}
 		}
-		sg := lagrangian.SubgradientBudget(compact, opt.Params, init, 0, tr)
+		sg := lagrangian.SubgradientScratch(compact, opt.Params, init, 0, tr, sc)
 		sgIters += sg.Iters
 		if sg.Best == nil {
 			return nil, 0, coreLB, sgIters, steps
