@@ -2,9 +2,9 @@
 
 GO ?= go
 
-# The hot-substrate microbenches tracked across PRs (see BENCH_pr3.json
+# The hot-substrate microbenches tracked across PRs (see BENCH_pr4.json
 # for the committed baseline and DESIGN.md for interpretation).
-SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$
+SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$
 
 .PHONY: build test check bench-diff fuzz bench bench-all
 
@@ -14,12 +14,15 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: vet, the full suite under the race
-# detector (which exercises the budget/cancellation paths, the restart
-# portfolio and the pooled-scratch reuse with real concurrency), and
-# the bench-diff regression gate on the substrate benches.
+# check is the pre-merge gate: vet, the parallel-reduction differential
+# tests under the race detector (fast fail on a determinism break in
+# the sharded dominance passes), the full suite under -race (which also
+# exercises the budget/cancellation paths, the restart portfolio and
+# the pooled-scratch reuse with real concurrency), and the bench-diff
+# regression gate on the substrate benches.
 check:
 	$(GO) vet ./...
+	$(GO) test -race -run 'TestReduceWorkers|TestParShard' ./internal/matrix
 	$(GO) test -race ./...
 	$(MAKE) bench-diff
 
@@ -29,10 +32,11 @@ check:
 # scheduler-dependent pool jitter (see cmd/benchfmt).
 bench-diff:
 	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . \
-	| $(GO) run ./cmd/benchfmt -against BENCH_pr3.json
+	| $(GO) run ./cmd/benchfmt -against BENCH_pr4.json
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
-# acceptance bar: no panic reachable through the public API).
+# acceptance bar: no panic reachable through the public API, and the
+# signature prune exactly matches the exact subset test).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadProblem$$' -fuzztime $(FUZZTIME) .
@@ -40,15 +44,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadORLibProblem$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveParsedProblem$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMinimizeParsedPLA$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSignatureSubset$$' -fuzztime $(FUZZTIME) ./internal/matrix
 
 # bench measures the hot substrates (5 repetitions each, plus the
-# portfolio under -cpu 1,2,4,8) and records the results in
-# BENCH_pr3.json; commit the refreshed file when a change moves them.
+# portfolio and the sharded reduction fixpoint under -cpu 1,2,4,8) and
+# records the results in BENCH_pr4.json; commit the refreshed file when
+# a change moves them.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; } \
-	| $(GO) run ./cmd/benchfmt -o BENCH_pr3.json \
-	  -note "PR3: zero-allocation subgradient core (CSC mirror, incremental caches, count-derived greedy starts, scratch reuse). vs PR2 baseline mins: Subgradient 8.8ms -> ~5.8-7ms, SCGCore 247ms -> ~191ms, SCGPortfolio 1.85s -> ~1.47s. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
+	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; } \
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr4.json \
+	  -note "PR4: parallel signature-pruned reduction engine + ZDD mark-sweep GC. Sharded dominance passes (deterministic merge), 64-bit occupancy signatures pruning subset tests, epoch-stamped ZDD traversals, GC'd node store with live-set NodeCap. vs PR3 baseline mins: ZDDReductions and SCGCore ns/op should drop (signature pruning helps the 1-core container too); ReduceFixpoint/ZDDGC are new in this baseline. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
 
 # bench-all runs every benchmark once: the paper tables, the ablations
 # and the substrates.

@@ -12,12 +12,14 @@ package ucp
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ucp/internal/bdd"
 	"ucp/internal/benchmarks"
 	"ucp/internal/harness"
 	"ucp/internal/lagrangian"
+	"ucp/internal/matrix"
 	"ucp/internal/scg"
 	"ucp/internal/zdd"
 )
@@ -214,6 +216,69 @@ func BenchmarkZDDReductions(b *testing.B) {
 			b.Fatal("infeasible")
 		}
 	}
+}
+
+// BenchmarkReduceFixpoint measures the explicit reduction engine on a
+// wide sparse instance (9000 active columns keeps it off the dense
+// path): a 3000-row cyclic covering plus 1000 superset rows, so the
+// fixpoint does real row-dominance work on top of the quadratic
+// no-kill scans.  The dominance passes shard across GOMAXPROCS
+// workers — run with -cpu 1,2,4,8 to observe the scaling; the
+// reduction is bit-identical across the settings by contract.
+func BenchmarkReduceFixpoint(b *testing.B) {
+	b.ReportAllocs()
+	base := benchmarks.CyclicCovering(21, 3000, 9000, 4)
+	rows := append([][]int(nil), base.Rows...)
+	for i := 0; i < 1000; i++ {
+		r := append([]int(nil), base.Rows[(i*7)%len(base.Rows)]...)
+		r = append(r, (r[len(r)-1]+13)%base.NCol)
+		rows = append(rows, r)
+	}
+	p, err := matrix.New(rows, base.NCol, base.Cost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var core int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red := matrix.ReduceBudgetWorkers(p, nil, workers)
+		if red.Infeasible {
+			b.Fatal("infeasible")
+		}
+		if core != 0 && core != len(red.Core.Rows) {
+			b.Fatalf("nondeterministic reduction: %d then %d core rows", core, len(red.Core.Rows))
+		}
+		core = len(red.Core.Rows)
+	}
+	b.ReportMetric(float64(core), "corerows/op")
+}
+
+// BenchmarkZDDGC measures the mark-sweep collector: load the covering
+// family, run one Minimal pass (stranding the intermediate results),
+// then Collect back to the live family.
+func BenchmarkZDDGC(b *testing.B) {
+	b.ReportAllocs()
+	p := benchmarks.CyclicCovering(9, 300, 120, 3)
+	var freed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := zdd.New()
+		f := zdd.Empty
+		m.AddRoot(&f)
+		for _, r := range p.Rows {
+			f = m.Union(f, mustSet(m, r))
+		}
+		f = m.Minimal(f)
+		freed = m.Collect()
+		if freed == 0 {
+			b.Fatal("nothing to collect")
+		}
+		if m.LiveNodeCount() != m.NodeCount() {
+			b.Fatal("sweep left dead nodes")
+		}
+	}
+	b.ReportMetric(float64(freed), "freed/op")
 }
 
 // BenchmarkZDDUnion measures raw family construction: inserting 2000

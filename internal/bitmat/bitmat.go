@@ -160,6 +160,18 @@ func (v Vec) Bits(out []int) []int {
 	return out
 }
 
+// Fold returns the OR of all words: bit g of the result is set when
+// some bit i with i mod 64 == g is set.  The fold is the 64-bit
+// occupancy signature the dominance engines use to reject subset
+// candidates in one word: v ⊆ w implies Fold(v) &^ Fold(w) == 0.
+func (v Vec) Fold() uint64 {
+	var f uint64
+	for _, w := range v {
+		f |= w
+	}
+	return f
+}
+
 // First returns the index of the lowest set bit, or -1 when empty.
 func (v Vec) First() int {
 	for k, w := range v {

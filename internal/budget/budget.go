@@ -55,9 +55,13 @@ type Budget struct {
 	// means no deadline.
 	Context context.Context
 	// NodeCap caps the decision-diagram nodes of the implicit (ZDD)
-	// reduction phase; exhausting it is a graceful-degradation rung,
-	// not an interruption: the solve falls back to the explicit matrix
-	// path and still finishes.  0 = unlimited.
+	// reduction phase.  The cap measures the live working set: the
+	// phase garbage-collects dead nodes (mark-sweep from the surviving
+	// family) both near the cap and in response to an overrun, so only
+	// families whose reachable nodes crowd the cap trip it.  Exhausting
+	// it is a graceful-degradation rung, not an interruption: the solve
+	// falls back to the explicit matrix path and still finishes.
+	// 0 = unlimited.
 	NodeCap int
 	// SearchCap caps branch-and-bound nodes across the whole solve.
 	// 0 = unlimited.

@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"ucp/internal/bitmat"
 	"ucp/internal/budget"
@@ -156,8 +157,15 @@ func (d *denseReducer) decode(p *Problem) (*Problem, []int) {
 
 // denseReduce is the bit-matrix implementation of reduceTracked's
 // fixpoint loop.  It fills res and returns; the caller sorts
-// res.Essential.
-func denseReduce(p *Problem, tr *budget.Tracker, res *TrackedReduction) {
+// res.Essential.  Both dominance passes gather kill marks against
+// immutable pass-start state — the kill sets are order-independent,
+// see the sparse dropSupersetRows / dropDominatedCols for the
+// argument — so they shard across workers and stay bit-identical to
+// the sequential engine for any worker count.  The word-strip folds
+// (bitmat.Vec.Fold) serve as the 64-bit occupancy signatures,
+// recomputed exactly per pass since the matrix is frozen during each
+// gather.
+func denseReduce(p *Problem, tr *budget.Tracker, res *TrackedReduction, workers int) {
 	d := newDenseReducer(p)
 	nr, nc := d.bm.NRows, d.bm.NCols
 	ess := make([]bool, nc)
@@ -165,6 +173,9 @@ func denseReduce(p *Problem, tr *budget.Tracker, res *TrackedReduction) {
 	scratch := make([]int, 0, nr)
 	order := make([]int, 0, nr)
 	active := make([]int, 0, nc)
+	rowSig := make([]uint64, nr)
+	colSig := make([]uint64, nc)
+	kill := make([]bool, nr)
 
 	for {
 		if tr.Interrupted() {
@@ -205,8 +216,9 @@ func denseReduce(p *Problem, tr *budget.Tracker, res *TrackedReduction) {
 			}
 		}
 
-		// Row dominance: keep only inclusion-minimal rows, visiting by
-		// (popcount, index) exactly like the sparse engine.
+		// Row dominance: keep only inclusion-minimal rows.  Candidates
+		// sort by (popcount, index) exactly like the sparse engine; row
+		// b dies iff some earlier candidate is a subset of it.
 		order = order[:0]
 		for i := 0; i < nr; i++ {
 			if d.aliveRow[i] {
@@ -214,18 +226,36 @@ func denseReduce(p *Problem, tr *budget.Tracker, res *TrackedReduction) {
 			}
 		}
 		sortByLenThenIdx(order, d.rowLen)
-		for ai, a := range order {
-			if !d.aliveRow[a] {
-				continue
-			}
-			rowA := d.bm.Row(a)
-			for _, b := range order[ai+1:] {
-				if !d.aliveRow[b] {
-					continue
+		for _, i := range order {
+			rowSig[i] = d.bm.Row(i).Fold()
+			kill[i] = false
+		}
+		var nKill atomic.Int64
+		parShard(len(order), workers, func(lo, hi int) {
+			kills := 0
+			for bi := lo; bi < hi; bi++ {
+				b := order[bi]
+				rowB, sb := d.bm.Row(b), rowSig[b]
+				for _, a := range order[:bi] {
+					if rowSig[a]&^sb != 0 {
+						continue
+					}
+					if d.bm.Row(a).SubsetOf(rowB) {
+						kill[b] = true
+						kills++
+						break
+					}
 				}
-				if rowA.SubsetOf(d.bm.Row(b)) {
+			}
+			if kills > 0 {
+				nKill.Add(int64(kills))
+			}
+		})
+		if nKill.Load() > 0 {
+			changed = true
+			for _, b := range order {
+				if kill[b] {
 					d.killRow(b)
-					changed = true
 				}
 			}
 		}
@@ -237,31 +267,41 @@ func denseReduce(p *Problem, tr *budget.Tracker, res *TrackedReduction) {
 			dead[j] = false
 			if d.colLen[j] > 0 {
 				active = append(active, j)
+				colSig[j] = d.bm.Col(j).Fold()
 			}
 		}
-		nDead := 0
-		for _, k := range active {
-			for _, j := range active {
-				if j == k || dead[j] || dead[k] {
-					continue
+		var nDead atomic.Int64
+		parShard(len(active), workers, func(lo, hi int) {
+			kills := 0
+			for ki := lo; ki < hi; ki++ {
+				k := active[ki]
+				colK := d.bm.Col(k)
+				sk, costK, lenK := colSig[k], d.cost[k], d.colLen[k]
+				for _, j := range active {
+					if j == k || d.cost[j] > costK {
+						continue
+					}
+					if sk&^colSig[j] != 0 || lenK > d.colLen[j] {
+						continue
+					}
+					if !colK.SubsetOf(d.bm.Col(j)) {
+						continue
+					}
+					// Equal coverage and cost: keep the smaller id (compact
+					// order preserves original id order).
+					if lenK == d.colLen[j] && d.cost[j] == costK && j > k {
+						continue
+					}
+					dead[k] = true
+					kills++
+					break
 				}
-				if d.cost[j] > d.cost[k] {
-					continue
-				}
-				if !d.bm.Col(k).SubsetOf(d.bm.Col(j)) {
-					continue
-				}
-				// Equal coverage and cost: keep the smaller id (compact
-				// order preserves original id order).
-				if d.colLen[k] == d.colLen[j] && d.cost[j] == d.cost[k] && j > k {
-					continue
-				}
-				dead[k] = true
-				nDead++
-				break
 			}
-		}
-		if nDead > 0 {
+			if kills > 0 {
+				nDead.Add(int64(kills))
+			}
+		})
+		if nDead.Load() > 0 {
 			changed = true
 			for _, k := range active {
 				if dead[k] {

@@ -8,7 +8,9 @@ package matrix
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"sync/atomic"
 
 	"ucp/internal/budget"
 )
@@ -210,7 +212,17 @@ func Reduce(p *Problem) *Reduction {
 // preserves the optimum, so a stopped reduction is still a valid,
 // equivalent covering problem.
 func ReduceBudget(p *Problem, tr *budget.Tracker) *Reduction {
-	return &reduceTracked(p, tr).Reduction
+	return &reduceTracked(p, tr, 1).Reduction
+}
+
+// ReduceBudgetWorkers is ReduceBudget with the dominance passes sharded
+// across up to workers goroutines (≤ 1: fully sequential).  The output
+// is bit-identical to the sequential engine for any worker count: each
+// pass gathers its candidate kills per shard from immutable pass-start
+// state — both kill sets are order-independent, see dropSupersetRows —
+// and applies them in canonical index order.
+func ReduceBudgetWorkers(p *Problem, tr *budget.Tracker, workers int) *Reduction {
+	return &reduceTracked(p, tr, workers).Reduction
 }
 
 // TrackedReduction is a Reduction that also records, for every row of
@@ -225,17 +237,70 @@ type TrackedReduction struct {
 
 // ReduceTracked is Reduce with row provenance.
 func ReduceTracked(p *Problem) *TrackedReduction {
-	return reduceTracked(p, nil)
+	return reduceTracked(p, nil, 1)
 }
 
-func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
+// ReduceTrackedWorkers is ReduceTracked under a budget with sharded
+// dominance passes; see ReduceBudgetWorkers for the determinism
+// contract.
+func ReduceTrackedWorkers(p *Problem, tr *budget.Tracker, workers int) *TrackedReduction {
+	return reduceTracked(p, tr, workers)
+}
+
+// reduceScratch carries the fixpoint loop's reusable state: the packed
+// (length, index) candidate ordering — hoisted out of the passes and
+// re-sorted in place each pass instead of re-derived from scratch —
+// the kill marks, and the occupancy signatures.
+//
+// A signature is the 64-bit fold of a row's column ids (bit j mod 64)
+// or a column's row indices (bit i mod 64).  a ⊆ b implies
+// sig(a) &^ sig(b) == 0, so a one-word test rejects most dominance
+// candidates before any merge over the sorted id slices.  Row
+// signatures are maintained incrementally across passes: rows are
+// dropped whole (filter the slice) and only rows that lose a column to
+// column dominance are re-folded.
+type reduceScratch struct {
+	workers int
+	keys    []int64
+	order   []int
+	keep    []bool
+	rowSig  []uint64
+	colSig  []uint64
+	active  []int
+	deadCol []bool
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// sigOf folds sorted ids into the 64-bit occupancy signature.
+func sigOf(ids []int) uint64 {
+	var s uint64
+	for _, x := range ids {
+		s |= 1 << (uint(x) & 63)
+	}
+	return s
+}
+
+func reduceTracked(p *Problem, tr *budget.Tracker, workers int) *TrackedReduction {
 	res := &TrackedReduction{}
 	// The dense bit-matrix engine and this sparse loop implement the
 	// identical fixpoint (same orders, same tie-breaks); the choice is
 	// purely a data-layout decision.
 	useDense := reduceOverride == 2 || (reduceOverride == 0 && DenseEligible(p))
 	if useDense {
-		denseReduce(p, tr, res)
+		denseReduce(p, tr, res, workers)
 		sort.Ints(res.Essential)
 		return res
 	}
@@ -243,6 +308,11 @@ func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 	origin := make([]int, len(cur.Rows))
 	for i := range origin {
 		origin[i] = i
+	}
+	st := &reduceScratch{workers: workers}
+	st.rowSig = growU64(st.rowSig, len(cur.Rows))
+	for i, r := range cur.Rows {
+		st.rowSig[i] = sigOf(r)
 	}
 	for {
 		if tr.Interrupted() {
@@ -278,8 +348,7 @@ func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 		}
 		if nEss > 0 {
 			changed = true
-			var rows [][]int
-			var keptOrigin []int
+			w := 0
 			for i, r := range cur.Rows {
 				covered := false
 				for _, j := range r {
@@ -289,25 +358,34 @@ func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 					}
 				}
 				if !covered {
-					rows = append(rows, r)
-					keptOrigin = append(keptOrigin, origin[i])
+					cur.Rows[w] = r
+					origin[w] = origin[i]
+					st.rowSig[w] = st.rowSig[i]
+					w++
 				}
 			}
-			cur.Rows = rows
-			origin = keptOrigin
+			if w == 0 {
+				// Match the dense engine's decode: no surviving rows
+				// means nil slices, not empty ones.
+				cur.Rows, origin = nil, nil
+			} else {
+				cur.Rows = cur.Rows[:w]
+				origin = origin[:w]
+			}
+			st.rowSig = st.rowSig[:w]
 			cur.InvalidateCSC()
 		}
 
 		// Row dominance: keep only inclusion-minimal rows (a row that
 		// is a superset of another is covered automatically).
-		if o, ok := dropSupersetRows(cur, origin); ok {
+		if o, ok := dropSupersetRows(cur, origin, st); ok {
 			origin = o
 			changed = true
 		}
 
 		// Column dominance: drop column k when some other column j
 		// covers every row k covers at no greater cost.
-		if dropDominatedCols(cur) {
+		if dropDominatedCols(cur, st) {
 			changed = true
 		}
 
@@ -324,56 +402,76 @@ func reduceTracked(p *Problem, tr *budget.Tracker) *TrackedReduction {
 // dropSupersetRows removes duplicate rows and rows that strictly
 // contain another row, filtering the parallel origin slice alongside.
 // It returns the surviving origins and whether anything changed.
-func dropSupersetRows(p *Problem, origin []int) ([]int, bool) {
+//
+// The pass gathers kills against immutable pass-start state: row b is
+// killed exactly when some row a strictly before it in the canonical
+// (length, index) order satisfies a ⊆ b.  That predicate matches the
+// sequential engine that kills eagerly and skips killed rows as
+// killers — b's earliest subset predecessor can itself never be killed
+// (a killer of the killer would be an even earlier subset of b) — and
+// it is independent of visit order, so the candidate positions shard
+// freely across workers and the marks merge by index.
+func dropSupersetRows(p *Problem, origin []int, st *reduceScratch) ([]int, bool) {
 	n := len(p.Rows)
-	keep := make([]bool, n)
+	// Sort candidates by (length, index), packed into int64 keys so the
+	// sort runs without a comparator closure.  Subsets then always
+	// precede their supersets, and the index tie-break makes the
+	// survivor among duplicate rows canonical (smallest row index), so
+	// the sparse and dense reduction engines agree exactly.
+	st.keys = growI64(st.keys, n)
+	for i, r := range p.Rows {
+		st.keys[i] = int64(len(r))<<32 | int64(i)
+	}
+	slices.Sort(st.keys)
+	st.order = growInt(st.order, n)
+	order := st.order
+	for k, key := range st.keys {
+		order[k] = int(key & 0xffffffff)
+	}
+	st.keep = growBool(st.keep, n)
+	keep := st.keep
 	for i := range keep {
 		keep[i] = true
 	}
-	// Sort row order by length so subsets come first; compare each row
-	// against shorter (or equal, earlier) rows.  The index tie-break
-	// makes the survivor among duplicate rows canonical (smallest row
-	// index), so the sparse and dense reduction engines agree exactly.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		la, lb := len(p.Rows[order[a]]), len(p.Rows[order[b]])
-		if la != lb {
-			return la < lb
+	sig := st.rowSig
+	var nKill atomic.Int64
+	parShard(n, st.workers, func(lo, hi int) {
+		kills := 0
+		for bi := lo; bi < hi; bi++ {
+			b := order[bi]
+			rb, sb := p.Rows[b], sig[b]
+			for _, a := range order[:bi] {
+				if sig[a]&^sb != 0 {
+					continue
+				}
+				if isSubsetSorted(p.Rows[a], rb) {
+					keep[b] = false
+					kills++
+					break
+				}
+			}
 		}
-		return order[a] < order[b]
+		if kills > 0 {
+			nKill.Add(int64(kills))
+		}
 	})
-	changed := false
-	for ai, a := range order {
-		if !keep[a] {
-			continue
-		}
-		for _, b := range order[ai+1:] {
-			if !keep[b] {
-				continue
-			}
-			if isSubsetSorted(p.Rows[a], p.Rows[b]) {
-				keep[b] = false
-				changed = true
-			}
+	if nKill.Load() == 0 {
+		return origin, false
+	}
+	w := 0
+	for i, r := range p.Rows {
+		if keep[i] {
+			p.Rows[w] = r
+			origin[w] = origin[i]
+			sig[w] = sig[i]
+			w++
 		}
 	}
-	if changed {
-		var rows [][]int
-		var keptOrigin []int
-		for i, r := range p.Rows {
-			if keep[i] {
-				rows = append(rows, r)
-				keptOrigin = append(keptOrigin, origin[i])
-			}
-		}
-		p.Rows = rows
-		origin = keptOrigin
-		p.InvalidateCSC()
-	}
-	return origin, changed
+	p.Rows = p.Rows[:w]
+	origin = origin[:w]
+	st.rowSig = sig[:w]
+	p.InvalidateCSC()
+	return origin, true
 }
 
 func isSubsetSorted(a, b []int) bool { // a ⊆ b, both sorted
@@ -390,34 +488,84 @@ func isSubsetSorted(a, b []int) bool { // a ⊆ b, both sorted
 	return true
 }
 
-// dropDominatedCols removes columns dominated by another column.
-func dropDominatedCols(p *Problem) bool {
-	cols := p.ColumnRows()
-	active := p.ActiveCols()
-	dead := make([]bool, p.NCol)
-	nDead := 0
-	for _, k := range active {
-		for _, j := range active {
-			if j == k || dead[j] || dead[k] {
-				continue
-			}
-			if p.Cost[j] > p.Cost[k] {
-				continue
-			}
-			if !isSubsetSorted(cols[k], cols[j]) {
-				continue
-			}
-			// j covers everything k covers at no greater cost.  With
-			// fully equal coverage and cost, keep the smaller id.
-			if len(cols[k]) == len(cols[j]) && p.Cost[j] == p.Cost[k] && j > k {
-				continue
-			}
-			dead[k] = true
-			nDead++
-			break
+func isSubsetSortedI32(a, b []int32) bool { // a ⊆ b, both sorted
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// dropDominatedCols removes columns dominated by another column:
+// column k dies when some column j covers a superset of k's rows at no
+// greater cost (ties broken toward the smaller id).  Like the row
+// pass, the kill set is gathered against immutable pass-start state —
+// k dies iff a dominator exists at all, because dominance with this
+// tie-break is a strict partial order and any dominator of k sits
+// below some never-killed maximal dominator — so the candidates shard
+// across workers and the kills apply in index order afterwards.
+// Column row sets come from the CSC mirror (one O(nnz) build per pass
+// instead of per-column slice allocations).
+func dropDominatedCols(p *Problem, st *reduceScratch) bool {
+	start, idx := p.CSC()
+	st.active = st.active[:0]
+	for j := 0; j < p.NCol; j++ {
+		if start[j+1] > start[j] {
+			st.active = append(st.active, j)
 		}
 	}
-	if nDead == 0 {
+	active := st.active
+	st.colSig = growU64(st.colSig, p.NCol)
+	colSig := st.colSig
+	st.deadCol = growBool(st.deadCol, p.NCol)
+	dead := st.deadCol
+	for _, j := range active {
+		var s uint64
+		for _, i := range idx[start[j]:start[j+1]] {
+			s |= 1 << (uint(i) & 63)
+		}
+		colSig[j] = s
+		dead[j] = false
+	}
+	var nDead atomic.Int64
+	parShard(len(active), st.workers, func(lo, hi int) {
+		kills := 0
+		for ki := lo; ki < hi; ki++ {
+			k := active[ki]
+			ck := idx[start[k]:start[k+1]]
+			sk, costK := colSig[k], p.Cost[k]
+			for _, j := range active {
+				if j == k || p.Cost[j] > costK {
+					continue
+				}
+				if sk&^colSig[j] != 0 {
+					continue
+				}
+				cj := idx[start[j]:start[j+1]]
+				if len(ck) > len(cj) || !isSubsetSortedI32(ck, cj) {
+					continue
+				}
+				// j covers everything k covers at no greater cost.  With
+				// fully equal coverage and cost, keep the smaller id.
+				if len(ck) == len(cj) && p.Cost[j] == costK && j > k {
+					continue
+				}
+				dead[k] = true
+				kills++
+				break
+			}
+		}
+		if kills > 0 {
+			nDead.Add(int64(kills))
+		}
+	})
+	if nDead.Load() == 0 {
 		return false
 	}
 	for i, r := range p.Rows {
@@ -428,6 +576,9 @@ func dropDominatedCols(p *Problem) bool {
 			}
 		}
 		p.Rows[i] = out
+		if len(out) != len(r) {
+			st.rowSig[i] = sigOf(out)
+		}
 	}
 	p.InvalidateCSC()
 	return true
@@ -537,18 +688,23 @@ func Components(p *Problem) []Component {
 // Solvers that maintain per-column state use the compact form.
 func (p *Problem) Compact() (*Problem, []int) {
 	active := p.ActiveCols()
-	newID := make(map[int]int, len(active))
+	// Dense id remap: one int32 slice over the column universe instead
+	// of a hash map — Compact runs once per fixing step, and the map
+	// was the solver's single largest allocation site.
+	newID := make([]int32, p.NCol)
 	for k, j := range active {
-		newID[j] = k
+		newID[j] = int32(k)
 	}
 	q := &Problem{NCol: len(active), Cost: make([]int, len(active)), Rows: make([][]int, len(p.Rows))}
 	for k, j := range active {
 		q.Cost[k] = p.Cost[j]
 	}
+	flat := make([]int, p.NNZ())
 	for i, r := range p.Rows {
-		rr := make([]int, len(r))
+		rr := flat[:len(r):len(r)]
+		flat = flat[len(r):]
 		for t, j := range r {
-			rr[t] = newID[j]
+			rr[t] = int(newID[j])
 		}
 		q.Rows[i] = rr
 	}

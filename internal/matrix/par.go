@@ -1,0 +1,41 @@
+package matrix
+
+import "sync"
+
+// parMinShard is the smallest per-worker candidate count worth a
+// goroutine handoff: below it the dominance scan is cheaper than the
+// scheduling, so the shard runs inline.  Calibrated with
+// BenchmarkReduceFixpoint; the exact value only moves the crossover,
+// never a result (the kill sets are order-independent).  It is a
+// variable so the differential tests can drop it and drive real
+// goroutines through small instances under the race detector.
+var parMinShard = 256
+
+// parShard splits [0, n) into one contiguous chunk per worker and runs
+// fn on every chunk, concurrently when workers > 1.  fn must write only
+// per-index state it owns (the dominance passes gather kill marks into
+// distinct elements) and must read only state that is immutable for the
+// duration of the call; the chunks partition the index space, so the
+// union of the chunk results is identical for any worker count.
+func parShard(n, workers int, fn func(lo, hi int)) {
+	if maxW := n / parMinShard; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	fn(0, n/workers)
+	wg.Wait()
+}

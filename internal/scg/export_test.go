@@ -8,3 +8,12 @@ func SetDenseImplicit(on bool) (restore func()) {
 	denseImplicit = on
 	return func() { denseImplicit = old }
 }
+
+// SetZDDGC flips the implicit phase's mark-sweep collections for a
+// test and returns a restore func, so the capped-depth tests can
+// contrast the GC ladder against plain cap-and-abort.
+func SetZDDGC(on bool) (restore func()) {
+	old := zddGC
+	zddGC = on
+	return func() { zddGC = old }
+}

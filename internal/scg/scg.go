@@ -19,6 +19,7 @@ package scg
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -62,12 +63,14 @@ type Options struct {
 	// previous phase's multipliers (for ablations; the paper
 	// warm-starts, §3.2).
 	DisableWarmStart bool
-	// Workers bounds the restart/block portfolio: the independent
-	// blocks of the cyclic core and the NumIter stochastic restarts of
-	// each block run on up to Workers goroutines.  0 means GOMAXPROCS,
-	// 1 is fully sequential.  The solution and every Stats counter are
-	// bit-identical for a given Seed regardless of Workers (timings and
-	// interrupted solves excepted); see DESIGN.md for the contract.
+	// Workers bounds the solve's parallelism: the dominance passes of
+	// the reduction fixpoints shard across up to Workers goroutines,
+	// and the independent blocks of the cyclic core plus the NumIter
+	// stochastic restarts of each block run on up to Workers
+	// goroutines.  0 means GOMAXPROCS, 1 is fully sequential.  The
+	// solution and every Stats counter are bit-identical for a given
+	// Seed regardless of Workers (timings and interrupted solves
+	// excepted); see DESIGN.md for the contract.
 	Workers int
 	// Budget bounds the solve (wall-clock deadline, ZDD node cap,
 	// subgradient iteration cap).  The zero value is unlimited.  When
@@ -99,7 +102,8 @@ type Stats struct {
 	TotalTime      time.Duration
 	CoreRows       int // rows of the cyclic core
 	CoreCols       int // active columns of the cyclic core
-	ZDDNodes       int // nodes allocated by the implicit phase
+	ZDDNodes       int // high-water ZDD node store of the implicit phase
+	ZDDCollections int // mark-sweep collections run by the implicit phase
 	FixSteps       int // column-fixing iterations over all runs
 	Runs           int // constructive runs executed
 	SubgradIters   int // total subgradient iterations
@@ -143,12 +147,21 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 		}
 	}()
 
+	// The reduction fixpoints shard their dominance passes across the
+	// same worker budget the restart portfolio uses; the merge is
+	// deterministic, so the cyclic core is bit-identical for any count.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	// ----- implicit reduction to (near) cyclic core -----
 	var essential []int
 	work := p
 	if !opt.DisableImplicit {
-		ir := ImplicitReduceBudget(p, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr)
+		ir := ImplicitReduceBudgetWorkers(p, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr, workers)
 		res.Stats.ZDDNodes = ir.ZDDNodes
+		res.Stats.ZDDCollections = ir.Collections
 		res.Stats.ImplicitDense = ir.Dense
 		if ir.Aborted {
 			// Node cap or deadline: degrade to the explicit reduction
@@ -164,7 +177,7 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 	}
 
 	// ----- explicit reductions -----
-	red := matrix.ReduceBudget(work, tr)
+	red := matrix.ReduceBudgetWorkers(work, tr, workers)
 	if red.Infeasible {
 		res.Stats.TotalTime = time.Since(t0)
 		return res
@@ -389,6 +402,9 @@ func runOnce(core *matrix.Problem, zBest int, opt Options, rng *rand.Rand, windo
 				next = next.RemoveColumn(ids[j]) // rows unchanged
 			}
 		}
+		// Per-restart re-reductions stay sequential: the portfolio
+		// already spreads the restarts across the worker budget, so
+		// sharding these small fixpoints too would only oversubscribe.
 		red := matrix.ReduceTracked(next)
 		if red.Infeasible {
 			// Dropping columns emptied a row: no improving solution

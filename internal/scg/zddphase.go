@@ -17,8 +17,11 @@ type ImplicitResult struct {
 	// short; the other fields are then meaningless and the caller must
 	// fall back to the explicit reduction path on the original matrix.
 	Aborted  bool
-	ZDDNodes int // nodes allocated by the manager
+	ZDDNodes int // high-water node store of the manager (survives GC)
 	Passes   int // reduction sweeps executed
+	// Collections counts the mark-sweep garbage collections the phase
+	// ran to stay under the node cap (see the GC ladder below).
+	Collections int
 	// Dense is set when the phase ran on the dense bit-matrix engine
 	// instead of the ZDD: the instance was small and dense enough that
 	// word-parallel explicit reductions beat ZDD operations outright.
@@ -30,6 +33,18 @@ type ImplicitResult struct {
 // tests flip it to exercise the ZDD engine on instances the shortcut
 // would otherwise claim.
 var denseImplicit = true
+
+// zddGC gates the mark-sweep collections of the implicit phase; the
+// tests flip it off to measure how deep a capped phase reaches without
+// node-store hygiene.
+var zddGC = true
+
+// zddGCRetries bounds how many times one phase may answer a node-cap
+// panic with a collection and a retry.  Each retry wastes at most one
+// partial pass, so the bound keeps the phase terminating even when a
+// single operation's working set genuinely exceeds the cap (the sweep
+// then frees the same garbage every round without progress).
+const zddGCRetries = 8
 
 // validCols reports whether every entry indexes the cost vector.
 // matrix.New enforces this, but the implicit phase is also the place
@@ -74,20 +89,36 @@ func ImplicitReduce(p *matrix.Problem, maxR, maxC int) *ImplicitResult {
 // with Aborted set and the caller degrades to the explicit reduction
 // path — the paper's algorithm still terminates with the same final
 // cover it would produce with the implicit phase disabled.
+//
+// The node cap measures the *live* working set, not the allocation
+// history: the surviving family is a registered GC root, dead
+// intermediate results are reclaimed by mark-sweep collections (both
+// proactively near the cap and in response to a cap overrun, which is
+// retried after the sweep), and only when the live nodes themselves
+// crowd the cap — or the retry budget is spent — does the phase abort.
 func ImplicitReduceBudget(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget.Tracker) (res *ImplicitResult) {
+	return ImplicitReduceBudgetWorkers(p, maxR, maxC, nodeCap, tr, 1)
+}
+
+// ImplicitReduceBudgetWorkers is ImplicitReduceBudget with the
+// explicit dominance passes of the dense shortcut sharded across up to
+// workers goroutines; the ZDD engine itself is sequential (the manager
+// is single-threaded by design), so workers only matters on instances
+// the dense bit-matrix engine claims.
+func ImplicitReduceBudgetWorkers(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget.Tracker, workers int) (res *ImplicitResult) {
 	res = &ImplicitResult{}
 
 	// Small dense instances skip the ZDD entirely: the dense bit-matrix
 	// engine reaches the same fixpoint (same reductions, same
 	// tie-breaks) in word-parallel passes with none of the ZDD-node
 	// overhead.  A node cap is an explicit request to budget the ZDD
-	// engine — the cap→abort→explicit degradation ladder is part of the
-	// budget contract — so the shortcut only applies without one.  If
-	// the deadline cuts the dense pass short the partially reduced core
-	// is still an equivalent problem, so it is returned rather than
-	// aborted.
+	// engine — the cap→GC→abort→explicit degradation ladder is part of
+	// the budget contract — so the shortcut only applies without one.
+	// If the deadline cuts the dense pass short the partially reduced
+	// core is still an equivalent problem, so it is returned rather
+	// than aborted.
 	if denseImplicit && nodeCap == 0 && validCols(p) && matrix.DenseEligible(p) {
-		red := matrix.ReduceBudget(p, tr)
+		red := matrix.ReduceBudgetWorkers(p, tr, workers)
 		res.Dense = true
 		res.Infeasible = red.Infeasible
 		if !red.Infeasible {
@@ -99,94 +130,168 @@ func ImplicitReduceBudget(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget
 
 	m := zdd.New()
 	m.SetNodeLimit(nodeCap)
-	defer func() {
-		if r := recover(); r != nil {
-			if r != zdd.ErrNodeLimit {
-				panic(r)
-			}
-			// The family under construction is lost; report abortion so
-			// the caller restarts on the explicit path.
-			*res = ImplicitResult{Aborted: true, ZDDNodes: m.NodeCount(), Passes: res.Passes}
-		}
-	}()
-
 	f := zdd.Empty
-	for _, r := range p.Rows {
-		set, err := m.Set(r)
-		if err != nil {
-			// Negative column ids cannot index the cost vector; such a
-			// matrix is invalid, which matrix.New already rejects.
-			// Degrade to the explicit path, which reports the problem
-			// through its own validation.
-			res.Aborted = true
-			res.ZDDNodes = m.NodeCount()
-			return res
+	// The surviving family is the phase's only long-lived value: it is
+	// the single permanent GC root, and every step below re-reads it
+	// after a collection (Collect rewrites the root in place).
+	m.AddRoot(&f)
+
+	// run executes one step of the phase, answering a node-cap panic
+	// with a mark-sweep collection and a retry.  Steps must be
+	// restartable: they may read only f (and immutable inputs) at entry
+	// and keep every intermediate Node local, so re-running one after a
+	// sweep recomputes exactly the work the overrun threw away.  run
+	// reports false when the phase must abort: GC disabled, nothing
+	// reclaimed, live nodes still crowding the cap, or the retry budget
+	// spent.
+	retries := zddGCRetries
+	run := func(step func()) bool {
+		for {
+			panicked := func() (bad bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if r != zdd.ErrNodeLimit {
+							panic(r)
+						}
+						bad = true
+					}
+				}()
+				step()
+				return false
+			}()
+			if !panicked {
+				return true
+			}
+			if !zddGC || retries <= 0 {
+				return false
+			}
+			retries--
+			res.Collections++
+			if freed := m.Collect(); freed == 0 || m.NodeCount() >= nodeCap {
+				// The live family itself fills the cap: collecting
+				// again cannot help, degrade to the explicit path.
+				return false
+			}
 		}
-		f = m.Union(f, set)
 	}
+	abort := func() *ImplicitResult {
+		res.Aborted = true
+		res.ZDDNodes = m.PeakNodeCount()
+		return res
+	}
+
+	// Load the rows.  The resume index makes the step restartable: a
+	// row whose Union overran the cap is redone from its Set.
+	var loadErr error
+	row := 0
+	if !run(func() {
+		for ; row < len(p.Rows); row++ {
+			set, err := m.Set(p.Rows[row])
+			if err != nil {
+				// Negative column ids cannot index the cost vector;
+				// such a matrix is invalid, which matrix.New already
+				// rejects.  Degrade to the explicit path, which
+				// reports the problem through its own validation.
+				loadErr = err
+				return
+			}
+			f = m.Union(f, set)
+		}
+	}) || loadErr != nil {
+		return abort()
+	}
+
+	// essSeen guards the essential list against the duplicates a
+	// retried step could otherwise append (the retry re-detects
+	// singletons it had already recorded before the overrun).
+	var essSeen []bool
 
 	for {
 		res.Passes++
 		if tr.Interrupted() {
-			res.Aborted = true
-			res.ZDDNodes = m.NodeCount()
-			return res
+			return abort()
 		}
 		if m.HasEmptySet(f) {
 			res.Infeasible = true
-			res.ZDDNodes = m.NodeCount()
+			res.ZDDNodes = m.PeakNodeCount()
 			return res
 		}
+		// Node-store hygiene between passes: when the store nears the
+		// cap, sweep the previous passes' dead intermediates before the
+		// next one rams the limit.
+		if zddGC && nodeCap > 0 && m.NodeCount() >= nodeCap-nodeCap/4 {
+			res.Collections++
+			m.Collect()
+		}
+		// start tracks whether the pass changed the family.  It is a
+		// root for the duration of the pass so a mid-pass collection
+		// renumbers it together with f, keeping the comparison exact
+		// (canonicity: equal ids ⇔ equal families).
 		start := f
+		m.AddRoot(&start)
 
 		// Row dominance.
-		f = m.Minimal(f)
+		ok := run(func() { f = m.Minimal(f) })
 
 		// Essential columns.
-		for {
-			singles := m.Singletons(f)
-			if singles == zdd.Empty {
-				break
+		ok = ok && run(func() {
+			for {
+				singles := m.Singletons(f)
+				if singles == zdd.Empty {
+					return
+				}
+				var ess []int
+				m.Enumerate(singles, func(set []int) bool {
+					ess = append(ess, set[0])
+					return true
+				})
+				for _, j := range ess {
+					if essSeen == nil {
+						essSeen = make([]bool, p.NCol)
+					}
+					if !essSeen[j] {
+						essSeen[j] = true
+						res.Essential = append(res.Essential, j)
+					}
+					f = m.Subset0(f, j) // rows containing j are covered
+				}
 			}
-			var ess []int
-			m.Enumerate(singles, func(set []int) bool {
-				ess = append(ess, set[0])
-				return true
-			})
-			for _, j := range ess {
-				res.Essential = append(res.Essential, j)
-				f = m.Subset0(f, j) // rows containing j are covered
-			}
-		}
+		})
 
 		// Column dominance on the surviving support.
-		support := m.Support(f)
-		for _, k := range support {
-			rowsK := m.Subset1(f, k)
-			if rowsK == zdd.Empty {
-				continue
-			}
-			for _, j := range support {
-				if j == k || p.Cost[j] > p.Cost[k] {
+		ok = ok && run(func() {
+			support := m.Support(f)
+			for _, k := range support {
+				rowsK := m.Subset1(f, k)
+				if rowsK == zdd.Empty {
 					continue
 				}
-				// k is dominated when every row containing k also
-				// contains j: no row in Subset1(f,k) avoids j.
-				if m.Subset0(rowsK, j) != zdd.Empty {
-					continue
-				}
-				// Tie-break for fully equal columns: keep smaller id.
-				if p.Cost[j] == p.Cost[k] && j > k {
-					rowsJ := m.Subset1(f, j)
-					if m.Subset0(rowsJ, k) == zdd.Empty {
-						continue // identical coverage: j will be removed instead
+				for _, j := range support {
+					if j == k || p.Cost[j] > p.Cost[k] {
+						continue
 					}
+					// k is dominated when every row containing k also
+					// contains j: no row in Subset1(f,k) avoids j.
+					if m.Subset0(rowsK, j) != zdd.Empty {
+						continue
+					}
+					// Tie-break for fully equal columns: keep smaller id.
+					if p.Cost[j] == p.Cost[k] && j > k {
+						rowsJ := m.Subset1(f, j)
+						if m.Subset0(rowsJ, k) == zdd.Empty {
+							continue // identical coverage: j will be removed instead
+						}
+					}
+					f = m.Remove(f, k)
+					break
 				}
-				f = m.Remove(f, k)
-				break
 			}
-		}
+		})
 
+		m.RemoveRoot(&start)
+		if !ok {
+			return abort()
+		}
 		if f == start {
 			break
 		}
@@ -201,7 +306,7 @@ func ImplicitReduceBudget(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget
 
 	if m.HasEmptySet(f) {
 		res.Infeasible = true
-		res.ZDDNodes = m.NodeCount()
+		res.ZDDNodes = m.PeakNodeCount()
 		return res
 	}
 
@@ -213,6 +318,6 @@ func ImplicitReduceBudget(p *matrix.Problem, maxR, maxC, nodeCap int, tr *budget
 	})
 	sort.Ints(res.Essential)
 	res.Core = core
-	res.ZDDNodes = m.NodeCount()
+	res.ZDDNodes = m.PeakNodeCount()
 	return res
 }

@@ -1,0 +1,255 @@
+package zdd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// familySets enumerates f as a sorted slice of sorted sets, the
+// canonical semantic snapshot used to compare families across sweeps.
+func familySets(m *Manager, f Node) [][]int {
+	var out [][]int
+	m.Enumerate(f, func(set []int) bool {
+		out = append(out, append([]int(nil), set...))
+		return true
+	})
+	return out
+}
+
+func randSet(rng *rand.Rand, universe int) []int {
+	n := 1 + rng.Intn(5)
+	s := make([]int, 0, n)
+	for len(s) < n {
+		s = append(s, rng.Intn(universe))
+	}
+	return s
+}
+
+// TestCollectPreservesFamilies drives random operation sequences with
+// interleaved sweeps: after every Collect the registered families must
+// enumerate to exactly the sets they held before, LiveNodeCount must
+// never exceed NodeCount, and later operations (running against the
+// rebuilt unique table and the invalidated caches) must keep producing
+// correct results.
+func TestCollectPreservesFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		m := New()
+		f, g := Empty, Empty
+		m.AddRoot(&f)
+		m.AddRoot(&g)
+		for step := 0; step < 60; step++ {
+			s, err := m.Set(randSet(rng, 40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch rng.Intn(6) {
+			case 0:
+				f = m.Union(f, s)
+			case 1:
+				g = m.Union(g, s)
+			case 2:
+				f = m.Minimal(m.Union(f, s))
+			case 3:
+				g = m.Diff(g, s)
+			case 4:
+				f = m.Subset0(f, rng.Intn(40))
+			case 5:
+				f = m.Union(f, m.Intersect(g, s))
+			}
+			if rng.Intn(4) != 0 {
+				continue
+			}
+			// Sweep and verify semantics survive the compaction.
+			before := familySets(m, f)
+			beforeG := familySets(m, g)
+			nodesBefore := m.NodeCount()
+			live := m.LiveNodeCount()
+			if live > nodesBefore {
+				t.Fatalf("trial %d step %d: LiveNodeCount %d > NodeCount %d", trial, step, live, nodesBefore)
+			}
+			freed := m.Collect()
+			if got := m.NodeCount(); got != nodesBefore-freed {
+				t.Fatalf("trial %d step %d: Collect freed %d but store went %d -> %d",
+					trial, step, freed, nodesBefore, got)
+			}
+			if got := m.NodeCount(); got != live {
+				t.Fatalf("trial %d step %d: post-sweep store %d != pre-sweep live %d", trial, step, got, live)
+			}
+			if m.PeakNodeCount() < nodesBefore {
+				t.Fatalf("trial %d step %d: peak %d below pre-sweep store %d",
+					trial, step, m.PeakNodeCount(), nodesBefore)
+			}
+			if after := familySets(m, f); !reflect.DeepEqual(after, before) {
+				t.Fatalf("trial %d step %d: f changed across Collect:\nbefore %v\nafter  %v",
+					trial, step, before, after)
+			}
+			if after := familySets(m, g); !reflect.DeepEqual(after, beforeG) {
+				t.Fatalf("trial %d step %d: g changed across Collect:\nbefore %v\nafter  %v",
+					trial, step, beforeG, after)
+			}
+		}
+		// Cross-check against a sweep-free replay of the same families.
+		ref := New()
+		rf, rErr := refRebuild(ref, familySets(m, f))
+		if rErr != nil {
+			t.Fatal(rErr)
+		}
+		if !reflect.DeepEqual(familySets(ref, rf), familySets(m, f)) {
+			t.Fatalf("trial %d: final family differs from sweep-free rebuild", trial)
+		}
+	}
+}
+
+func refRebuild(m *Manager, sets [][]int) (Node, error) {
+	f := Empty
+	for _, s := range sets {
+		n, err := m.Set(s)
+		if err != nil {
+			return Empty, err
+		}
+		f = m.Union(f, n)
+	}
+	return f, nil
+}
+
+// TestCollectRebuildsUniqueTable: hash-consing must still canonicalise
+// after a sweep — building an already-live set must return the
+// existing node, not a duplicate.
+func TestCollectRebuildsUniqueTable(t *testing.T) {
+	m := New()
+	f := Empty
+	m.AddRoot(&f)
+	for i := 0; i < 50; i++ {
+		s, _ := m.Set([]int{i, i + 1, i + 2})
+		f = m.Union(f, s)
+	}
+	// Strand garbage, then sweep.
+	for i := 0; i < 50; i++ {
+		s, _ := m.Set([]int{i + 100})
+		m.Union(f, s)
+	}
+	if m.Collect() == 0 {
+		t.Fatal("expected garbage to be freed")
+	}
+	s, _ := m.Set([]int{10, 11, 12})
+	if !m.Member(f, []int{10, 11, 12}) {
+		t.Fatal("family lost a member across Collect")
+	}
+	// Hash-consing must canonicalise against the rebuilt table: the
+	// same set built again is the same node, with no fresh allocation.
+	n := m.NodeCount()
+	s2, _ := m.Set([]int{10, 11, 12})
+	if s2 != s || m.NodeCount() != n {
+		t.Fatalf("unique table broken after sweep: rebuilt node %d vs %d, %d fresh nodes",
+			s2, s, m.NodeCount()-n)
+	}
+	if m.Intersect(f, s) != s {
+		t.Fatal("intersection with a member set is not the set itself")
+	}
+}
+
+// TestCollectRewritesRoots: ids are renumbered by compaction, so the
+// registered pointers must be rewritten to the surviving node.
+func TestCollectRewritesRoots(t *testing.T) {
+	m := New()
+	// Strand a pile of garbage below the root so the root's id moves.
+	for i := 0; i < 200; i++ {
+		if _, err := m.Set([]int{i, i + 7, i + 19}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, _ := m.Set([]int{3, 5, 9})
+	m.AddRoot(&f)
+	want := familySets(m, f)
+	if m.Collect() == 0 {
+		t.Fatal("expected garbage to be freed")
+	}
+	if got := familySets(m, f); !reflect.DeepEqual(got, want) {
+		t.Fatalf("root not rewritten: got %v want %v", got, want)
+	}
+	// A removed root's referent becomes garbage on the next sweep.
+	g, _ := m.Set([]int{30, 31})
+	m.AddRoot(&g)
+	m.RemoveRoot(&g)
+	n := m.NodeCount()
+	if m.Collect() == 0 || m.NodeCount() >= n {
+		t.Fatal("unregistered family survived the sweep")
+	}
+}
+
+// TestLiveNodeCountTracksRoots: with no roots only the terminals are
+// live; adding and removing roots moves the count.
+func TestLiveNodeCountTracksRoots(t *testing.T) {
+	m := New()
+	f, _ := m.Set([]int{1, 2, 3})
+	if got := m.LiveNodeCount(); got != 2 {
+		t.Fatalf("no roots: live = %d, want 2 (terminals)", got)
+	}
+	m.AddRoot(&f)
+	if got := m.LiveNodeCount(); got != 5 {
+		t.Fatalf("one 3-element chain: live = %d, want 5", got)
+	}
+	if m.LiveNodeCount() > m.NodeCount() {
+		t.Fatal("live exceeds store")
+	}
+	m.RemoveRoot(&f)
+	if got := m.LiveNodeCount(); got != 2 {
+		t.Fatalf("after RemoveRoot: live = %d, want 2", got)
+	}
+}
+
+// TestCollectNodeLimitInteraction: a sweep must make room under a node
+// limit — after collecting, allocations that would have tripped the
+// cap succeed again.
+func TestCollectNodeLimitInteraction(t *testing.T) {
+	m := New()
+	f := Empty
+	m.AddRoot(&f)
+	s, _ := m.Set([]int{1, 2})
+	f = s
+	// Fill the store with garbage chains.
+	for i := 0; i < 300; i++ {
+		if _, err := m.Set([]int{i, i + 1, i + 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetNodeLimit(m.NodeCount() + 1)
+	func() {
+		defer func() {
+			if recover() != ErrNodeLimit {
+				t.Fatal("expected ErrNodeLimit")
+			}
+		}()
+		for i := 0; i < 10; i++ {
+			m.Set([]int{1000 + i, 2000 + i})
+		}
+		t.Fatal("limit never tripped")
+	}()
+	if m.Collect() == 0 {
+		t.Fatal("no garbage reclaimed")
+	}
+	// Room again: the same allocations now fit.
+	for i := 0; i < 10; i++ {
+		if _, err := m.Set([]int{1000 + i, 2000 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Member(f, []int{1, 2}) {
+		t.Fatal("root family damaged")
+	}
+}
+
+// TestAddRootDuplicatePanics documents the double-registration guard.
+func TestAddRootDuplicatePanics(t *testing.T) {
+	m := New()
+	f := Empty
+	m.AddRoot(&f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate AddRoot")
+		}
+	}()
+	m.AddRoot(&f)
+}

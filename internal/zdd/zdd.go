@@ -17,6 +17,7 @@ package zdd
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // ErrNodeLimit is the panic value raised (and the error reported) when
@@ -76,6 +77,22 @@ type Manager struct {
 	nkeys []Node
 	nvals []uint64
 
+	// Visit stamps: one epoch counter plus a per-node stamp slice shared
+	// by every traversal (Support, LiveNodeCount, the collector's mark
+	// phase), so no walk ever allocates a visited map.  A node is marked
+	// in the current traversal iff vstamp[n] == vepoch; opening a new
+	// epoch invalidates all stamps in O(1).
+	vstamp []int32
+	vepoch int32
+
+	// Garbage collection: externally registered roots (pointers, so the
+	// sweep can rewrite them to the compacted ids) and the old→new id
+	// scratch of the sweep.  peak is the high-water node count across
+	// the manager's lifetime, surviving collections.
+	roots []*Node
+	gcMap []Node
+	peak  int
+
 	// limit caps the node store; 0 = unlimited.
 	limit int
 }
@@ -94,6 +111,7 @@ func New() *Manager {
 	m.varOf = append(m.varOf, terminalVar, terminalVar)
 	m.lo = append(m.lo, Empty, Empty)
 	m.hi = append(m.hi, Empty, Empty)
+	m.peak = 2
 	return m
 }
 
@@ -162,6 +180,9 @@ func (m *Manager) mk(v int32, lo, hi Node) Node {
 	m.varOf = append(m.varOf, v)
 	m.lo = append(m.lo, lo)
 	m.hi = append(m.hi, hi)
+	if len(m.varOf) > m.peak {
+		m.peak = len(m.varOf)
+	}
 	m.uslots[idx] = int32(n) + 1
 	if uint32(len(m.varOf))*4 >= m.umask*3 { // load factor 3/4
 		m.growUnique()
@@ -179,6 +200,167 @@ func (m *Manager) growUnique() {
 		}
 		m.uslots[idx] = int32(n) + 1
 	}
+}
+
+// beginVisit opens a traversal epoch: it grows the stamp slice to the
+// node store and bumps the epoch counter, which invalidates every
+// stamp of earlier traversals in O(1).  On (rare) epoch wraparound the
+// stamps are cleared so a stale stamp can never alias the new epoch.
+func (m *Manager) beginVisit() {
+	if len(m.vstamp) < len(m.varOf) {
+		m.vstamp = append(m.vstamp, make([]int32, len(m.varOf)-len(m.vstamp))...)
+	}
+	m.vepoch++
+	if m.vepoch <= 0 {
+		for i := range m.vstamp {
+			m.vstamp[i] = 0
+		}
+		m.vepoch = 1
+	}
+}
+
+// ----- garbage collection -----
+//
+// The node store is append-only between collections: operations
+// hash-cons every intermediate result, so long reduction runs strand
+// large amounts of dead nodes behind the live families.  A collection
+// reclaims everything unreachable from the registered roots.
+//
+// Protocol: register every family that must survive with AddRoot
+// (passing a *Node, because compaction renumbers ids and the collector
+// rewrites the roots in place), call Collect only between operations —
+// node ids held on the Go stack by an operation in flight are
+// invisible to the collector — and treat every unregistered Node as
+// invalidated by the sweep.
+
+// AddRoot registers *f as an external GC root: the family *f (at the
+// time of a future Collect) survives collections and *f is rewritten
+// to the node's post-compaction id.  The same pointer may be
+// registered once; AddRoot panics on re-registration to catch
+// double-add bugs early.
+func (m *Manager) AddRoot(f *Node) {
+	for _, r := range m.roots {
+		if r == f {
+			panic("zdd: AddRoot: pointer already registered")
+		}
+	}
+	m.roots = append(m.roots, f)
+}
+
+// RemoveRoot unregisters a pointer previously passed to AddRoot.  It
+// is a no-op when the pointer is not registered.
+func (m *Manager) RemoveRoot(f *Node) {
+	for i, r := range m.roots {
+		if r == f {
+			m.roots = append(m.roots[:i], m.roots[i+1:]...)
+			return
+		}
+	}
+}
+
+// markLive stamps every node reachable from the registered roots with
+// the current epoch (the caller opens it) and returns the live node
+// count, terminals included.
+func (m *Manager) markLive() int {
+	live := 2
+	var mark func(Node)
+	mark = func(n Node) {
+		for n > Base && m.vstamp[n] != m.vepoch {
+			m.vstamp[n] = m.vepoch
+			live++
+			mark(m.hi[n])
+			n = m.lo[n]
+		}
+	}
+	for _, r := range m.roots {
+		mark(*r)
+	}
+	return live
+}
+
+// LiveNodeCount returns the number of nodes reachable from the
+// registered roots, terminals included — the store size a Collect
+// would compact to.  NodeCount, by contrast, counts every node ever
+// allocated since the last collection; budgeting against LiveNodeCount
+// lets a node cap measure the working set instead of the history.
+func (m *Manager) LiveNodeCount() int {
+	m.beginVisit()
+	return m.markLive()
+}
+
+// PeakNodeCount returns the high-water node store size over the
+// manager's lifetime; collections do not lower it.
+func (m *Manager) PeakNodeCount() int { return m.peak }
+
+// Collect reclaims every node unreachable from the registered roots
+// and returns how many it freed.  The surviving nodes are compacted to
+// the low ids (children always precede parents, so one in-order pass
+// remaps lo/hi), the unique table is rebuilt over the compacted store,
+// the computed and count caches are invalidated — their keys embed
+// pre-sweep ids — and each registered root is rewritten to its new id.
+// Every Node value not covered by a registered root is dangling after
+// Collect returns and must not be used.
+func (m *Manager) Collect() int {
+	n := len(m.varOf)
+	m.beginVisit()
+	live := m.markLive()
+	if live == n {
+		return 0
+	}
+	// Sweep: compact stores in id order, remapping through gcMap.
+	if cap(m.gcMap) < n {
+		m.gcMap = make([]Node, n)
+	}
+	remap := m.gcMap[:n]
+	remap[0], remap[1] = Empty, Base
+	w := 2
+	for i := 2; i < n; i++ {
+		if m.vstamp[i] != m.vepoch {
+			continue
+		}
+		remap[i] = Node(w)
+		m.varOf[w] = m.varOf[i]
+		m.lo[w] = remap[m.lo[i]]
+		m.hi[w] = remap[m.hi[i]]
+		w++
+	}
+	m.varOf = m.varOf[:w]
+	m.lo = m.lo[:w]
+	m.hi = m.hi[:w]
+	// Stamps refer to pre-sweep ids; the next beginVisit re-arms them.
+	m.vstamp = m.vstamp[:w]
+	// Rebuild the unique table at the load factor mk maintains.
+	size := uint32(1024)
+	for size*3 < uint32(w)*4 {
+		size *= 2
+	}
+	if uint32(len(m.uslots)) == size {
+		for i := range m.uslots {
+			m.uslots[i] = 0
+		}
+	} else {
+		m.uslots = make([]int32, size)
+	}
+	m.umask = size - 1
+	for i := 2; i < w; i++ {
+		idx := m.uniqueHash(m.varOf[i], m.lo[i], m.hi[i]) & m.umask
+		for m.uslots[idx] != 0 {
+			idx = (idx + 1) & m.umask
+		}
+		m.uslots[idx] = int32(i) + 1
+	}
+	// Invalidate the computed and count caches: zeroed keys can never
+	// match (operation codes start at 1; Count never caches terminals).
+	for i := range m.ckeys {
+		m.ckeys[i] = 0
+	}
+	for i := range m.nkeys {
+		m.nkeys[i] = 0
+	}
+	for _, r := range m.roots {
+		*r = remap[*r]
+	}
+	return n - w
 }
 
 // cacheKey packs an operation and its operands.  Node ids above 2^28
@@ -424,29 +606,41 @@ func (m *Manager) Count(f Node) uint64 {
 // Support returns the sorted list of elements occurring in at least
 // one set of f.
 func (m *Manager) Support(f Node) []int {
-	seen := make(map[int32]bool)
-	visited := make(map[Node]bool)
+	return m.AppendSupport(nil, f)
+}
+
+// AppendSupport appends the sorted support of f to dst and returns the
+// extended slice.  The walk marks visited nodes with the manager's
+// epoch-stamped visit slice — no per-call maps — so a caller that
+// reuses dst across calls pays zero steady-state allocations.
+func (m *Manager) AppendSupport(dst []int, f Node) []int {
+	if f <= Base {
+		return dst
+	}
+	m.beginVisit()
+	base := len(dst)
+	// One entry per node, then sort + dedup: the same variable appears
+	// on many nodes, but the node walk itself bounds the work.
 	var walk func(Node)
 	walk = func(n Node) {
-		if n <= Base || visited[n] {
-			return
+		for n > Base && m.vstamp[n] != m.vepoch {
+			m.vstamp[n] = m.vepoch
+			dst = append(dst, int(m.varOf[n]))
+			walk(m.hi[n])
+			n = m.lo[n]
 		}
-		visited[n] = true
-		seen[m.varOf[n]] = true
-		walk(m.lo[n])
-		walk(m.hi[n])
 	}
 	walk(f)
-	out := make([]int, 0, len(seen))
-	for v := range seen {
-		out = append(out, int(v))
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	s := dst[base:]
+	slices.Sort(s)
+	w := base + 1
+	for i := base + 1; i < len(dst); i++ {
+		if dst[i] != dst[w-1] {
+			dst[w] = dst[i]
+			w++
 		}
 	}
-	return out
+	return dst[:w]
 }
 
 // Enumerate visits every set of the family in lexicographic element
