@@ -2,9 +2,9 @@
 
 GO ?= go
 
-# The hot-substrate microbenches tracked across PRs (see BENCH_pr4.json
+# The hot-substrate microbenches tracked across PRs (see BENCH_pr5.json
 # for the committed baseline and DESIGN.md for interpretation).
-SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$
+SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$
 
 .PHONY: build test check bench-diff fuzz bench bench-all
 
@@ -32,7 +32,7 @@ check:
 # scheduler-dependent pool jitter (see cmd/benchfmt).
 bench-diff:
 	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . \
-	| $(GO) run ./cmd/benchfmt -against BENCH_pr4.json
+	| $(GO) run ./cmd/benchfmt -against BENCH_pr5.json
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
 # acceptance bar: no panic reachable through the public API, and the
@@ -45,16 +45,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveParsedProblem$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMinimizeParsedPLA$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSignatureSubset$$' -fuzztime $(FUZZTIME) ./internal/matrix
+	$(GO) test -run '^$$' -fuzz '^FuzzCanonFingerprint$$' -fuzztime $(FUZZTIME) ./internal/canon
 
 # bench measures the hot substrates (5 repetitions each, plus the
 # portfolio and the sharded reduction fixpoint under -cpu 1,2,4,8) and
-# records the results in BENCH_pr4.json; commit the refreshed file when
+# records the results in BENCH_pr5.json; commit the refreshed file when
 # a change moves them.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; } \
-	| $(GO) run ./cmd/benchfmt -o BENCH_pr4.json \
-	  -note "PR4: parallel signature-pruned reduction engine + ZDD mark-sweep GC. Sharded dominance passes (deterministic merge), 64-bit occupancy signatures pruning subset tests, epoch-stamped ZDD traversals, GC'd node store with live-set NodeCap. vs PR3 baseline mins: ZDDReductions and SCGCore ns/op should drop (signature pruning helps the 1-core container too); ReduceFixpoint/ZDDGC are new in this baseline. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr5.json \
+	  -note "PR5: cross-solve memoization. Canonical 128-bit fingerprints, sharded singleflight solution cache, canonical BnB transposition table. New in this baseline: SolveCached/uncached vs SolveCached/cached (the ns/op ratio is the memoization speedup, expected >=5x; cached pays one canonicalization per hit) and BnBTransposition/tt vs /nott (nodes/op is the search-tree size; tt should visit fewer nodes on the 4-block isomorphic instance). SCGCore/Subgradient/ZDDReductions et al are unchanged substrates and should match the PR4 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
 
 # bench-all runs every benchmark once: the paper tables, the ablations
 # and the substrates.

@@ -17,10 +17,12 @@ import (
 
 	"ucp/internal/bdd"
 	"ucp/internal/benchmarks"
+	"ucp/internal/bnb"
 	"ucp/internal/harness"
 	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
 	"ucp/internal/scg"
+	"ucp/internal/solvecache"
 	"ucp/internal/zdd"
 )
 
@@ -352,6 +354,109 @@ func BenchmarkSCGPortfolio(b *testing.B) {
 		cost = res.Cost
 	}
 	b.ReportMetric(float64(cost), "cost/op")
+}
+
+// BenchmarkSolveCached measures the cross-solve cache against repeated
+// resubmission of the same covering problem: the uncached sub-bench
+// pays the full ZDD_SCG solve every iteration, the cached one pays it
+// once and then only the canonical fingerprint per hit.  The ns/op
+// ratio between the two is the memoization speedup (the acceptance bar
+// is ≥5×).
+func BenchmarkSolveCached(b *testing.B) {
+	p := benchmarks.CyclicCovering(13, 250, 120, 3)
+	opt := scg.Options{Seed: 5, NumIter: 2}
+
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := scg.Solve(p, opt); res.Solution == nil {
+				b.Fatal("no solution")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		copt := opt
+		copt.Cache = solvecache.New(64, 0)
+		want := scg.Solve(p, copt) // warm the entry outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := scg.Solve(p, copt)
+			if res.Cost != want.Cost {
+				b.Fatalf("cache changed the answer: %d != %d", res.Cost, want.Cost)
+			}
+		}
+		b.StopTimer()
+		st := copt.Cache.Stats()
+		if st.Hits < int64(b.N) {
+			b.Fatalf("only %d hits for %d iterations", st.Hits, b.N)
+		}
+	})
+}
+
+// isoBlockCovering builds k label-disjoint copies of one random
+// covering block: the branch-and-bound partitions it into k components
+// whose sub-cores are isomorphic, so the canonical transposition table
+// solves one and reuses the rest.
+func isoBlockCovering(seed int64, k, nr, nc, deg int) *matrix.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	block := make([][]int, nr)
+	for i := range block {
+		seen := map[int]bool{}
+		for len(block[i]) < deg {
+			j := rng.Intn(nc)
+			if !seen[j] {
+				seen[j] = true
+				block[i] = append(block[i], j)
+			}
+		}
+	}
+	cost := make([]int, k*nc)
+	rows := make([][]int, 0, k*nr)
+	for c := 0; c < k; c++ {
+		for j := 0; j < nc; j++ {
+			cost[c*nc+j] = 1 + (j*7+int(seed))%3
+		}
+		for _, r := range block {
+			nr := make([]int, len(r))
+			for t, j := range r {
+				nr[t] = c*nc + j
+			}
+			rows = append(rows, nr)
+		}
+	}
+	p, err := matrix.New(rows, k*nc, cost)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// BenchmarkBnBTransposition measures the exact solver with and without
+// the transposition table on a 4-block isomorphic instance: nodes/op
+// is the search-tree size, and the tt sub-bench should visit
+// measurably fewer nodes (the canonical table shares sub-core optima
+// across the isomorphic components).
+func BenchmarkBnBTransposition(b *testing.B) {
+	p := isoBlockCovering(3, 4, 40, 26, 3)
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"tt", false}, {"nott", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var nodes, hits int64
+			for i := 0; i < b.N; i++ {
+				res := bnb.Solve(p, bnb.Options{DisableTT: tc.disable})
+				if res.Solution == nil || !res.Optimal {
+					b.Fatal("exact solve failed")
+				}
+				nodes, hits = res.Nodes, res.TTHits
+			}
+			b.ReportMetric(float64(nodes), "nodes/op")
+			b.ReportMetric(float64(hits), "tthits/op")
+		})
+	}
 }
 
 // BenchmarkPrimesAndCovering measures the Quine–McCluskey front end on

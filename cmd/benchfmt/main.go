@@ -2,14 +2,16 @@
 // into a small JSON document: one entry per benchmark line with every
 // reported metric, plus a per-benchmark min/mean/max summary across
 // -count repetitions.  It exists so `make bench` can commit a stable,
-// diffable baseline (BENCH_pr3.json) instead of raw bench text.
+// diffable baseline (BENCH_pr5.json) instead of raw bench text.
 //
-//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchfmt -o BENCH_pr3.json
+//	go test -run '^$' -bench . -benchtime 1x -count 5 . | benchfmt -o BENCH_pr5.json
 //
 // With -against it also diffs the run against a committed baseline and
-// exits non-zero on regression (`make bench-diff`):
+// exits non-zero on regression (`make bench-diff`).  A baseline that is
+// missing, unreadable, malformed or empty is itself a failure — a CI
+// gate must never pass because its reference quietly vanished:
 //
-//	go test -run '^$' -bench . -benchtime 1x -count 3 . | benchfmt -against BENCH_pr2.json
+//	go test -run '^$' -bench . -benchtime 1x -count 3 . | benchfmt -against BENCH_pr4.json
 package main
 
 import (
@@ -57,10 +59,36 @@ type Doc struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	note := flag.String("note", "", "free-form note recorded in the document")
-	against := flag.String("against", "", "baseline JSON document to compare with; exits non-zero on regression")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main behind injectable streams so the exit paths are
+// testable.  It returns the process exit code: 0 on success, 1 on a
+// regression or an unusable baseline, 2 on a flag error.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchfmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	note := fs.String("note", "", "free-form note recorded in the document")
+	against := fs.String("against", "", "baseline JSON document to compare with; exits non-zero on regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "benchfmt: "+format+"\n", a...)
+		return 1
+	}
+
+	// Load the baseline before reading the (expensive) bench stream, so
+	// a bad -against path fails fast.
+	var base *Doc
+	if *against != "" {
+		var err error
+		if base, err = loadBaseline(*against); err != nil {
+			return fail("%v", err)
+		}
+	}
 
 	doc := &Doc{
 		Date:      time.Now().UTC().Format(time.RFC3339),
@@ -72,11 +100,11 @@ func main() {
 		Summary:   map[string]map[string]*Stat{},
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw output through for the terminal
+		fmt.Fprintln(stdout, line) // pass the raw output through for the terminal
 		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
 			doc.CPU = strings.TrimSpace(cpu)
 			continue
@@ -109,7 +137,7 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fatal("read: %v", err)
+		return fail("read: %v", err)
 	}
 	for _, m := range doc.Summary {
 		for _, s := range m {
@@ -126,30 +154,40 @@ func main() {
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fatal("marshal: %v", err)
+		return fail("marshal: %v", err)
 	}
 	buf = append(buf, '\n')
 	if *out != "" {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fatal("write: %v", err)
+			return fail("write: %v", err)
 		}
 	} else if *against == "" {
-		os.Stdout.Write(buf)
+		stdout.Write(buf)
 	}
 
-	if *against != "" {
-		raw, err := os.ReadFile(*against)
-		if err != nil {
-			fatal("baseline: %v", err)
-		}
-		base := &Doc{}
-		if err := json.Unmarshal(raw, base); err != nil {
-			fatal("baseline %s: %v", *against, err)
-		}
-		if !compare(os.Stdout, doc, base, *against) {
-			os.Exit(1)
-		}
+	if base != nil && !compare(stdout, doc, base, *against) {
+		return 1
 	}
+	return 0
+}
+
+// loadBaseline reads and validates an -against document.  Every way
+// the baseline can be useless — missing file, malformed JSON, a JSON
+// document with no benchmark summaries — is an error: a silent pass
+// against a vanished reference would defeat the regression gate.
+func loadBaseline(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	base := &Doc{}
+	if err := json.Unmarshal(raw, base); err != nil {
+		return nil, fmt.Errorf("baseline %s: malformed JSON: %v", path, err)
+	}
+	if len(base.Summary) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmark summaries (empty or truncated document)", path)
+	}
+	return base, nil
 }
 
 // Regression thresholds for -against: timing may wobble by up to 25%
@@ -246,9 +284,4 @@ func parseLine(line string) (Entry, bool) {
 		e.Metrics[f[i+1]] = v
 	}
 	return e, true
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchfmt: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 
+	"ucp"
 	"ucp/internal/harness"
 	"ucp/internal/prof"
 )
@@ -30,11 +31,23 @@ func main() {
 		numIter    = flag.Int("numiter", 2, "ZDD_SCG constructive runs for tables 3 and 4")
 		samples    = flag.Int("samples", 20, "instances in the bound study")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 5m (0 = unlimited); remaining experiments are skipped once it expires")
+		useCache   = flag.Bool("cache", false, "share a cross-solve cache across experiments (ablation sweeps and Tables 3-4 revisit problems)")
+		cacheSize  = flag.Int("cache-size", ucp.DefaultCacheSize, "session cache capacity in entries (with -cache)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	if *useCache {
+		c := ucp.NewCache(*cacheSize, ucp.DefaultCacheMinWork)
+		harness.UseCache(c)
+		defer func() {
+			cs := c.Stats()
+			fmt.Fprintf(w, "session cache: %d entries, %d hits / %d misses, %d dedups, %d stores, %d evictions\n",
+				cs.Entries, cs.Hits, cs.Misses, cs.Dedups, cs.Stores, cs.Evictions)
+		}()
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -39,6 +39,9 @@ func main() {
 		maxNodes   = flag.Int64("maxnodes", 0, "node cap for the exact solver (0 = unlimited)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 30s (0 = unlimited); on expiry or Ctrl-C the best solution so far is printed")
 		bounds     = flag.Bool("bounds", false, "also print the four lower bounds (matrix mode)")
+		useCache   = flag.Bool("cache", false, "memoize solves in a session cache (useful with repeated invocations of the library; here mostly demonstrates the flag plumbing)")
+		cacheSize  = flag.Int("cache-size", ucp.DefaultCacheSize, "session cache capacity in entries (with -cache)")
+		verbose    = flag.Bool("v", false, "print cache and transposition-table statistics")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -62,6 +65,12 @@ func main() {
 	}
 	bud := ucp.Budget{Context: ctx}
 
+	var sopt ucp.SolverOptions
+	if *useCache {
+		sopt.Cache = ucp.NewCache(*cacheSize, ucp.DefaultCacheMinWork)
+	}
+	sess := &session{Solver: ucp.NewSolver(sopt), verbose: *verbose, cached: *useCache}
+
 	inputs := 0
 	for _, v := range []string{*plaPath, *matrixPath, *orlibPath} {
 		if v != "" {
@@ -72,12 +81,31 @@ func main() {
 	case inputs != 1:
 		fatal("pass exactly one of -pla, -matrix and -orlib")
 	case *plaPath != "":
-		runPLA(*plaPath, *solver, *out, *seed, *numIter, *workers, *maxNodes, bud)
+		runPLA(sess, *plaPath, *solver, *out, *seed, *numIter, *workers, *maxNodes, bud)
 	case *matrixPath != "":
-		runMatrix(*matrixPath, false, *solver, *seed, *numIter, *workers, *maxNodes, *bounds, bud)
+		runMatrix(sess, *matrixPath, false, *solver, *seed, *numIter, *workers, *maxNodes, *bounds, bud)
 	default:
-		runMatrix(*orlibPath, true, *solver, *seed, *numIter, *workers, *maxNodes, *bounds, bud)
+		runMatrix(sess, *orlibPath, true, *solver, *seed, *numIter, *workers, *maxNodes, *bounds, bud)
 	}
+}
+
+// session bundles the cache-carrying Solver with the -v switch.
+type session struct {
+	*ucp.Solver
+	verbose bool
+	cached  bool
+}
+
+// report prints the solve's cache counters and the session cache's
+// totals under -v.
+func (s *session) report(hits, misses, ttHits int64) {
+	if !s.verbose {
+		return
+	}
+	fmt.Printf("cache: hits %d  misses %d  tt-hits %d\n", hits, misses, ttHits)
+	cs := s.CacheStats()
+	fmt.Printf("session cache: %d entries, %d hits / %d misses, %d dedups, %d stores, %d evictions\n",
+		cs.Entries, cs.Hits, cs.Misses, cs.Dedups, cs.Stores, cs.Evictions)
 }
 
 // flushProfiles writes any active profiles; fatal must run it because
@@ -96,7 +124,7 @@ func notice(interrupted bool, reason ucp.StopReason) {
 	}
 }
 
-func runPLA(path, solver, out string, seed int64, numIter, workers int, maxNodes int64, bud ucp.Budget) {
+func runPLA(sess *session, path, solver, out string, seed int64, numIter, workers int, maxNodes int64, bud ucp.Budget) {
 	f, err := ucp.ParsePLAFile(path)
 	if err != nil {
 		fatal("%v", err)
@@ -104,13 +132,13 @@ func runPLA(path, solver, out string, seed int64, numIter, workers int, maxNodes
 	var res *ucp.TwoLevelResult
 	switch solver {
 	case "scg":
-		res, err = ucp.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
+		res, err = sess.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
 	case "exact":
-		res, err = ucp.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
+		res, err = sess.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
 	case "espresso":
-		res = ucp.MinimizeEspressoBudget(f, ucp.EspressoNormal, bud)
+		res = sess.MinimizeEspresso(f, ucp.EspressoNormal, bud)
 	case "espresso-strong":
-		res = ucp.MinimizeEspressoBudget(f, ucp.EspressoStrong, bud)
+		res = sess.MinimizeEspresso(f, ucp.EspressoStrong, bud)
 	default:
 		fatal("unknown pla solver %q", solver)
 	}
@@ -130,6 +158,7 @@ func runPLA(path, solver, out string, seed int64, numIter, workers int, maxNodes
 	fmt.Printf("\nprimes: %d   covering rows: %d   cyclic core: %dx%d\n",
 		res.Primes, res.Rows, res.CoreRows, res.CoreCols)
 	fmt.Printf("time: %v (cyclic core %v)\n", res.TotalTime.Round(time.Millisecond), res.CyclicCoreTime.Round(time.Millisecond))
+	sess.report(res.CacheHits, res.CacheMisses, res.TTHits)
 	if out != "" {
 		g := &ucp.PLA{Space: f.Space, F: res.Cover, D: f.D, R: f.R, Type: "fd",
 			InputLabels: f.InputLabels, OutputLabels: f.OutputLabels}
@@ -145,7 +174,7 @@ func runPLA(path, solver, out string, seed int64, numIter, workers int, maxNodes
 	}
 }
 
-func runMatrix(path string, orlib bool, solver string, seed int64, numIter, workers int, maxNodes int64, bounds bool, bud ucp.Budget) {
+func runMatrix(sess *session, path string, orlib bool, solver string, seed int64, numIter, workers int, maxNodes int64, bounds bool, bud ucp.Budget) {
 	r, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -171,7 +200,7 @@ func runMatrix(path string, orlib bool, solver string, seed int64, numIter, work
 	}
 	switch solver {
 	case "scg":
-		res := ucp.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
+		res := sess.SolveSCG(p, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
 		if res.Solution == nil {
 			fatal("problem is infeasible")
 		}
@@ -183,14 +212,22 @@ func runMatrix(path string, orlib bool, solver string, seed int64, numIter, work
 		fmt.Printf("scg: cost %d%s, LB %.3f, columns %v\n", res.Cost, opt, res.LB, res.Solution)
 		fmt.Printf("core %dx%d, %d fixing steps, %v\n",
 			res.Stats.CoreRows, res.Stats.CoreCols, res.Stats.FixSteps, res.Stats.TotalTime.Round(time.Millisecond))
+		sess.report(res.Stats.CacheHits, res.Stats.CacheMisses, 0)
 	case "exact":
-		res := ucp.SolveExact(p, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
+		res := sess.SolveExact(p, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
 		if res.Solution == nil {
 			fatal("no solution found (infeasible, or node budget exhausted)")
 		}
 		notice(res.Interrupted, res.StopReason)
 		fmt.Printf("exact: cost %d (optimal=%v, LB %d), %d nodes, columns %v\n",
 			res.Cost, res.Optimal, res.LB, res.Nodes, res.Solution)
+		var hits, misses int64
+		if res.CacheHit {
+			hits = 1
+		} else if sess.cached {
+			misses = 1
+		}
+		sess.report(hits, misses, res.TTHits)
 	case "greedy":
 		sol, interrupted, err := ucp.SolveGreedyBudget(p, bud)
 		if err != nil {

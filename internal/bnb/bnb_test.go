@@ -156,3 +156,63 @@ func TestPartitionedProblem(t *testing.T) {
 		t.Fatalf("cost = %d, want 4", res.Cost)
 	}
 }
+
+func TestTranspositionDifferential(t *testing.T) {
+	// TT on vs off must agree on the optimum cost, optimality, and
+	// cover validity on every instance; the TT may return a different
+	// (equally optimal) cover, and must never visit more nodes.
+	rng := rand.New(rand.NewSource(99))
+	hits := int64(0)
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng, 12, 12, 3)
+		if trial%10 == 0 {
+			// Mix in repeated-structure instances, where the table
+			// actually fires (random soup rarely repeats a core).
+			p = isoBlocks(int64(trial), 2+trial%3, 12, 9, 3)
+		}
+		on := Solve(p, Options{})
+		off := Solve(p, Options{DisableTT: true})
+		if on.Optimal != off.Optimal || on.Cost != off.Cost {
+			t.Fatalf("trial %d: TT changed the optimum: on=(%d,%v) off=(%d,%v)",
+				trial, on.Cost, on.Optimal, off.Cost, off.Optimal)
+		}
+		if (on.Solution == nil) != (off.Solution == nil) {
+			t.Fatalf("trial %d: TT changed feasibility", trial)
+		}
+		if on.Solution != nil {
+			if !p.IsCover(on.Solution) || p.CostOf(on.Solution) != on.Cost {
+				t.Fatalf("trial %d: TT solution invalid", trial)
+			}
+		}
+		if on.Nodes > off.Nodes {
+			t.Fatalf("trial %d: TT increased nodes: %d > %d", trial, on.Nodes, off.Nodes)
+		}
+		if off.TTHits != 0 || off.TTStores != 0 {
+			t.Fatalf("trial %d: DisableTT still counted TT activity", trial)
+		}
+		hits += on.TTHits
+	}
+	if hits == 0 {
+		t.Fatal("transposition table never hit across 300 random instances")
+	}
+}
+
+func TestTranspositionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 12, 12, 3)
+		a := Solve(p, Options{})
+		b := Solve(p, Options{})
+		if a.Cost != b.Cost || a.Nodes != b.Nodes || a.TTHits != b.TTHits {
+			t.Fatalf("trial %d: repeated solves differ", trial)
+		}
+		if len(a.Solution) != len(b.Solution) {
+			t.Fatalf("trial %d: solutions differ", trial)
+		}
+		for i := range a.Solution {
+			if a.Solution[i] != b.Solution[i] {
+				t.Fatalf("trial %d: solutions differ at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bnb
+
+import (
+	"ucp/internal/canon"
+	"ucp/internal/matrix"
+)
+
+// transTable is the per-solve transposition table.  The search
+// repeatedly regenerates identical sub-cores along different branches
+// (the branch columns partition the space, but reductions collapse
+// many partial selections onto the same cyclic core) and across the
+// independent-block decomposition; the table lets the second visit
+// reuse the first visit's conclusion.
+//
+// Small cores (nnz ≤ ttCanonNNZ) are keyed by their canonical
+// fingerprint, so *isomorphic* cores share an entry even when their
+// column labels differ — which is exactly what the independent-block
+// decomposition produces: label-disjoint but structurally repeated
+// blocks.  Their covers are stored in canonical index space and
+// translated through each probing core's own column permutation.
+// Larger cores fall back to the cheap label-space SubFingerprint
+// (sound because every sub-core of one solve shares the root problem's
+// column universe); the two keyspaces are salted apart.
+//
+// Entries store *base-normalised* information: bounds and optima
+// relative to the core itself, with the path's essential base cost
+// excluded.  That is what makes an entry reusable under any path: a
+// node reaching the same core with a different essential base and a
+// different residual budget ub compares the stored core-relative
+// values against its own core-relative budget.
+//
+// Two kinds of information are stored:
+//
+//   - exact: the core's optimum cost and one optimal cover, recorded
+//     when a node's branch loop completed (neither interrupted nor
+//     node-capped).  A later visit with residual budget ub returns the
+//     cover when cost < ub and a sound "no improvement" otherwise.
+//
+//   - lb: a valid lower bound on the core's optimum — the MIS bound,
+//     or the residual budget ub of a completed visit that proved no
+//     cover cheaper than ub exists.  A later visit prunes when
+//     lb ≥ its own ub.
+//
+// Nothing is ever stored from a node whose subtree was cut by a
+// budget or node cap: an interrupted visit proves nothing.
+type transTable struct {
+	m       map[canon.Fingerprint]*ttEntry
+	cap     int
+	lookups int64
+	hits    int64
+	stores  int64
+}
+
+type ttEntry struct {
+	nrows int32 // collision guards: the fingerprint is 128-bit, but
+	nnz   int32 // these make a false hit need a structural collision too
+	lb    int32
+	cost  int32
+	exact bool
+	// canonical marks sol as canonical column indices (translate via
+	// the probing core's ColPerm) rather than raw column ids.
+	canonical bool
+	sol       []int
+}
+
+const (
+	ttDefaultCap = 1 << 18
+	// ttCanonNNZ bounds the cores keyed canonically; larger cores use
+	// the label-space SubFingerprint.
+	ttCanonNNZ = 4096
+	// ttCanonLeafCap bounds the per-node individualisation search:
+	// symmetric cores would otherwise make canonicalisation the
+	// dominant node cost.  A capped (inexact) form only costs hits.
+	ttCanonLeafCap = 24
+	// ttSubSalt separates the SubFingerprint keyspace from the
+	// canonical one.
+	ttSubSalt = 0x5542 // "UB"
+)
+
+func newTransTable() *transTable {
+	return &transTable{m: make(map[canon.Fingerprint]*ttEntry), cap: ttDefaultCap}
+}
+
+// probe looks up the core. The returned entry is read-only for the
+// caller; sol must be copied before use (the search appends to and
+// sorts its covers in place).
+func (t *transTable) probe(fp canon.Fingerprint, core *matrix.Problem) *ttEntry {
+	t.lookups++
+	e := t.m[fp]
+	if e == nil || int(e.nrows) != len(core.Rows) || int(e.nnz) != core.NNZ() {
+		return nil
+	}
+	return e
+}
+
+// storeLB records that the core's optimum is at least lb.
+func (t *transTable) storeLB(fp canon.Fingerprint, core *matrix.Problem, lb int) {
+	e := t.m[fp]
+	if e == nil {
+		if len(t.m) >= t.cap {
+			return // full: stop inserting, existing entries stay valid
+		}
+		e = &ttEntry{nrows: int32(len(core.Rows)), nnz: int32(core.NNZ()), lb: int32(lb)}
+		t.m[fp] = e
+		t.stores++
+		return
+	}
+	if int32(lb) > e.lb {
+		e.lb = int32(lb)
+	}
+}
+
+// storeExact records the core's optimum cost and one optimal cover;
+// canonical marks sol as canonical-space indices.
+func (t *transTable) storeExact(fp canon.Fingerprint, core *matrix.Problem, cost int, sol []int, canonical bool) {
+	e := t.m[fp]
+	if e == nil {
+		if len(t.m) >= t.cap {
+			return
+		}
+		e = &ttEntry{nrows: int32(len(core.Rows)), nnz: int32(core.NNZ())}
+		t.m[fp] = e
+		t.stores++
+	}
+	if e.exact {
+		return // already exact; the optimum is the optimum
+	}
+	e.exact = true
+	e.canonical = canonical
+	e.cost = int32(cost)
+	if e.lb < int32(cost) {
+		e.lb = int32(cost)
+	}
+	e.sol = append([]int(nil), sol...)
+}

@@ -1,0 +1,94 @@
+package bnb
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucp/internal/matrix"
+)
+
+// isoBlocks builds k label-disjoint copies of one random hard block:
+// nr rows of degree deg over nc columns with small random costs, the
+// copies shifted into fresh column ranges.  The component
+// decomposition solves the copies one by one, and from the second copy
+// on the canonical transposition key must recognise the isomorphic
+// core solved already.
+func isoBlocks(seed int64, k, nr, nc, deg int) *matrix.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	block := make([][]int, nr)
+	for i := range block {
+		seen := map[int]bool{}
+		for len(block[i]) < deg {
+			j := rng.Intn(nc)
+			if !seen[j] {
+				seen[j] = true
+				block[i] = append(block[i], j)
+			}
+		}
+	}
+	bcost := make([]int, nc)
+	for j := range bcost {
+		bcost[j] = 1 + rng.Intn(3)
+	}
+	rows := make([][]int, 0, k*nr)
+	cost := make([]int, k*nc)
+	for c := 0; c < k; c++ {
+		for _, r := range block {
+			rr := make([]int, len(r))
+			for t, j := range r {
+				rr[t] = c*nc + j
+			}
+			rows = append(rows, rr)
+		}
+		copy(cost[c*nc:], bcost)
+	}
+	return matrix.MustNew(rows, k*nc, cost)
+}
+
+// TestTranspositionIsomorphicBlocks: on an instance made of k
+// isomorphic independent blocks the table must solve the block once
+// and reuse it k−1 times, cutting the node count by roughly k.
+func TestTranspositionIsomorphicBlocks(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		p := isoBlocks(seed, 4, 40, 26, 3)
+		on := Solve(p, Options{})
+		off := Solve(p, Options{DisableTT: true})
+		if on.Cost != off.Cost || on.Optimal != off.Optimal {
+			t.Fatalf("seed %d: TT changed the result: on=(%d,%v) off=(%d,%v)",
+				seed, on.Cost, on.Optimal, off.Cost, off.Optimal)
+		}
+		if !p.IsCover(on.Solution) || p.CostOf(on.Solution) != on.Cost {
+			t.Fatalf("seed %d: TT solution invalid", seed)
+		}
+		if on.TTHits == 0 {
+			t.Fatalf("seed %d: no transposition hits on isomorphic blocks", seed)
+		}
+		// The first copy costs the full search; the other three must be
+		// settled (mostly) by the table.  Half is a loose bar: the real
+		// reduction is near 4x, but tiny blocks can collapse early.
+		if on.Nodes*2 > off.Nodes {
+			t.Fatalf("seed %d: expected <=half the nodes with TT: on=%d off=%d",
+				seed, on.Nodes, off.Nodes)
+		}
+	}
+}
+
+// TestTranspositionBudgetedStoresNothingWrong: a node-capped search
+// must stay sound — the table never records conclusions from subtrees
+// the cap cut short, so resuming with a fresh solve still finds the
+// optimum.
+func TestTranspositionUnderNodeCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		p := randomProblem(rng, 14, 14, 3)
+		full := Solve(p, Options{DisableTT: true})
+		capped := Solve(p, Options{MaxNodes: 1 + int64(rng.Intn(20))})
+		if capped.Solution != nil && !p.IsCover(capped.Solution) {
+			t.Fatalf("trial %d: capped solution not a cover", trial)
+		}
+		if capped.Optimal && capped.Cost != full.Cost {
+			t.Fatalf("trial %d: capped search claimed wrong optimum %d (want %d)",
+				trial, capped.Cost, full.Cost)
+		}
+	}
+}

@@ -9,9 +9,12 @@ package espresso
 
 import (
 	"sort"
+	"time"
 
 	"ucp/internal/budget"
+	"ucp/internal/canon"
 	"ucp/internal/cube"
+	"ucp/internal/solvecache"
 )
 
 // Mode selects the effort level.
@@ -37,6 +40,9 @@ type Result struct {
 	// short; Cover is still a valid irredundant cover of the function
 	// (the loop invariant holds between passes).
 	Interrupted bool
+	// CacheHit reports that MinimizeCached served this result from the
+	// cross-solve cache (or an in-flight identical minimisation).
+	CacheHit bool
 }
 
 // Minimize heuristically minimises the number of product terms of the
@@ -45,6 +51,65 @@ type Result struct {
 // cube is prime.
 func Minimize(f, d *cube.Cover, mode Mode) *Result {
 	return MinimizeBudget(f, d, mode, nil)
+}
+
+// MinimizeCached is MinimizeBudget backed by a cross-solve cache: the
+// whole minimisation is memoized under a key hashed from the input
+// covers (cube sequences of f and d, the space shape, and the mode),
+// so an iterated synthesis loop re-minimising the same function pays
+// for it once.  Covers cross the cache boundary as clones; an
+// interrupted minimisation is neither cached nor handed to concurrent
+// waiters, which then minimise under their own budgets.
+func MinimizeCached(f, d *cube.Cover, mode Mode, tr *budget.Tracker, c *solvecache.Cache) *Result {
+	if c == nil {
+		return MinimizeBudget(f, d, mode, tr)
+	}
+	key := coverKey(f, d, mode)
+	var mine *Result
+	v, _ := c.Do(key, func() (any, time.Duration, bool) {
+		t0 := time.Now()
+		mine = MinimizeBudget(f, d, mode, tr)
+		return copyResult(mine), time.Since(t0), !mine.Interrupted
+	})
+	if mine != nil {
+		return mine
+	}
+	res := copyResult(v.(*Result))
+	res.CacheHit = true
+	return res
+}
+
+// copyResult clones a result so cached covers never alias a caller's.
+func copyResult(r *Result) *Result {
+	cp := *r
+	if r.Cover != nil {
+		cp.Cover = r.Cover.Clone()
+	}
+	return &cp
+}
+
+// coverKey hashes the minimisation input.  The cube sequences are
+// hashed in order: Espresso's improvement loop is order-sensitive, so
+// two orderings of the same cube set are distinct computations and
+// must not share a result (identical resubmissions — the iterated
+// loop case — still do).
+func coverKey(f, d *cube.Cover, mode Mode) solvecache.Key {
+	words := []uint64{uint64(f.S.Inputs()), uint64(f.S.Outputs()), uint64(mode)}
+	addCover := func(c *cube.Cover) {
+		if c == nil {
+			words = append(words, 0)
+			return
+		}
+		words = append(words, uint64(len(c.Cubes))+1)
+		for _, cu := range c.Cubes {
+			words = append(words, canon.DigestWords(0x4355_4245, cu...)) // "CUBE"
+		}
+	}
+	addCover(f)
+	addCover(d)
+	hi := canon.DigestWords(0x4553_5052, words...) // "ESPR"
+	lo := canon.DigestWords(0x4553_5052^0x5f5f, words...)
+	return solvecache.Key{Hi: hi, Lo: lo}
 }
 
 // MinimizeBudget is Minimize under a budget.  The tracker is polled

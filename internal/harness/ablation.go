@@ -40,7 +40,7 @@ func runAblation(label string, opt func(benchmarks.Instance) scg.Options) Ablati
 	t0 := time.Now()
 	for _, in := range ablationInstances() {
 		prob := Covering(in)
-		r := scg.Solve(prob, opt(in))
+		r := scg.Solve(prob, scgOpts(opt(in)))
 		res.Total += r.Cost
 		if r.ProvedOptimal {
 			res.Optimal++

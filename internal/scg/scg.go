@@ -26,6 +26,7 @@ import (
 	"ucp/internal/budget"
 	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
+	"ucp/internal/solvecache"
 )
 
 // Options configures the solver.  The zero value selects the paper's
@@ -79,6 +80,17 @@ type Options struct {
 	// the best feasible solution found so far is returned with
 	// Interrupted set and a still-valid lower bound.
 	Budget budget.Budget
+	// Cache, when non-nil, memoizes whole solves across calls: the
+	// problem is canonicalised to a 128-bit fingerprint, folded with a
+	// digest of the result-relevant options (everything above except
+	// Workers, whose results are bit-identical by contract, and the
+	// budget's deadline/caps, which only matter when they fire — and
+	// interrupted solves are never cached), and looked up before any
+	// work happens.  Concurrent identical solves are deduplicated
+	// behind one leader; Solution and Stats come back as defensive
+	// copies, with Stats.CacheHits/CacheMisses marking how the result
+	// was obtained.
+	Cache *solvecache.Cache
 }
 
 func (o *Options) fill() {
@@ -114,6 +126,14 @@ type Stats struct {
 	// bit-matrix engine instead of the ZDD (small dense instances);
 	// ZDDNodes is then zero by construction.
 	ImplicitDense bool
+	// CacheHits / CacheMisses report how Options.Cache served this
+	// solve: a hit returned a stored (or in-flight leader's) result, a
+	// miss computed it.  Both stay zero without a cache; like the
+	// timing fields they are exempt from the bit-identity contracts
+	// (the same solve answered from the cache differs here and nowhere
+	// else).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Result of a ZDD_SCG solve.
@@ -134,9 +154,18 @@ type Result struct {
 	Stats      Stats
 }
 
-// Solve runs ZDD_SCG on the covering problem p.
+// Solve runs ZDD_SCG on the covering problem p, consulting
+// Options.Cache when one is set.
 func Solve(p *matrix.Problem, opt Options) *Result {
 	opt.fill()
+	if opt.Cache != nil {
+		return solveCached(p, opt)
+	}
+	return solve(p, opt)
+}
+
+// solve is the uncached solver core; opt is already filled.
+func solve(p *matrix.Problem, opt Options) *Result {
 	t0 := time.Now()
 	res := &Result{}
 	tr := opt.Budget.Tracker()

@@ -1,0 +1,272 @@
+package solvecache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(64, 0) // roomy: no shard can evict during this test
+	keys := []Key{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	for i, k := range keys {
+		c.Put(k, i)
+	}
+	for i, k := range keys {
+		v, ok := c.Get(k)
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%v) = %v,%v want %d", k, v, ok, i)
+		}
+	}
+	st := c.Stats()
+	if st.Stores != 4 || st.Hits != 4 || st.Entries != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	c := New(1, 0) // single shard, single entry
+	c.Put(Key{1, 1}, "a")
+	c.Put(Key{2, 2}, "b")
+	if _, ok := c.Get(Key{1, 1}); ok {
+		t.Fatal("evicted entry still present")
+	}
+	if v, ok := c.Get(Key{2, 2}); !ok || v.(string) != "b" {
+		t.Fatal("latest entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	c.Put(Key{1, 1}, "x")
+	if _, ok := c.Get(Key{1, 1}); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	ran := false
+	v, shared := c.Do(Key{1, 1}, func() (any, time.Duration, bool) {
+		ran = true
+		return 7, time.Second, true
+	})
+	if !ran || shared || v.(int) != 7 {
+		t.Fatal("nil cache Do must compute directly")
+	}
+	if New(0, 0) != nil {
+		t.Fatal("New(0) must return the nil cache")
+	}
+	_ = c.Stats()
+	_ = c.MinWork()
+}
+
+func TestDoCachesAndHits(t *testing.T) {
+	c := New(8, 0)
+	calls := 0
+	fn := func() (any, time.Duration, bool) {
+		calls++
+		return "v", time.Millisecond, true
+	}
+	if v, shared := c.Do(Key{9, 9}, fn); shared || v.(string) != "v" {
+		t.Fatal("first Do must compute")
+	}
+	if v, shared := c.Do(Key{9, 9}, fn); !shared || v.(string) != "v" {
+		t.Fatal("second Do must hit")
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+func TestAdmissionThreshold(t *testing.T) {
+	c := New(8, 50*time.Millisecond)
+	v, _ := c.Do(Key{5, 5}, func() (any, time.Duration, bool) {
+		return "cheap", time.Millisecond, true
+	})
+	if v.(string) != "cheap" {
+		t.Fatal("value lost")
+	}
+	if _, ok := c.Get(Key{5, 5}); ok {
+		t.Fatal("below-threshold result was admitted")
+	}
+	c.Do(Key{6, 6}, func() (any, time.Duration, bool) {
+		return "pricey", time.Second, true
+	})
+	if _, ok := c.Get(Key{6, 6}); !ok {
+		t.Fatal("above-threshold result was not admitted")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := New(8, 0)
+	const waiters = 8
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, waiters+1)
+	sharedFlags := make([]bool, waiters+1)
+
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		results[0], sharedFlags[0] = c.Do(Key{7, 7}, func() (any, time.Duration, bool) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, time.Millisecond, true
+		})
+	}()
+	<-started
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], sharedFlags[i] = c.Do(Key{7, 7}, func() (any, time.Duration, bool) {
+				calls.Add(1)
+				return 42, time.Millisecond, true
+			})
+		}(i)
+	}
+	// Give the waiters a moment to register against the flight, then
+	// release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, v := range results {
+		if v.(int) != 42 {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	if sharedFlags[0] {
+		t.Fatal("leader reported shared")
+	}
+	// Every waiter that joined the flight (or hit the admitted entry
+	// afterwards) must not have computed; a few may have raced past the
+	// flight registration and computed for themselves, but the leader's
+	// computation plus racers must stay well below waiters+1 total —
+	// and with the leader blocked until all goroutines launched, racers
+	// can only be waiters that started before the leader registered,
+	// which cannot happen here.
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+}
+
+func TestCancelledLeaderDoesNotPoisonOrDeadlock(t *testing.T) {
+	c := New(8, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderV any
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // leader whose solve is "interrupted": share=false
+		defer wg.Done()
+		leaderV, _ = c.Do(Key{8, 8}, func() (any, time.Duration, bool) {
+			close(started)
+			<-release
+			return "partial", time.Millisecond, false
+		})
+	}()
+	<-started
+
+	const waiters = 4
+	var recomputes atomic.Int64
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = c.Do(Key{8, 8}, func() (any, time.Duration, bool) {
+				recomputes.Add(1)
+				return "full", 0, true
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters deadlocked behind a cancelled leader")
+	}
+
+	if leaderV.(string) != "partial" {
+		t.Fatal("leader must receive its own (interrupted) result")
+	}
+	for i, v := range results {
+		if v.(string) != "full" {
+			t.Fatalf("waiter %d received the interrupted result: %v", i, v)
+		}
+	}
+	if recomputes.Load() == 0 {
+		t.Fatal("waiters should have recomputed for themselves")
+	}
+	// The interrupted result must not be in the cache.
+	if v, ok := c.Get(Key{8, 8}); ok && v.(string) != "full" {
+		t.Fatalf("cache poisoned with %v", v)
+	}
+}
+
+func TestPanickingLeaderReleasesWaiters(t *testing.T) {
+	c := New(8, 0)
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }()
+		c.Do(Key{3, 1}, func() (any, time.Duration, bool) {
+			close(started)
+			time.Sleep(5 * time.Millisecond)
+			panic("boom")
+		})
+	}()
+	<-started
+	done := make(chan any, 1)
+	go func() {
+		v, _ := c.Do(Key{3, 1}, func() (any, time.Duration, bool) { return "ok", 0, true })
+		done <- v
+	}()
+	wg.Wait()
+	select {
+	case v := <-done:
+		if v.(string) != "ok" {
+			t.Fatalf("waiter got %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked behind a panicking leader")
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	c := New(64, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{uint64(i % 32), uint64(g % 2)}
+				v, _ := c.Do(k, func() (any, time.Duration, bool) {
+					return int(k.Hi*100 + k.Lo), time.Millisecond, true
+				})
+				if v.(int) != int(k.Hi*100+k.Lo) {
+					t.Errorf("wrong value for %v: %v", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Dedups == 0 {
+		t.Fatalf("expected hits under mixed load: %+v", st)
+	}
+}

@@ -72,6 +72,14 @@ type TwoLevelResult struct {
 	Interrupted bool
 	// StopReason says which budget limit ran out.
 	StopReason StopReason
+	// CacheHits / CacheMisses report how the session cache served the
+	// underlying solve (the covering solve for the SCG and exact
+	// pipelines, the whole minimisation for Espresso); both stay zero
+	// without a cache.  TTHits counts branch-and-bound
+	// transposition-table cutoffs (exact pipeline only).
+	CacheHits   int64
+	CacheMisses int64
+	TTHits      int64
 }
 
 // BuildCovering reformulates the minimisation of f (ON-set F, DC-set
@@ -128,6 +136,8 @@ func MinimizeSCG(f *PLA, opt SCGOptions) (out *TwoLevelResult, err error) {
 		TotalTime:      time.Since(t0),
 		Interrupted:    res.Interrupted || !complete,
 		StopReason:     res.StopReason,
+		CacheHits:      res.Stats.CacheHits,
+		CacheMisses:    res.Stats.CacheMisses,
 	}
 	if !complete {
 		// The covering ranged over a partial implicant set: its bound
@@ -169,6 +179,12 @@ func MinimizeExact(f *PLA, opt ExactOptions) (out *TwoLevelResult, err error) {
 		TotalTime:     time.Since(t0),
 		Interrupted:   res.Interrupted || !complete,
 		StopReason:    res.StopReason,
+		TTHits:        res.TTHits,
+	}
+	if res.CacheHit {
+		out.CacheHits = 1
+	} else if opt.Cache != nil {
+		out.CacheMisses = 1
 	}
 	if out.ProvedOptimal {
 		out.LB = float64(res.Cost)
@@ -204,10 +220,17 @@ func MinimizeEspresso(f *PLA, mode EspressoMode) *TwoLevelResult {
 // runs out, where the working cover is always a valid implementation
 // of the function.
 func MinimizeEspressoBudget(f *PLA, mode EspressoMode, b Budget) *TwoLevelResult {
+	return minimizeEspresso(f, mode, b, nil)
+}
+
+// minimizeEspresso runs the Espresso loop, memoizing the whole
+// minimisation in cache when one is supplied (the Solver session
+// path).
+func minimizeEspresso(f *PLA, mode EspressoMode, b Budget, cache *Cache) *TwoLevelResult {
 	t0 := time.Now()
 	tr := b.Tracker()
-	res := espresso.MinimizeBudget(f.F, f.DontCares(), mode, tr)
-	return &TwoLevelResult{
+	res := espresso.MinimizeCached(f.F, f.DontCares(), mode, tr, cache)
+	out := &TwoLevelResult{
 		Cover:       res.Cover,
 		Products:    res.Cover.Len(),
 		Literals:    res.Cover.Literals(),
@@ -215,6 +238,12 @@ func MinimizeEspressoBudget(f *PLA, mode EspressoMode, b Budget) *TwoLevelResult
 		Interrupted: res.Interrupted,
 		StopReason:  tr.Reason(),
 	}
+	if res.CacheHit {
+		out.CacheHits = 1
+	} else if cache != nil {
+		out.CacheMisses = 1
+	}
+	return out
 }
 
 // Equivalent reports whether the cover implements the PLA's function:
