@@ -6,7 +6,7 @@ GO ?= go
 # for the committed baseline and DESIGN.md for interpretation).
 SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$
 
-.PHONY: build test check bench-diff fuzz bench bench-all
+.PHONY: build test check bench-diff fuzz bench bench-all serve-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,13 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -run 'TestReduceWorkers|TestParShard' ./internal/matrix
 	$(GO) test -race ./...
+	$(MAKE) serve-smoke
 	$(MAKE) bench-diff
+
+# serve-smoke boots ucpd, drives it with ucpload (unary and streaming),
+# asserts zero server-side failures and a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # bench-diff reruns the substrate benches and fails on regression
 # against the committed baseline: >25% ns/op growth or >0.5% allocs/op
@@ -46,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzMinimizeParsedPLA$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSignatureSubset$$' -fuzztime $(FUZZTIME) ./internal/matrix
 	$(GO) test -run '^$$' -fuzz '^FuzzCanonFingerprint$$' -fuzztime $(FUZZTIME) ./internal/canon
+	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 # bench measures the hot substrates (5 repetitions each, plus the
 # portfolio and the sharded reduction fixpoint under -cpu 1,2,4,8) and

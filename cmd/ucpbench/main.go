@@ -17,10 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 
 	"ucp"
 	"ucp/internal/harness"
+	"ucp/internal/interrupt"
 	"ucp/internal/prof"
 )
 
@@ -59,7 +59,8 @@ func main() {
 	// The deadline (and Ctrl-C) is checked between experiments: each
 	// experiment that starts runs to completion, so every printed table
 	// is whole and the run degrades by dropping trailing experiments.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// A second Ctrl-C flushes the profiles and exits immediately.
+	ctx, stop := interrupt.Handle(context.Background(), func() { stopProf() }, os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -1,0 +1,98 @@
+// Command ucpd serves the ucp solvers over HTTP+JSON: POST a covering
+// problem to /solve and get back a minimum-cost cover, or an SSE
+// stream of improving incumbents.  The daemon runs a bounded
+// admission-controlled queue (overload answers 429 with Retry-After,
+// never unbounded buffering), derives a per-request budget from the
+// client's deadline clamped by server policy, schedules tenants
+// fair-share over one shared cross-solve cache, and drains gracefully
+// on SIGINT/SIGTERM: in-flight solves finish (forcibly cancelled past
+// the drain deadline, still answering with their best feasible
+// covers), queued requests get 503, then the process exits 0.  A
+// second SIGINT skips the drain and exits non-zero immediately.
+//
+// Usage:
+//
+//	ucpd -addr :8080
+//	curl -d '{"problem":"p 3 3\nc 2 1 3\nr 0 1\nr 1 2\nr 0 2\n"}' localhost:8080/solve
+//	curl -N -d '{"problem":"...","stream":true}' localhost:8080/solve
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"syscall"
+	"time"
+
+	"ucp"
+	"ucp/internal/interrupt"
+	"ucp/internal/serve"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		workers         = flag.Int("workers", 0, "solve concurrency (0 = GOMAXPROCS)")
+		maxQueue        = flag.Int("max-queue", 256, "admitted-but-unstarted request bound")
+		maxInflight     = flag.Int64("max-inflight-bytes", 64<<20, "total body bytes admitted at once")
+		maxRequestBytes = flag.Int64("max-request-bytes", 8<<20, "one request's body size cap")
+		defaultTimeout  = flag.Duration("default-timeout", 30*time.Second, "budget for requests that name none")
+		maxTimeout      = flag.Duration("max-timeout", 2*time.Minute, "clamp on any request's budget (0 = uncapped)")
+		drainTimeout    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown lets in-flight solves finish before cancelling their budgets")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After advertised on 429/503")
+		cacheSize       = flag.Int("cache", ucp.DefaultCacheSize, "shared cross-solve cache entries (negative disables)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxQueue:         *maxQueue,
+		MaxInflightBytes: *maxInflight,
+		MaxRequestBytes:  *maxRequestBytes,
+		Workers:          *workers,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		RetryAfter:       *retryAfter,
+		CacheSize:        *cacheSize,
+	}
+	if *maxTimeout == 0 {
+		cfg.MaxTimeout = serve.NoTimeoutCap
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// First SIGINT/SIGTERM starts the drain; a second SIGINT exits
+	// non-zero on the spot.
+	ctx, stop := interrupt.Handle(context.Background(), nil, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ucpd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "ucpd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "ucpd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop admissions and flush the queue first, so every held request
+	// is answered before the listener goes away.
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ucpd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "ucpd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "ucpd: drained (served %d, rejected %d overload / %d draining)\n",
+		st.Completed, st.RejectedOverload, st.RejectedDraining)
+}

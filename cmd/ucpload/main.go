@@ -1,0 +1,252 @@
+// Command ucpload is the load generator for ucpd: it fires a fixed
+// concurrency of solve requests at a server for a fixed duration and
+// reports latency percentiles and a histogram, the cache-hit rate,
+// admission rejections (429/503) and every status class it saw.  With
+// -fail-on-5xx it exits non-zero when any request failed server-side —
+// the CI smoke test drives it that way.
+//
+// Usage:
+//
+//	ucpload -addr http://localhost:8080 -c 8 -duration 5s
+//	ucpload -addr http://localhost:8080 -stream -problems 4
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ucp/internal/benchmarks"
+	"ucp/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "ucpd base URL")
+		conc      = flag.Int("c", 8, "concurrent requesters")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to fire")
+		problems  = flag.Int("problems", 6, "distinct instances in the request mix (repeats exercise the cache)")
+		rows      = flag.Int("rows", 150, "instance rows")
+		cols      = flag.Int("cols", 100, "instance columns")
+		deg       = flag.Int("deg", 4, "instance row degree")
+		numIter   = flag.Int("numiter", 2, "scg constructive runs per request")
+		timeoutMS = flag.Int64("timeout-ms", 10_000, "per-request budget sent to the server")
+		tenants   = flag.Int("tenants", 3, "distinct tenant labels across requesters")
+		stream    = flag.Bool("stream", false, "request SSE streams instead of unary responses")
+		failOn5xx = flag.Bool("fail-on-5xx", false, "exit non-zero if any request failed server-side or on the wire")
+	)
+	flag.Parse()
+
+	bodies := make([][]byte, *problems)
+	for i := range bodies {
+		p := benchmarks.CyclicCovering(int64(100+i), *rows, *cols, *deg)
+		req := serve.Request{
+			Format:    "json",
+			Rows:      p.Rows,
+			NCols:     p.NCol,
+			Costs:     p.Cost,
+			NumIter:   *numIter,
+			Seed:      int64(1 + i),
+			TimeoutMS: *timeoutMS,
+			Stream:    *stream,
+		}
+		data, err := json.Marshal(&req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucpload: %v\n", err)
+			os.Exit(1)
+		}
+		bodies[i] = data
+	}
+
+	type stats struct {
+		latencies []time.Duration
+		status    map[int]int
+		cacheHits int
+		solved    int
+		netErrs   int
+		records   int
+	}
+	results := make([]stats, *conc)
+	// Twice the solve budget plus headroom for queueing.
+	client := &http.Client{Timeout: 2*time.Duration(*timeoutMS)*time.Millisecond + 10*time.Second}
+	deadline := time.Now().Add(*duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &results[w]
+			st.status = make(map[int]int)
+			tenant := fmt.Sprintf("tenant-%d", w%*tenants)
+			for i := 0; time.Now().Before(deadline); i++ {
+				body := bodies[(w+i)%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequest(http.MethodPost, *addr+"/solve", bytes.NewReader(body))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ucpload: %v\n", err)
+					os.Exit(1)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-UCP-Tenant", tenant)
+				resp, err := client.Do(req)
+				if err != nil {
+					st.netErrs++
+					continue
+				}
+				final, nrec, ok := readResult(resp)
+				resp.Body.Close()
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.status[resp.StatusCode]++
+				st.records += nrec
+				if ok {
+					if final.CacheHit {
+						st.cacheHits++
+					}
+					if final.Solution != nil {
+						st.solved++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge.
+	var all []time.Duration
+	status := make(map[int]int)
+	var cacheHits, solved, netErrs, records int
+	for i := range results {
+		all = append(all, results[i].latencies...)
+		for k, v := range results[i].status {
+			status[k] += v
+		}
+		cacheHits += results[i].cacheHits
+		solved += results[i].solved
+		netErrs += results[i].netErrs
+		records += results[i].records
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	total := len(all)
+	fmt.Printf("requests: %d in %v (%.1f/s), %d transport errors\n",
+		total, *duration, float64(total)/(*duration).Seconds(), netErrs)
+	var rejected, fivexx int
+	var codes []int
+	for c := range status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  %d: %d\n", c, status[c])
+		if c == http.StatusTooManyRequests || c == http.StatusServiceUnavailable {
+			rejected += status[c]
+		}
+		if c >= 500 && c != http.StatusServiceUnavailable {
+			fivexx += status[c]
+		}
+	}
+	fmt.Printf("solved: %d   cache hits: %d (%.1f%%)   admission rejections: %d\n",
+		solved, cacheHits, pct(cacheHits, solved), rejected)
+	if *stream {
+		fmt.Printf("stream records: %d (%.2f per request)\n", records, float64(records)/nz(total))
+	}
+	if total > 0 {
+		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			q(all, 0.50), q(all, 0.90), q(all, 0.99), all[total-1])
+		printHistogram(all)
+	}
+	if *failOn5xx && (fivexx > 0 || netErrs > 0) {
+		fmt.Fprintf(os.Stderr, "ucpload: %d server-side failures, %d transport errors\n", fivexx, netErrs)
+		os.Exit(1)
+	}
+}
+
+// readResult extracts the final record from a unary or SSE response
+// and counts the records seen.
+func readResult(resp *http.Response) (final serve.Response, records int, ok bool) {
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Text()
+			const prefix = "data: "
+			if !strings.HasPrefix(line, prefix) {
+				continue
+			}
+			var r serve.Response
+			if json.Unmarshal([]byte(line[len(prefix):]), &r) != nil {
+				return final, records, false
+			}
+			records++
+			final, ok = r, true
+		}
+		return final, records, ok && final.Final
+	}
+	if json.NewDecoder(resp.Body).Decode(&final) != nil {
+		return final, 0, false
+	}
+	return final, 1, true
+}
+
+func q(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i].Round(time.Millisecond / 10)
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func nz(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return float64(n)
+}
+
+// printHistogram renders exponential latency buckets.
+func printHistogram(sorted []time.Duration) {
+	bounds := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2 * time.Second,
+	}
+	counts := make([]int, len(bounds)+1)
+	for _, d := range sorted {
+		i := sort.Search(len(bounds), func(i int) bool { return d < bounds[i] })
+		counts[i]++
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		label := fmt.Sprintf("< %v", bounds[i])
+		if i == len(bounds) {
+			label = fmt.Sprintf(">= %v", bounds[len(bounds)-1])
+		}
+		bar := strings.Repeat("#", 1+40*c/max)
+		fmt.Printf("  %-10s %6d %s\n", label, c, bar)
+	}
+}

@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
 	"time"
 
 	"ucp"
+	"ucp/internal/interrupt"
 	"ucp/internal/prof"
 )
 
@@ -55,8 +55,10 @@ func main() {
 	defer stopProf()
 
 	// Ctrl-C cancels the budget context: the solvers unwind with their
-	// best-so-far cover instead of the process dying mid-solve.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// best-so-far cover instead of the process dying mid-solve.  A
+	// second Ctrl-C skips the graceful unwind — profiles are flushed
+	// and the process exits non-zero immediately.
+	ctx, stop := interrupt.Handle(context.Background(), func() { flushProfiles() }, os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

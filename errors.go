@@ -1,0 +1,46 @@
+package ucp
+
+import (
+	"errors"
+	"fmt"
+
+	"ucp/internal/budget"
+	"ucp/internal/matrix"
+)
+
+// The public error taxonomy.  Every error returned by the package is
+// classifiable with errors.Is against one of these sentinels (or is an
+// environmental error like a failed file open, passed through
+// unwrapped), so a server front end can map failures to status codes
+// without string matching.
+var (
+	// ErrInfeasible reports a covering problem in which some row is
+	// not covered by any column, so no cover exists.  The instance is
+	// well-formed; it just has no solution.
+	ErrInfeasible = matrix.ErrInfeasible
+
+	// ErrBudgetExceeded reports a Budget that ran out (deadline,
+	// cancellation, search or iteration cap) before the operation
+	// could finish.  Solvers normally degrade instead of erroring —
+	// they return their best feasible result with Interrupted set —
+	// so this sentinel surfaces where no partial result exists;
+	// StopReason.Err() produces it from a reported stop reason.
+	ErrBudgetExceeded = budget.ErrExceeded
+
+	// ErrMalformedInput tags every parse or validation failure of the
+	// input formats (covering-matrix text, OR-Library, PLA) and of
+	// NewProblem's structural checks.
+	ErrMalformedInput = errors.New("ucp: malformed input")
+)
+
+// malformed tags a returned parse/validation error with
+// ErrMalformedInput.  Infeasibility is a well-formed property of the
+// instance, not an input error, and keeps its own sentinel.  Deferred
+// after guard (so it runs second and also tags converted panics).
+func malformed(errp *error) {
+	err := *errp
+	if err == nil || errors.Is(err, ErrMalformedInput) || errors.Is(err, ErrInfeasible) {
+		return
+	}
+	*errp = fmt.Errorf("%w: %w", ErrMalformedInput, err)
+}

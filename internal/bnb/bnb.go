@@ -119,8 +119,14 @@ func solveCached(p *matrix.Problem, opt Options) *Result {
 	cn := canon.Canonicalize(p)
 	fp := cn.FP.Derive(d)
 	key := solvecache.Key{Hi: fp.Hi, Lo: fp.Lo}
+	// Waiter cancellation: a dead caller context stops the wait on the
+	// leader and unwinds under its own budget (see solvecache.DoChan).
+	var cancel <-chan struct{}
+	if opt.Budget.Context != nil {
+		cancel = opt.Budget.Context.Done()
+	}
 	var mine *Result
-	v, _ := opt.Cache.Do(key, func() (any, time.Duration, bool) {
+	v, _ := opt.Cache.DoChan(key, cancel, func() (any, time.Duration, bool) {
 		t0 := time.Now()
 		mine = solve(p, opt)
 		cp := copyResult(mine)

@@ -1,0 +1,70 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrExceeded is the sentinel wrapped by every error that reports a
+// budget running out (deadline, cancellation, search or iteration
+// cap).  Callers classify with errors.Is(err, ErrExceeded); the server
+// front end maps it to a timeout status without string matching.
+var ErrExceeded = errors.New("budget exceeded")
+
+// Err converts a latched stop reason into an error wrapping
+// ErrExceeded.  None yields nil: an uninterrupted solve has no budget
+// error.
+func (r Reason) Err() error {
+	if r == None {
+		return nil
+	}
+	return fmt.Errorf("%w (%v)", ErrExceeded, r)
+}
+
+// Err reports the tracker's budget error: nil while the budget holds,
+// an ErrExceeded-wrapping error (carrying the latched reason) once it
+// has run out.  Like Interrupted, the verdict polls the context first,
+// so a freshly expired deadline is observed here too.
+func (t *Tracker) Err() error {
+	if t == nil || !t.Interrupted() {
+		return nil
+	}
+	return t.Reason().Err()
+}
+
+// Derive builds a per-request Budget from a parent context and a
+// client-requested timeout, under server-side policy:
+//
+//   - requested ≤ 0 falls back to def (the server's default timeout);
+//   - max > 0 caps whichever of the two applies (a client cannot buy
+//     more wall-clock than the server grants);
+//   - the effective timeout, when positive, becomes a deadline on a
+//     context derived from parent — so a parent cancellation (the
+//     client disconnecting) still cancels the solve early;
+//   - when no timeout applies the budget carries a cancellable child
+//     of parent, preserving disconnect propagation.
+//
+// The returned CancelFunc is never nil and must be called when the
+// solve finishes to release the context's resources.
+func Derive(parent context.Context, requested, def, max time.Duration) (Budget, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	eff := requested
+	if eff <= 0 {
+		eff = def
+	}
+	if max > 0 && (eff <= 0 || eff > max) {
+		eff = max
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if eff > 0 {
+		ctx, cancel = context.WithTimeout(parent, eff)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
+	return Budget{Context: ctx}, cancel
+}

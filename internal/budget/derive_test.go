@@ -1,0 +1,107 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func deadlineOf(t *testing.T, b Budget) time.Duration {
+	t.Helper()
+	dl, ok := b.Context.Deadline()
+	if !ok {
+		t.Fatalf("budget context has no deadline")
+	}
+	return time.Until(dl)
+}
+
+func TestDeriveClampsToServerCaps(t *testing.T) {
+	const def, max = 2 * time.Second, 5 * time.Second
+
+	// Requested within the cap: honoured.
+	b, cancel := Derive(context.Background(), 3*time.Second, def, max)
+	if d := deadlineOf(t, b); d > 3*time.Second || d < 2*time.Second {
+		t.Fatalf("requested 3s, derived deadline %v away", d)
+	}
+	cancel()
+
+	// No request: the server default applies.
+	b, cancel = Derive(context.Background(), 0, def, max)
+	if d := deadlineOf(t, b); d > 2*time.Second || d < time.Second {
+		t.Fatalf("default 2s, derived deadline %v away", d)
+	}
+	cancel()
+
+	// Requested over the cap: clamped to max.
+	b, cancel = Derive(context.Background(), time.Hour, def, max)
+	if d := deadlineOf(t, b); d > 5*time.Second || d < 4*time.Second {
+		t.Fatalf("capped at 5s, derived deadline %v away", d)
+	}
+	cancel()
+
+	// No default either: max still applies (an unlimited request may
+	// not exceed server policy).
+	b, cancel = Derive(context.Background(), 0, 0, max)
+	if d := deadlineOf(t, b); d > 5*time.Second || d < 4*time.Second {
+		t.Fatalf("capped at 5s with no default, derived deadline %v away", d)
+	}
+	cancel()
+}
+
+func TestDeriveUnlimitedKeepsCancellation(t *testing.T) {
+	parent, stop := context.WithCancel(context.Background())
+	b, cancel := Derive(parent, 0, 0, 0)
+	defer cancel()
+	if _, ok := b.Context.Deadline(); ok {
+		t.Fatalf("no timeout anywhere, but the derived context has a deadline")
+	}
+	tr := b.Tracker()
+	if tr.Interrupted() {
+		t.Fatal("interrupted before any cancellation")
+	}
+	stop() // client disconnect must reach the solve
+	if !tr.Interrupted() || tr.Reason() != Cancelled {
+		t.Fatalf("parent cancellation not observed: reason %v", tr.Reason())
+	}
+}
+
+func TestDeriveNilParent(t *testing.T) {
+	b, cancel := Derive(nil, 10*time.Millisecond, 0, 0)
+	defer cancel()
+	tr := b.Tracker()
+	deadline := time.Now().Add(2 * time.Second)
+	for !tr.Interrupted() {
+		if time.Now().After(deadline) {
+			t.Fatal("10ms derived deadline never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tr.Reason() != Deadline {
+		t.Fatalf("reason = %v, want Deadline", tr.Reason())
+	}
+}
+
+func TestTrackerErr(t *testing.T) {
+	var nilTr *Tracker
+	if err := nilTr.Err(); err != nil {
+		t.Fatalf("nil tracker Err = %v", err)
+	}
+	if err := (None).Err(); err != nil {
+		t.Fatalf("None.Err = %v", err)
+	}
+	for _, r := range []Reason{Deadline, Cancelled, SearchCap, IterCap} {
+		if err := r.Err(); !errors.Is(err, ErrExceeded) {
+			t.Fatalf("%v.Err() = %v, does not wrap ErrExceeded", r, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := Budget{Context: ctx}.Tracker()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("Err before cancellation = %v", err)
+	}
+	cancel()
+	if err := tr.Err(); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("Err after cancellation = %v, does not wrap ErrExceeded", err)
+	}
+}

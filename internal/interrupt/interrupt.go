@@ -1,0 +1,65 @@
+// Package interrupt implements the CLIs' two-stage interrupt
+// contract: the first signal cancels a context, so solvers and servers
+// unwind gracefully with their best-so-far answers; a second signal
+// means "now" — the cleanup hook runs (profile flushes, partial
+// output) and the process exits non-zero immediately instead of
+// finishing the graceful path.
+package interrupt
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// ExitCode is the forced-exit status of the second interrupt; 130 is
+// the shell convention for "terminated by SIGINT".
+const ExitCode = 130
+
+// exit is the test seam for os.Exit.
+var exit = os.Exit
+
+// Handle installs the contract on parent for the given signals
+// (typically os.Interrupt): the returned context cancels on the first
+// signal, and a second signal runs cleanup (may be nil) then exits
+// with ExitCode.  The returned stop releases the handler and watcher.
+func Handle(parent context.Context, cleanup func(), sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	return handle(parent, ch, cleanup, func() { signal.Stop(ch) })
+}
+
+// handle is Handle with the signal source injected (the test seam).
+// release undoes the signal registration.
+func handle(parent context.Context, ch <-chan os.Signal, cleanup, release func()) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			cancel() // first interrupt: graceful unwind
+		case <-done:
+			return
+		}
+		select {
+		case <-ch: // second interrupt: forced exit
+			if cleanup != nil {
+				cleanup()
+			}
+			exit(ExitCode)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if release != nil {
+				release()
+			}
+			close(done)
+			cancel()
+		})
+	}
+	return ctx, stop
+}

@@ -1,0 +1,92 @@
+package interrupt
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+// fakeExit swaps the exit seam for a recording stub.
+func fakeExit(t *testing.T) chan int {
+	t.Helper()
+	codes := make(chan int, 1)
+	old := exit
+	exit = func(code int) { codes <- code }
+	t.Cleanup(func() { exit = old })
+	return codes
+}
+
+func TestFirstSignalCancelsSecondExits(t *testing.T) {
+	codes := fakeExit(t)
+	ch := make(chan os.Signal, 2)
+	cleaned := make(chan struct{}, 1)
+	ctx, stop := handle(context.Background(), ch, func() { cleaned <- struct{}{} }, nil)
+	defer stop()
+
+	ch <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case code := <-codes:
+		t.Fatalf("first signal already exited with %d", code)
+	default:
+	}
+
+	ch <- os.Interrupt
+	select {
+	case code := <-codes:
+		if code != ExitCode {
+			t.Fatalf("forced exit code %d, want %d", code, ExitCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+	select {
+	case <-cleaned:
+	default:
+		t.Fatal("cleanup did not run before the forced exit")
+	}
+}
+
+func TestStopReleasesWatcher(t *testing.T) {
+	codes := fakeExit(t)
+	ch := make(chan os.Signal, 2)
+	released := false
+	ctx, stop := handle(context.Background(), ch, nil, func() { released = true })
+	stop()
+	if !released {
+		t.Fatal("stop did not release the signal registration")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop did not cancel the context")
+	}
+	stop() // idempotent
+	select {
+	case code := <-codes:
+		t.Fatalf("exit(%d) called without any signal", code)
+	default:
+	}
+}
+
+func TestNilCleanupSecondSignal(t *testing.T) {
+	codes := fakeExit(t)
+	ch := make(chan os.Signal, 2)
+	_, stop := handle(context.Background(), ch, nil, nil)
+	defer stop()
+	ch <- os.Interrupt
+	ch <- os.Interrupt
+	select {
+	case code := <-codes:
+		if code != ExitCode {
+			t.Fatalf("exit code %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no forced exit")
+	}
+}

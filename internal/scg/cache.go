@@ -70,8 +70,15 @@ func copyResult(r *Result) *Result {
 // failure (a fingerprint collision, p < 2⁻¹²⁸) falls back to solving.
 func solveCached(p *matrix.Problem, opt Options) *Result {
 	key, cn := cacheKey(p, &opt)
+	// A budget-carrying solve passes its cancellation to the cache so a
+	// waiter whose own context dies (client disconnect) stops waiting
+	// on the leader and unwinds under its own budget immediately.
+	var cancel <-chan struct{}
+	if opt.Budget.Context != nil {
+		cancel = opt.Budget.Context.Done()
+	}
 	var mine *Result
-	v, _ := opt.Cache.Do(key, func() (any, time.Duration, bool) {
+	v, _ := opt.Cache.DoChan(key, cancel, func() (any, time.Duration, bool) {
 		t0 := time.Now()
 		mine = solve(p, opt)
 		mine.Stats.CacheMisses = 1

@@ -80,8 +80,9 @@ type runResult struct {
 }
 
 // solveBlocks runs the portfolio: one init job per block, then one job
-// per (block, restart), all on the shared worker pool.
-func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker) []*compState {
+// per (block, restart), all on the shared worker pool.  obs (may be
+// nil) collects per-block incumbents for the OnImprove hook.
+func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker, obs *anytime) []*compState {
 	states := make([]*compState, len(comps))
 	for c, comp := range comps {
 		states[c] = &compState{core: comp.Problem, idx: c}
@@ -105,6 +106,9 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker) []*c
 	// internally and returns promptly.
 	parallelDo(len(states), workers, nil, pool, func(c int, sc *lagrangian.Scratch) {
 		states[c].init(opt, tr, sc)
+		if cs := states[c]; cs.ok {
+			obs.update(c, cs.best, cs.bestCost, cs.lb)
+		}
 	})
 
 	type job struct{ c, r int }
@@ -117,7 +121,7 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker) []*c
 		}
 	}
 	parallelDo(len(jobs), workers, tr, pool, func(k int, sc *lagrangian.Scratch) {
-		states[jobs[k].c].runJob(jobs[k].r, opt, tr, sc)
+		states[jobs[k].c].runJob(jobs[k].r, opt, tr, sc, obs)
 	})
 	return states
 }
@@ -151,7 +155,7 @@ func (cs *compState) init(opt Options, tr *budget.Tracker, sc *lagrangian.Scratc
 
 // runJob executes restart r (1-based) of the block, then advances the
 // early-exit fold over the completed prefix.
-func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker, sc *lagrangian.Scratch) {
+func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker, sc *lagrangian.Scratch, obs *anytime) {
 	if ex := cs.exitAt.Load(); ex > 0 && int(ex) < r {
 		return // a completed prefix already met the exit condition
 	}
@@ -161,6 +165,7 @@ func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker, sc *lagrangi
 	}
 	rng := rand.New(rand.NewSource(runSeed(opt.Seed, cs.idx, r)))
 	sol, cost, lbRun, iters, steps := runOnce(cs.core, cs.bestCost, opt, rng, window, tr, sc)
+	obs.update(cs.idx, sol, cost, lbRun)
 
 	cs.mu.Lock()
 	rr := &cs.runs[r-1]

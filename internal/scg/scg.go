@@ -80,6 +80,16 @@ type Options struct {
 	// the best feasible solution found so far is returned with
 	// Interrupted set and a still-valid lower bound.
 	Budget budget.Budget
+	// OnImprove, when non-nil, receives every improving incumbent the
+	// portfolio assembles while it runs: a feasible cover of the whole
+	// input problem, its cost, and the best certified lower bound
+	// known at that moment.  Calls are serialised and the slice is a
+	// fresh copy the receiver owns.  The hook is observational only —
+	// it cannot alter the solved result, which moments emit depends on
+	// scheduling (so it is exempt from the bit-identity contract), and
+	// it is excluded from the Cache digest; a solve answered from the
+	// cache emits no intermediate incumbents, only the final Result.
+	OnImprove func(sol []int, cost int, lb float64)
 	// Cache, when non-nil, memoizes whole solves across calls: the
 	// problem is canonicalised to a 128-bit fingerprint, folded with a
 	// digest of the result-relevant options (everything above except
@@ -242,7 +252,11 @@ func solve(p *matrix.Problem, opt Options) *Result {
 			comps = split
 		}
 	}
-	states := solveBlocks(comps, opt, tr)
+	var obs *anytime
+	if opt.OnImprove != nil {
+		obs = newAnytime(essential, essCost, len(comps), opt.OnImprove)
+	}
+	states := solveBlocks(comps, opt, tr, obs)
 	best := append([]int(nil), essential...)
 	lbSum := float64(essCost)
 	ceilSum := essCost

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"ucp"
+)
+
+// Admission control and fair-share scheduling.
+//
+// Every request is sized on arrival (its body length stands in for its
+// decoded footprint, both being linear in each other) and admitted
+// only while two bounds hold: the queued-request count and the total
+// bytes of admitted-but-unfinished work.  Past either bound the server
+// answers 429 with Retry-After instead of buffering without limit —
+// overload degrades to fast rejections, never to an OOM kill.
+//
+// Admitted jobs queue per tenant; the workers drain tenants round-
+// robin, so one tenant flooding the queue delays its own backlog, not
+// everyone else's next request.  Draining flips admission off and
+// flushes the queued (not yet started) jobs with 503 while in-flight
+// solves run to completion.
+
+// Admission errors.
+var (
+	// ErrOverloaded: the queue or the in-flight byte budget is full.
+	ErrOverloaded = errors.New("serve: overloaded, retry later")
+	// ErrDraining: the server is shutting down and admits nothing.
+	ErrDraining = errors.New("serve: draining, not accepting work")
+)
+
+// job is one admitted request on its way through queue → worker →
+// response.  The worker fills status/res and closes done; the handler
+// goroutine (which may have abandoned the wait when its client
+// disconnected) reads them only after done.
+type job struct {
+	req    *Request
+	prob   *ucp.Problem
+	bytes  int64
+	tenant string
+	// ctx is the request-scoped context: the HTTP server cancels it
+	// when the client disconnects, and the drain path cancels it past
+	// the drain deadline.
+	ctx    context.Context
+	events chan Response // conflating incumbent stream; nil unless streaming
+
+	done   chan struct{}
+	status int
+	res    Response
+}
+
+// tenantQ is one tenant's FIFO backlog.
+type tenantQ struct {
+	name string
+	jobs []*job
+}
+
+// scheduler is the bounded multi-tenant queue.  All fields are guarded
+// by mu; workers sleep on cond.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxQueue int
+	maxBytes int64
+
+	tenants map[string]*tenantQ
+	ring    []*tenantQ // round-robin order over tenants with backlog
+	next    int        // ring cursor
+
+	queued        int
+	inflightBytes int64 // admitted and not yet released (queued + solving)
+	draining      bool
+}
+
+func newScheduler(maxQueue int, maxBytes int64) *scheduler {
+	s := &scheduler{
+		maxQueue: maxQueue,
+		maxBytes: maxBytes,
+		tenants:  make(map[string]*tenantQ),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue admits j or reports why it cannot.
+func (s *scheduler) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if s.queued >= s.maxQueue || s.inflightBytes+j.bytes > s.maxBytes {
+		return ErrOverloaded
+	}
+	tq := s.tenants[j.tenant]
+	if tq == nil {
+		tq = &tenantQ{name: j.tenant}
+		s.tenants[j.tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		s.ring = append(s.ring, tq)
+	}
+	tq.jobs = append(tq.jobs, j)
+	s.queued++
+	s.inflightBytes += j.bytes
+	s.cond.Signal()
+	return nil
+}
+
+// dequeue blocks for the next job, drained fair-share across tenants.
+// ok=false tells the worker to exit: the server is draining and the
+// queue is empty.
+func (s *scheduler) dequeue() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued == 0 {
+		if s.draining {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	// Round-robin over the ring; empty tenants fell out on their last
+	// pop, so the cursor always lands on a backlogged tenant.
+	if s.next >= len(s.ring) {
+		s.next = 0
+	}
+	tq := s.ring[s.next]
+	j := tq.jobs[0]
+	tq.jobs = tq.jobs[1:]
+	s.queued--
+	if len(tq.jobs) == 0 {
+		// Tenant exhausted: remove from the ring; the cursor now
+		// points at the next tenant already.
+		s.ring = append(s.ring[:s.next], s.ring[s.next+1:]...)
+	} else {
+		s.next++
+	}
+	return j, true
+}
+
+// release returns an admitted job's bytes to the budget (deferred by
+// the worker, and by the drain flush for never-started jobs).
+func (s *scheduler) release(n int64) {
+	s.mu.Lock()
+	s.inflightBytes -= n
+	s.mu.Unlock()
+}
+
+// drain flips admission off and removes every queued job, returning
+// them for completion with 503.  Idempotent; later calls return nil.
+func (s *scheduler) drain() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	var flushed []*job
+	for _, tq := range s.ring {
+		flushed = append(flushed, tq.jobs...)
+		tq.jobs = nil
+	}
+	s.ring = nil
+	s.next = 0
+	s.queued = 0
+	s.cond.Broadcast() // wake idle workers so they observe draining and exit
+	return flushed
+}
+
+// depth reports the current backlog and byte footprint.
+func (s *scheduler) depth() (queued int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.inflightBytes
+}

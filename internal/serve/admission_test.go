@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+func mkjob(tenant string, bytes int64) *job {
+	return &job{tenant: tenant, bytes: bytes, done: make(chan struct{})}
+}
+
+// TestSchedulerFairShare: a tenant's backlog must not starve other
+// tenants — dequeue order interleaves round-robin.
+func TestSchedulerFairShare(t *testing.T) {
+	s := newScheduler(16, 1<<20)
+	a1, a2, a3 := mkjob("a", 1), mkjob("a", 1), mkjob("a", 1)
+	b1 := mkjob("b", 1)
+	c1 := mkjob("c", 1)
+	for _, j := range []*job{a1, a2, a3, b1, c1} {
+		if err := s.enqueue(j); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	want := []*job{a1, b1, c1, a2, a3}
+	for i, w := range want {
+		j, ok := s.dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: queue unexpectedly drained", i)
+		}
+		if j != w {
+			t.Fatalf("dequeue %d: tenant %q, want %q", i, j.tenant, w.tenant)
+		}
+	}
+}
+
+// TestSchedulerReenqueueKeepsFairness: a tenant that empties and comes
+// back re-enters the ring.
+func TestSchedulerReenqueueKeepsFairness(t *testing.T) {
+	s := newScheduler(16, 1<<20)
+	a1 := mkjob("a", 1)
+	if err := s.enqueue(a1); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s.dequeue(); j != a1 {
+		t.Fatal("expected a1")
+	}
+	a2, b1 := mkjob("a", 1), mkjob("b", 1)
+	if err := s.enqueue(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(b1); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s.dequeue(); j != a2 {
+		t.Fatal("expected a2")
+	}
+	if j, _ := s.dequeue(); j != b1 {
+		t.Fatal("expected b1")
+	}
+}
+
+// TestSchedulerBounds: both admission bounds reject with ErrOverloaded.
+func TestSchedulerBounds(t *testing.T) {
+	s := newScheduler(2, 100)
+	if err := s.enqueue(mkjob("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(mkjob("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(mkjob("a", 10)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue bound: %v, want ErrOverloaded", err)
+	}
+
+	s2 := newScheduler(10, 100)
+	if err := s2.enqueue(mkjob("a", 90)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.enqueue(mkjob("b", 20)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("byte bound: %v, want ErrOverloaded", err)
+	}
+	// The bytes stay charged until released, even after dequeue.
+	if _, ok := s2.dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if err := s2.enqueue(mkjob("b", 20)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("byte bound after dequeue: %v, want ErrOverloaded", err)
+	}
+	s2.release(90)
+	if err := s2.enqueue(mkjob("b", 20)); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestSchedulerDrain: drain flushes the backlog, rejects new work and
+// releases the workers.
+func TestSchedulerDrain(t *testing.T) {
+	s := newScheduler(16, 1<<20)
+	j1, j2 := mkjob("a", 1), mkjob("b", 1)
+	if err := s.enqueue(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(j2); err != nil {
+		t.Fatal(err)
+	}
+	flushed := s.drain()
+	if len(flushed) != 2 {
+		t.Fatalf("drain flushed %d jobs, want 2", len(flushed))
+	}
+	if err := s.enqueue(mkjob("c", 1)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("enqueue while draining: %v, want ErrDraining", err)
+	}
+	if _, ok := s.dequeue(); ok {
+		t.Fatal("dequeue after drain must report shutdown")
+	}
+	if again := s.drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d jobs", len(again))
+	}
+	q, _ := s.depth()
+	if q != 0 {
+		t.Fatalf("queue depth %d after drain", q)
+	}
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ucp/internal/serve/faultinject"
+)
+
+// TestShutdownDrains: draining finishes in-flight work, flushes the
+// backlog with 503 and refuses new admissions with 503.
+func TestShutdownDrains(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, MaxQueue: 8, Fault: blockingInjector(started, release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type outcome struct {
+		code int
+		res  Response
+	}
+	results := make(chan outcome, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, r := postSolve(t, ts.Client(), ts.URL, &Request{Problem: tinyProblem})
+			results <- outcome{resp.StatusCode, r}
+		}()
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no solve started")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := s.sched.depth(); q == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backlog never formed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Draining is observable: health flips and new work bounces.
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, _ := postSolve(t, ts.Client(), ts.URL, &Request{Problem: tinyProblem})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("admission while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining rejection without Retry-After")
+	}
+
+	close(release) // let the in-flight solve finish
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	close(results)
+
+	var ok200, drained503 int
+	for o := range results {
+		switch o.code {
+		case http.StatusOK:
+			ok200++
+			if o.res.Solution == nil {
+				t.Fatal("drained in-flight solve returned no cover")
+			}
+		case http.StatusServiceUnavailable:
+			drained503++
+			if !strings.Contains(o.res.Error, "draining") {
+				t.Fatalf("flushed job error %q", o.res.Error)
+			}
+		default:
+			t.Fatalf("unexpected status %d", o.code)
+		}
+	}
+	if ok200 != 1 || drained503 != 2 {
+		t.Fatalf("got %d×200 and %d×503, want 1 and 2", ok200, drained503)
+	}
+}
+
+// TestShutdownDeadlineCancelsInflight: past the drain deadline the
+// in-flight budget is cancelled and the solve unwinds with a feasible
+// interrupted answer — the client still gets a 200.
+func TestShutdownDeadlineCancelsInflight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	inj := &faultinject.Injector{
+		PreSolve: func(ctx context.Context) error {
+			started <- struct{}{}
+			<-ctx.Done() // hold the worker until the drain deadline forces cancellation
+			return nil
+		},
+	}
+	s := New(Config{Workers: 1, Fault: inj})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type outcome struct {
+		code int
+		res  Response
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, r := postSolve(t, ts.Client(), ts.URL, &Request{Problem: tinyProblem})
+		done <- outcome{resp.StatusCode, r}
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve never started")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("forced drain took %v", d)
+	}
+	select {
+	case o := <-done:
+		if o.code != http.StatusOK {
+			t.Fatalf("force-cancelled solve answered %d (%s), want 200", o.code, o.res.Error)
+		}
+		if o.res.Solution == nil {
+			t.Fatal("force-cancelled solve returned no cover")
+		}
+		if !o.res.Interrupted {
+			t.Fatal("force-cancelled solve not marked interrupted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never got an answer after forced drain")
+	}
+}
+
+// TestNoGoroutineLeak: a full service lifecycle — solves, overload
+// rejections, drain — must return the process to its goroutine
+// baseline.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 2, MaxQueue: 1, Fault: blockingInjector(started, release)})
+	ts := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postSolve(t, ts.Client(), ts.URL, &Request{Problem: tinyProblem})
+		}()
+	}
+	// Occupy the workers one at a time: launching while a request sits
+	// queued would race admission control (MaxQueue is 1).
+	launch()
+	<-started
+	launch()
+	<-started
+	launch()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := s.sched.depth(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backlog never formed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 4; i++ { // bounced by admission control
+		resp, _ := postSolve(t, ts.Client(), ts.URL, &Request{Problem: tinyProblem})
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated server answered %d", resp.StatusCode)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts.Close()
+	ts.Client().CloseIdleConnections()
+
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -1,0 +1,73 @@
+// Package faultinject wires controllable failures into the serve
+// package so its robustness claims are testable instead of asserted:
+// slow and failing solves, queue-full admission, and post-solve
+// (cache/translation layer) corruption all become injectable.  A
+// production server runs with a nil *Injector — every hook has a
+// nil-receiver fast path and costs one pointer test.
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Injector is a set of optional fault hooks.  Fields are read once at
+// server construction; the functions themselves must be safe for
+// concurrent use (they run on every worker).
+type Injector struct {
+	// PreSolve runs on a worker immediately before the solve, under
+	// the request's fully derived budget context (deadline applied,
+	// client disconnect propagated).  Returning a non-nil error fails
+	// the request as an internal error; blocking inside simulates a
+	// slow solve — return ctx.Err() on cancellation to model a
+	// cancellation-aware solver.
+	PreSolve func(ctx context.Context) error
+
+	// QueueFull, when it returns true, forces admission control to
+	// report an exhausted queue for this request (429/Retry-After),
+	// regardless of actual occupancy.
+	QueueFull func() bool
+
+	// PostSolve runs after a successful solve, before the response is
+	// handed back.  A non-nil error discards the result and fails the
+	// request as an internal error (modelling a corrupted cache entry
+	// or translation failure that verification caught).
+	PostSolve func() error
+
+	// Counters, incremented by the server at each hook site; tests
+	// assert against them.
+	PreSolveCalls  atomic.Int64
+	QueueFullTrips atomic.Int64
+	PostSolveCalls atomic.Int64
+}
+
+// FireQueueFull reports whether admission must pretend the queue is
+// full.
+func (i *Injector) FireQueueFull() bool {
+	if i == nil || i.QueueFull == nil {
+		return false
+	}
+	if i.QueueFull() {
+		i.QueueFullTrips.Add(1)
+		return true
+	}
+	return false
+}
+
+// FirePreSolve runs the pre-solve hook.
+func (i *Injector) FirePreSolve(ctx context.Context) error {
+	if i == nil || i.PreSolve == nil {
+		return nil
+	}
+	i.PreSolveCalls.Add(1)
+	return i.PreSolve(ctx)
+}
+
+// FirePostSolve runs the post-solve hook.
+func (i *Injector) FirePostSolve() error {
+	if i == nil || i.PostSolve == nil {
+		return nil
+	}
+	i.PostSolveCalls.Add(1)
+	return i.PostSolve()
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"ucp"
+)
+
+// FuzzServeRequest fuzzes the wire decoder end to end: any byte string
+// must either decode into a validated request whose problem builds, or
+// fail with an error wrapping ucp.ErrMalformedInput — never panic,
+// never mislabel.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"problem":"p 3 3\nc 2 1 3\nr 0 1\nr 1 2\nr 0 2\n"}`,
+		`{"problem":"p 1 1\nr 0\n","solver":"exact","maxnodes":10,"timeout_ms":50}`,
+		`{"problem":"p 1 1\nr 0\n","solver":"scg","numiter":2,"stream":true,"tenant":"t"}`,
+		`{"format":"json","rows":[[0,1],[1,2]],"ncols":3,"costs":[1,1,1]}`,
+		`{"format":"orlib","problem":"2 2\n1 1\n1 1\n1 2\n1 1\n"}`,
+		`{"format":"json","rows":[[0],[]],"ncols":1}`,
+		`{"problem":"p 1 1\nr 5\n"}`,
+		`{`,
+		`null`,
+		`[]`,
+		`{"problem":"p 1 1\nr 0\n"} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input; the handler's byte cap rejects these")
+		}
+		req, err := DecodeRequest(data)
+		if err != nil {
+			if !errors.Is(err, ucp.ErrMalformedInput) {
+				t.Fatalf("decode error does not wrap ErrMalformedInput: %v", err)
+			}
+			if req != nil {
+				t.Fatal("non-nil request alongside an error")
+			}
+			return
+		}
+		p, err := req.BuildProblem()
+		if err != nil {
+			if !errors.Is(err, ucp.ErrMalformedInput) {
+				t.Fatalf("build error does not wrap ErrMalformedInput: %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil problem without an error")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Anytime streaming.  A streaming solve pushes every improving
+// incumbent to the client as an SSE record and always terminates with
+// exactly one Final=true record carrying the authoritative (verified)
+// result — including when the budget expired mid-solve, in which case
+// the final record is the best feasible cover found plus the stop
+// reason.
+
+// conflateSend delivers ev on a capacity-1 channel, replacing any
+// undelivered predecessor.  A slow client therefore sees the newest
+// incumbent, never a backlog, and the solver never blocks on the
+// network.
+func conflateSend(ch chan Response, ev Response) {
+	for {
+		select {
+		case ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-ch: // discard the stale undelivered incumbent
+		default:
+		}
+	}
+}
+
+// streamResponse writes the SSE event stream for an admitted job.
+func (s *Server) streamResponse(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		// No streaming transport: degrade to unary on the same job.
+		select {
+		case <-j.done:
+			if j.status == statusClientGone {
+				return
+			}
+			s.countStatus(j.status)
+			writeJSON(w, j.status, &j.res)
+		case <-r.Context().Done():
+		}
+		return
+	}
+	s.streamed.Add(1)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	// The status line is committed before the solve finishes, so a
+	// failing solve reports through the final record's error field.
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case ev := <-j.events:
+			if !writeSSE(w, fl, &ev) {
+				return
+			}
+		case <-j.done:
+			if j.status == statusClientGone {
+				return
+			}
+			s.countStatus(j.status)
+			// Any conflated leftover incumbent is superseded by the
+			// final record, which is at least as good; skip it.
+			final := j.res
+			final.Final = true
+			writeSSE(w, fl, &final)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one `data:` record; false means the client is gone.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, v *Response) bool {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	if _, err := w.Write([]byte("data: ")); err != nil {
+		return false
+	}
+	if _, err := w.Write(payload); err != nil {
+		return false
+	}
+	if _, err := w.Write([]byte("\n\n")); err != nil {
+		return false
+	}
+	fl.Flush()
+	return true
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"ucp"
+	"ucp/internal/benchmarks"
+)
+
+func readSSE(t *testing.T, body io.Reader) []Response {
+	t.Helper()
+	var recs []Response
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		const prefix = "data: "
+		if len(line) < len(prefix) || line[:len(prefix)] != prefix {
+			continue
+		}
+		var r Response
+		if err := json.Unmarshal([]byte(line[len(prefix):]), &r); err != nil {
+			t.Fatalf("bad SSE record %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return recs
+}
+
+func streamRequest(t *testing.T, ts string, c *http.Client, req *Request) (*http.Response, []Response) {
+	t.Helper()
+	req.Stream = true
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts+"/solve", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST /solve (stream): %v", err)
+	}
+	defer resp.Body.Close()
+	return resp, readSSE(t, resp.Body)
+}
+
+// checkStream verifies the universal stream contract: at least one
+// record, exactly one Final (the last), every carried cover feasible,
+// and the final at least as good as every streamed incumbent.
+func checkStream(t *testing.T, p *ucp.Problem, recs []Response) Response {
+	t.Helper()
+	if len(recs) == 0 {
+		t.Fatal("empty stream")
+	}
+	final := recs[len(recs)-1]
+	if !final.Final {
+		t.Fatalf("stream did not end with a final record: %+v", final)
+	}
+	for i, r := range recs[:len(recs)-1] {
+		if r.Final {
+			t.Fatalf("record %d of %d marked final", i, len(recs))
+		}
+	}
+	for i, r := range recs {
+		if r.Solution == nil {
+			if r.Final && r.Error == "" {
+				t.Fatalf("final record has neither cover nor error: %+v", r)
+			}
+			continue
+		}
+		if !p.IsCover(r.Solution) {
+			t.Fatalf("record %d: streamed solution is not a cover", i)
+		}
+		if got := p.CostOf(r.Solution); got != r.Cost {
+			t.Fatalf("record %d: reported cost %d, actual %d", i, r.Cost, got)
+		}
+		if !r.Final && final.Solution != nil && final.Cost > r.Cost {
+			t.Fatalf("final cost %d worse than streamed incumbent %d", final.Cost, r.Cost)
+		}
+	}
+	return final
+}
+
+func streamProblem(t *testing.T, seed int64, nr, nc, deg int) (*ucp.Problem, *Request) {
+	t.Helper()
+	p := benchmarks.CyclicCovering(seed, nr, nc, deg)
+	if p == nil {
+		t.Fatal("generator returned nil")
+	}
+	return p, &Request{Format: "json", Rows: p.Rows, NCols: p.NCol, Costs: p.Cost}
+}
+
+func TestStreamEndsWithVerifiedFinal(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	p, req := streamProblem(t, 9, 150, 100, 4)
+	req.NumIter = 6
+	req.Seed = 3
+	resp, recs := streamRequest(t, ts.URL, ts.Client(), req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	final := checkStream(t, p, recs)
+	if final.Solution == nil {
+		t.Fatalf("no cover on the final record: %+v", final)
+	}
+	if final.LB > float64(final.Cost)+1e-9 {
+		t.Fatalf("final LB %g exceeds cost %d", final.LB, final.Cost)
+	}
+}
+
+// TestStreamBudgetExpiredStillFinalFeasible: the acceptance property —
+// even when the budget expires mid-solve, the stream terminates with a
+// final record whose cover verifies feasible.
+func TestStreamBudgetExpiredStillFinalFeasible(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	p, req := streamProblem(t, 5, 400, 300, 5)
+	req.NumIter = 8
+	req.TimeoutMS = 1 // expires essentially immediately
+	resp, recs := streamRequest(t, ts.URL, ts.Client(), req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	final := checkStream(t, p, recs)
+	if final.Solution == nil {
+		t.Fatalf("budget-expired stream must still carry a feasible cover: %+v", final)
+	}
+	if !p.IsCover(final.Solution) {
+		t.Fatal("final cover infeasible")
+	}
+}
+
+// TestStreamCacheHit: a repeated instance is answered from the shared
+// cache — still a well-formed stream with a feasible final record.
+func TestStreamCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	p, req := streamProblem(t, 13, 200, 140, 4)
+	req.NumIter = 4
+	req.Seed = 7
+	_, first := streamRequest(t, ts.URL, ts.Client(), req)
+	checkStream(t, p, first)
+	_, second := streamRequest(t, ts.URL, ts.Client(), req)
+	final := checkStream(t, p, second)
+	if final.Solution == nil {
+		t.Fatal("cached stream lost its cover")
+	}
+	if f1 := first[len(first)-1]; f1.Cost != final.Cost {
+		t.Fatalf("cache changed the answer: %d vs %d", f1.Cost, final.Cost)
+	}
+}

@@ -161,6 +161,20 @@ func (c *Cache) putLocked(s *shard, k Key, v any) {
 // from the cache or from another flight's leader rather than from
 // this caller's own fn.
 func (c *Cache) Do(k Key, fn func() (v any, elapsed time.Duration, share bool)) (any, bool) {
+	return c.DoChan(k, nil, fn)
+}
+
+// DoChan is Do with waiter cancellation: a caller that would block on
+// an in-flight leader gives up as soon as cancel closes and computes
+// with its own fn instead — under its own (presumably already
+// cancelled) budget, so it returns promptly with its best-effort
+// result rather than waiting out a leader on an unrelated, possibly
+// much longer budget.  A nil cancel never fires, making DoChan(k, nil,
+// fn) exactly Do.  Leaders are unaffected: a leader always runs fn to
+// completion (fn itself observes the budget) and always releases its
+// waiters, so a cancelled — or panicking — leader can neither poison
+// the cache nor strand a waiter.
+func (c *Cache) DoChan(k Key, cancel <-chan struct{}, fn func() (v any, elapsed time.Duration, share bool)) (any, bool) {
 	if c == nil {
 		v, _, _ := fn()
 		return v, false
@@ -176,7 +190,16 @@ func (c *Cache) Do(k Key, fn func() (v any, elapsed time.Duration, share bool)) 
 	}
 	if fl, ok := s.flight[k]; ok {
 		s.mu.Unlock()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-cancel:
+			// Our caller is gone (client disconnect, drain deadline):
+			// stop waiting on the leader and let fn observe the
+			// cancellation itself.
+			c.misses.Add(1)
+			v, _, _ := fn()
+			return v, false
+		}
 		if fl.ok {
 			c.dedups.Add(1)
 			return fl.val, true

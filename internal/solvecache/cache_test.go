@@ -270,3 +270,112 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Fatalf("expected hits under mixed load: %+v", st)
 	}
 }
+
+// TestContentionCancelledLeaders is the serving-tier stress test: many
+// goroutines hammer a sharded cache while a fraction of leaders are
+// "cancelled mid-solve" (they block, then return share=false).  The
+// invariants under -race: no waiter ever observes a partial result as
+// shared, every caller gets a complete value, and the counters stay
+// consistent (each Do resolves as exactly one of hit/miss/dedup).
+func TestContentionCancelledLeaders(t *testing.T) {
+	c := New(256, 0)
+	const (
+		goroutines = 32
+		iters      = 300
+		keys       = 64 // > shard count, so waiters pile up across shards
+	)
+
+	type val struct {
+		complete bool
+		key      Key
+	}
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := Key{uint64((g + i) % keys), 0xcafe}
+				calls.Add(1)
+				// Leaders on "unlucky" rounds simulate a budget
+				// cancellation: they dawdle (letting waiters pile up)
+				// and return an incomplete, unshareable value.
+				cancelled := (g+i)%3 == 0
+				v, shared := c.Do(k, func() (any, time.Duration, bool) {
+					if cancelled {
+						time.Sleep(time.Duration((g+i)%3) * 100 * time.Microsecond)
+						return val{complete: false, key: k}, time.Millisecond, false
+					}
+					return val{complete: true, key: k}, time.Millisecond, true
+				})
+				got := v.(val)
+				if got.key != k {
+					t.Errorf("value for key %v carries key %v", k, got.key)
+					return
+				}
+				if shared && !got.complete {
+					t.Errorf("waiter received a partial/interrupted result for %v", k)
+					return
+				}
+				if !shared && !cancelled && !got.complete {
+					t.Errorf("own computation for %v reported incomplete despite completing", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if got, want := st.Hits+st.Misses+st.Dedups, calls.Load(); got != want {
+		t.Fatalf("counter drift: hits+misses+dedups = %d, Do calls = %d (%+v)", got, want, st)
+	}
+	if st.Entries > 256 {
+		t.Fatalf("resident entries %d exceed capacity", st.Entries)
+	}
+	// Nothing incomplete may have been admitted.
+	for k := 0; k < keys; k++ {
+		if v, ok := c.Get(Key{uint64(k), 0xcafe}); ok && !v.(val).complete {
+			t.Fatalf("cache poisoned at key %d with a partial result", k)
+		}
+	}
+}
+
+// TestDoChanWaiterCancellation: a waiter whose cancel channel fires
+// while the leader is still solving must stop waiting, compute for
+// itself, and report shared=false; the leader's later completion still
+// lands in the cache.
+func TestDoChanWaiterCancellation(t *testing.T) {
+	c := New(8, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	k := Key{42, 42}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // slow leader, eventually completes shareably
+		defer wg.Done()
+		c.Do(k, func() (any, time.Duration, bool) {
+			close(started)
+			<-release
+			return "leader", time.Millisecond, true
+		})
+	}()
+	<-started
+
+	cancel := make(chan struct{})
+	close(cancel) // the waiter's client is already gone
+	v, shared := c.DoChan(k, cancel, func() (any, time.Duration, bool) {
+		return "own-interrupted", 0, false
+	})
+	if shared || v.(string) != "own-interrupted" {
+		t.Fatalf("cancelled waiter got (%v, shared=%v), want its own result", v, shared)
+	}
+
+	close(release)
+	wg.Wait()
+	if v, ok := c.Get(k); !ok || v.(string) != "leader" {
+		t.Fatalf("leader result missing from cache after waiter cancellation: %v, %v", v, ok)
+	}
+}

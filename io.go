@@ -22,6 +22,7 @@ import (
 
 // ReadProblem parses a covering problem in the text format above.
 func ReadProblem(r io.Reader) (p *Problem, err error) {
+	defer malformed(&err)
 	defer guard(&err)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -127,6 +128,7 @@ func WriteProblem(w io.Writer, p *Problem) error {
 // OR-Library "scp" format (row/column counts, the column costs, then
 // each row's degree and 1-based covering columns, all free-format).
 func ReadORLibProblem(r io.Reader) (p *Problem, err error) {
+	defer malformed(&err)
 	defer guard(&err)
 	return benchmarks.ReadORLib(r)
 }

@@ -1,0 +1,53 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the ucpd solve service:
+# start the daemon, hammer it with ucpload for a few seconds, assert
+# zero server-side failures, then SIGTERM it and assert a clean drain
+# (exit 0 with the drain banner on stderr).  Run via `make serve-smoke`.
+set -eu
+
+DURATION=${DURATION:-5s}
+CONC=${CONC:-8}
+PORT=${PORT:-18091}
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+$GO build -o "$tmp/ucpd" ./cmd/ucpd
+$GO build -o "$tmp/ucpload" ./cmd/ucpload
+
+"$tmp/ucpd" -addr "127.0.0.1:$PORT" 2>"$tmp/ucpd.log" &
+pid=$!
+
+# Wait for the daemon to accept requests.
+i=0
+until "$tmp/ucpload" -addr "http://127.0.0.1:$PORT" -c 1 -duration 100ms -problems 1 -fail-on-5xx >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: ucpd never came up" >&2
+        cat "$tmp/ucpd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "serve-smoke: unary load ($CONC workers, $DURATION)"
+"$tmp/ucpload" -addr "http://127.0.0.1:$PORT" -c "$CONC" -duration "$DURATION" -fail-on-5xx
+
+echo "serve-smoke: streaming load ($CONC workers, 2s)"
+"$tmp/ucpload" -addr "http://127.0.0.1:$PORT" -c "$CONC" -duration 2s -stream -fail-on-5xx
+
+kill -TERM "$pid"
+drain=0
+wait "$pid" || drain=$?
+if [ "$drain" -ne 0 ]; then
+    echo "serve-smoke: ucpd exited $drain on SIGTERM, want 0" >&2
+    cat "$tmp/ucpd.log" >&2
+    exit 1
+fi
+if ! grep -q 'drained' "$tmp/ucpd.log"; then
+    echo "serve-smoke: no drain banner in the daemon log" >&2
+    cat "$tmp/ucpd.log" >&2
+    exit 1
+fi
+echo "serve-smoke: clean drain"

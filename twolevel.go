@@ -26,19 +26,20 @@ type Space = cube.Space
 // ParsePLA reads a PLA file from r (.i/.o headers, {0,1,-} input
 // field, .type f/fd/fr/fdr output semantics).
 func ParsePLA(r io.Reader) (f *PLA, err error) {
+	defer malformed(&err)
 	defer guard(&err)
 	return pla.Parse(r)
 }
 
-// ParsePLAFile reads a PLA from the named file.
+// ParsePLAFile reads a PLA from the named file.  A failed open passes
+// through untagged; parse failures wrap ErrMalformedInput.
 func ParsePLAFile(path string) (p *PLA, err error) {
-	defer guard(&err)
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return pla.Parse(f)
+	return ParsePLA(f)
 }
 
 // CostModel selects the covering objective: the number of products

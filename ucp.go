@@ -65,10 +65,6 @@ const (
 	StopIterCap = budget.IterCap
 )
 
-// ErrInfeasible reports a covering problem in which some row is not
-// covered by any column, so no cover exists.
-var ErrInfeasible = matrix.ErrInfeasible
-
 // guard converts a panic escaping the internal layers into a returned
 // error, so no malformed input can crash a caller of the public API.
 func guard(errp *error) {
@@ -88,6 +84,7 @@ type Problem = matrix.Problem
 // NewProblem builds and validates a covering problem.  Rows are
 // sorted and deduplicated; a nil cost vector means unit costs.
 func NewProblem(rows [][]int, ncols int, costs []int) (p *Problem, err error) {
+	defer malformed(&err)
 	defer guard(&err)
 	return matrix.New(rows, ncols, costs)
 }
