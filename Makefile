@@ -2,9 +2,12 @@
 
 GO ?= go
 
-# The hot-substrate microbenches tracked across PRs (see BENCH_pr5.json
-# for the committed baseline and DESIGN.md for interpretation).
+# The hot-substrate microbenches tracked across PRs (see BENCH_pr7.json
+# for the committed baseline and DESIGN.md for interpretation).  The
+# front-end benches live in ./internal/primes (they need the unexported
+# covering reference oracle) and get their own pattern.
 SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$
+FRONTEND_BENCH = BenchmarkPrimeGen$$|BenchmarkBuildCovering$$
 
 .PHONY: build test check bench-diff fuzz bench bench-all serve-smoke
 
@@ -37,8 +40,9 @@ serve-smoke:
 # growth — the allowance absorbs the parallel portfolio's
 # scheduler-dependent pool jitter (see cmd/benchfmt).
 bench-diff:
-	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . \
-	| $(GO) run ./cmd/benchfmt -against BENCH_pr5.json
+	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
+	  $(GO) test -run '^$$' -bench '$(FRONTEND_BENCH)' -benchtime 1x -count 3 ./internal/primes ; } \
+	| $(GO) run ./cmd/benchfmt -against BENCH_pr7.json
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
 # acceptance bar: no panic reachable through the public API, and the
@@ -53,16 +57,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSignatureSubset$$' -fuzztime $(FUZZTIME) ./internal/matrix
 	$(GO) test -run '^$$' -fuzz '^FuzzCanonFingerprint$$' -fuzztime $(FUZZTIME) ./internal/canon
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzPrimesDense$$' -fuzztime $(FUZZTIME) ./internal/primes
 
 # bench measures the hot substrates (5 repetitions each, plus the
 # portfolio and the sharded reduction fixpoint under -cpu 1,2,4,8) and
-# records the results in BENCH_pr5.json; commit the refreshed file when
+# records the results in BENCH_pr7.json; commit the refreshed file when
 # a change moves them.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; } \
-	| $(GO) run ./cmd/benchfmt -o BENCH_pr5.json \
-	  -note "PR5: cross-solve memoization. Canonical 128-bit fingerprints, sharded singleflight solution cache, canonical BnB transposition table. New in this baseline: SolveCached/uncached vs SolveCached/cached (the ns/op ratio is the memoization speedup, expected >=5x; cached pays one canonicalization per hit) and BnBTransposition/tt vs /nott (nodes/op is the search-tree size; tt should visit fewer nodes on the 4-block isomorphic instance). SCGCore/Subgradient/ZDDReductions et al are unchanged substrates and should match the PR4 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
+	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; \
+	  $(GO) test -run '^$$' -bench '$(FRONTEND_BENCH)' -benchtime 1x -count 3 ./internal/primes ; } \
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr7.json \
+	  -note "PR7: dense bit-slice prime generation and streaming covering construction. New in this baseline: PrimeGen/dense vs PrimeGen/consensus on a 16-input 2-output 100-cube instance (the ns/op ratio is the bit-slice speedup, expected >=5x; the consensus side is the quadratic work-set scan the dense sweep replaces) and BuildCovering/stream vs BuildCovering/reference on a 20-input 3-output instance (~25k rows; stream avoids the per-minterm cube allocations and map lookups of the reference oracle). SolveCached/BnBTransposition/SCGCore et al are unchanged substrates and should match the PR5 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
 
 # bench-all runs every benchmark once: the paper tables, the ablations
 # and the substrates.

@@ -7,6 +7,12 @@
 //	plagen -name test2 -o test2.pla
 //	plagen -class difficult -dir ./bench
 //	plagen -inputs 9 -outputs 2 -kernels 4 -kvars 5 -seed 7 -o custom.pla
+//	plagen -inputs 20 -outputs 3 -cubes 60 -density 0.3 -seed 7 -o wide20.pla
+//
+// With -cubes the generator switches from the symmetric-kernel
+// replicas to density-controlled random cubes, which scale to wide
+// (20+) input spaces — the corpus the dense prime-generation front
+// end is benchmarked on.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"path/filepath"
 
 	"ucp/internal/benchmarks"
+	"ucp/internal/pla"
 )
 
 func main() {
@@ -30,6 +37,8 @@ func main() {
 		kvars   = flag.Int("kvars", 5, "custom: variables per kernel")
 		dck     = flag.Int("dc", 1, "custom: don't-care cubes")
 		seed    = flag.Int64("seed", 1, "custom: generator seed")
+		cubes   = flag.Int("cubes", 0, "random mode: ON cubes (switches off the kernel generator)")
+		density = flag.Float64("density", 0.3, "random mode: per-variable don't-care probability")
 	)
 	flag.Parse()
 
@@ -58,6 +67,12 @@ func main() {
 		for _, in := range set {
 			writePLA(in, filepath.Join(*dir, in.Name+".pla"))
 		}
+	case *inputs > 0 && *cubes > 0:
+		if *density < 0 || *density > 1 {
+			fatal("density %v outside [0, 1]", *density)
+		}
+		f := benchmarks.RandomPLA(*seed, *inputs, *outputs, *cubes, *density, *dck)
+		writeFile(f, orDefault(*out, "random.pla"))
 	case *inputs > 0:
 		in := benchmarks.Instance{
 			Name: "custom", Inputs: *inputs, Outputs: *outputs,
@@ -88,7 +103,10 @@ func findInstance(name string) (benchmarks.Instance, bool) {
 }
 
 func writePLA(in benchmarks.Instance, path string) {
-	f := in.PLA()
+	writeFile(in.PLA(), path)
+}
+
+func writeFile(f *pla.File, path string) {
 	w, err := os.Create(path)
 	if err != nil {
 		fatal("%v", err)

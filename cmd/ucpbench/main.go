@@ -9,7 +9,7 @@
 //	ucpbench -experiment table3 -nodes 500000 -numiter 4
 //
 // Experiments: figure1, easy, table1, table2, table3, table4, bounds,
-// ablations, all.
+// frontend, ablations, all.
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ucp"
 	"ucp/internal/harness"
@@ -26,7 +27,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure1|easy|table1|table2|table3|table4|bounds|ablations|all")
+		experiment = flag.String("experiment", "all", "figure1|easy|table1|table2|table3|table4|bounds|frontend|ablations|all")
+		frontCap   = flag.Duration("frontend-cap", 5*time.Second, "per-instance consensus cap in the front-end study")
 		nodes      = flag.Int64("nodes", 50_000, "node budget for the exact comparator (0 = unlimited)")
 		numIter    = flag.Int("numiter", 2, "ZDD_SCG constructive runs for tables 3 and 4")
 		samples    = flag.Int("samples", 20, "instances in the bound study")
@@ -91,6 +93,9 @@ func main() {
 		case "bounds":
 			fmt.Fprintln(w, "== Proposition 1: bound dominance on random instances ==")
 			harness.WriteBounds(w, harness.BoundsStudy(*samples))
+		case "frontend":
+			fmt.Fprintln(w, "== Front-end study: dense bit-slice sweep vs iterated consensus ==")
+			harness.WriteFrontEnd(w, *frontCap, harness.FrontEndStudy(*frontCap))
 		case "ablations":
 			fmt.Fprintln(w, "== Ablations (DESIGN.md section 5) ==")
 			harness.WriteAblation(w, "alpha sweep (sigma = ctilde - alpha*mu)", harness.AblationAlpha())
@@ -115,7 +120,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"figure1", "bounds", "easy", "table1", "table2", "table3", "table4", "ablations"} {
+		for _, name := range []string{"figure1", "bounds", "frontend", "easy", "table1", "table2", "table3", "table4", "ablations"} {
 			if err := ctx.Err(); err != nil {
 				fmt.Fprintf(w, "ucpbench: budget exhausted (%v); skipping %s and later experiments — results above are partial\n", err, name)
 				return

@@ -6,6 +6,7 @@ import (
 
 	"ucp/internal/budget"
 	"ucp/internal/matrix"
+	"ucp/internal/primes"
 )
 
 // The public error taxonomy.  Every error returned by the package is
@@ -31,15 +32,29 @@ var (
 	// input formats (covering-matrix text, OR-Library, PLA) and of
 	// NewProblem's structural checks.
 	ErrMalformedInput = errors.New("ucp: malformed input")
+
+	// ErrCoveringLimit reports a PLA whose input count exceeds
+	// MaxCoveringInputs, so the explicit Quine–McCluskey covering
+	// matrix cannot be built.  The input is well-formed — the instance
+	// is just too large for the QM pipeline — so it is distinct from
+	// ErrMalformedInput; servers should map it to an unprocessable-
+	// instance client error rather than an internal failure.
+	ErrCoveringLimit = primes.ErrCoveringLimit
 )
 
+// MaxCoveringInputs is the largest PLA input count the two-level
+// pipeline can handle: beyond it the explicit covering matrix (one row
+// per ON-minterm) does not fit in memory.
+const MaxCoveringInputs = primes.MaxCoveringInputs
+
 // malformed tags a returned parse/validation error with
-// ErrMalformedInput.  Infeasibility is a well-formed property of the
-// instance, not an input error, and keeps its own sentinel.  Deferred
-// after guard (so it runs second and also tags converted panics).
+// ErrMalformedInput.  Infeasibility and the covering-size limit are
+// well-formed properties of the instance, not input errors, and keep
+// their own sentinels.  Deferred after guard (so it runs second and
+// also tags converted panics).
 func malformed(errp *error) {
 	err := *errp
-	if err == nil || errors.Is(err, ErrMalformedInput) || errors.Is(err, ErrInfeasible) {
+	if err == nil || errors.Is(err, ErrMalformedInput) || errors.Is(err, ErrInfeasible) || errors.Is(err, ErrCoveringLimit) {
 		return
 	}
 	*errp = fmt.Errorf("%w: %w", ErrMalformedInput, err)

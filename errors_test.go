@@ -2,6 +2,7 @@ package ucp
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -57,6 +58,25 @@ func TestMalformedInputSentinel(t *testing.T) {
 				t.Fatalf("error %v matches more than one sentinel", err)
 			}
 		})
+	}
+}
+
+func TestCoveringLimitSentinel(t *testing.T) {
+	n := MaxCoveringInputs + 1
+	src := ".i " + strconv.Itoa(n) + "\n.o 1\n" + strings.Repeat("-", n) + " 1\n.e\n"
+	f, err := ParsePLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("a wide PLA is well-formed, parse failed: %v", err)
+	}
+	_, _, cerr := BuildCovering(f, UnitCost)
+	if !errors.Is(cerr, ErrCoveringLimit) {
+		t.Fatalf("BuildCovering over %d inputs: %v, want ErrCoveringLimit", n, cerr)
+	}
+	if errors.Is(cerr, ErrMalformedInput) {
+		t.Fatalf("size limit misclassified as malformed input: %v", cerr)
+	}
+	if _, merr := MinimizeSCG(f, SCGOptions{}); !errors.Is(merr, ErrCoveringLimit) {
+		t.Fatalf("MinimizeSCG over %d inputs: %v, want ErrCoveringLimit", n, merr)
 	}
 }
 

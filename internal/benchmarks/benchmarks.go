@@ -135,6 +135,54 @@ func (in Instance) PLA() *pla.File {
 	return &pla.File{Space: s, F: f, D: d, R: cube.NewCover(s), Type: "fd"}
 }
 
+// RandomPLA generates a density-controlled random multiple-output
+// PLA: cubes ON-cubes whose input parts draw a don't care with
+// probability density (and otherwise a random literal), each driving a
+// random non-empty output subset, plus dcCubes don't-care cubes drawn
+// the same way.  Unlike the kernel replicas it scales to arbitrarily
+// wide input spaces with a bounded cube count, which is what the
+// dense prime-generation front end is for: at 20+ inputs the ON-set
+// is a vanishing fraction of the minterm lattice, so the chunked
+// sweep stays sparse while iterated consensus drowns in containment
+// scans.
+func RandomPLA(seed int64, inputs, outputs, cubes int, density float64, dcCubes int) *pla.File {
+	rng := rand.New(rand.NewSource(seed))
+	s := cube.NewSpace(inputs, outputs)
+	draw := func() cube.Cube {
+		c := s.NewCube()
+		for i := 0; i < inputs; i++ {
+			switch {
+			case rng.Float64() < density:
+				s.SetInput(c, i, cube.DC)
+			case rng.Intn(2) == 0:
+				s.SetInput(c, i, cube.Zero)
+			default:
+				s.SetInput(c, i, cube.One)
+			}
+		}
+		any := false
+		for o := 0; o < outputs; o++ {
+			if rng.Intn(2) == 0 {
+				s.SetOutput(c, o, true)
+				any = true
+			}
+		}
+		if outputs > 0 && !any {
+			s.SetOutput(c, rng.Intn(outputs), true)
+		}
+		return c
+	}
+	f := cube.NewCover(s)
+	d := cube.NewCover(s)
+	for k := 0; k < cubes; k++ {
+		f.Add(draw())
+	}
+	for k := 0; k < dcCubes; k++ {
+		d.Add(draw())
+	}
+	return &pla.File{Space: s, F: f, D: d, R: cube.NewCover(s), Type: "fd"}
+}
+
 // addSymmetricKernel adds, as one cube per qualifying minterm over
 // vars, the function "weight of vars ∈ {a, a+1}" restricted by the
 // fixed literals, on output out.

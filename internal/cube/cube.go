@@ -269,6 +269,31 @@ func (s *Space) Consensus(a, b Cube) Cube {
 	return c
 }
 
+// ConsensusOutput returns the consensus of a and b taken on the
+// output part: the intersection of the input parts with the union of
+// the output parts.  It is non-nil when the space has outputs and
+// every input part of the intersection is non-empty.  Unlike
+// Consensus it also applies at distance zero: with three or more
+// outputs the union of two *overlapping* output sets can be a strictly
+// larger implicant that no distance-one consensus produces, and the
+// iterated-consensus closure needs these cubes to reach every
+// multiple-output prime.
+func (s *Space) ConsensusOutput(a, b Cube) Cube {
+	if s.outputs == 0 {
+		return nil
+	}
+	c := s.And(a, b)
+	for i := 0; i < s.inputs; i++ {
+		if s.Input(c, i) == Empty {
+			return nil
+		}
+	}
+	for w := range c {
+		c[w] = c[w]&s.inMask[w] | (a[w]|b[w])&s.outMask[w]
+	}
+	return c
+}
+
 // Cofactor returns the Shannon cofactor of c with respect to cube p
 // (the "cube cofactor" of Espresso): nil when c ∩ p is empty,
 // otherwise each part of the result is c's part OR the complement of
@@ -411,6 +436,46 @@ func (s *Space) Minterms(c Cube, o int, visit func(m uint64) bool) error {
 	}
 	rec(0, 0)
 	return nil
+}
+
+// PackInput converts the input part of c to (value, mask) form: bit i
+// of mask is set when input variable i is a don't care, and bit i of
+// value is set when the variable is fixed to one.  An input minterm m
+// then lies in c exactly when (m^value)&^mask == 0.  Cubes with an
+// Empty input part have no minterms; ok reports false for them.
+// Spaces beyond 63 inputs do not fit the packing and also report
+// ok=false.
+func (s *Space) PackInput(c Cube) (value, mask uint64, ok bool) {
+	if s.inputs > 63 {
+		return 0, 0, false
+	}
+	for i := 0; i < s.inputs; i++ {
+		switch s.Input(c, i) {
+		case One:
+			value |= 1 << i
+		case DC:
+			mask |= 1 << i
+		case Zero:
+		default:
+			return 0, 0, false // empty part: no minterms
+		}
+	}
+	return value, mask, true
+}
+
+// PackOutputs returns the output part of c as a bitmask (bit o set
+// when the cube drives output o).  Spaces beyond 64 outputs do not fit
+// and report ok=false; a space with no outputs packs to 0, true.
+func (s *Space) PackOutputs(c Cube) (outs uint64, ok bool) {
+	if s.outputs > 64 {
+		return 0, false
+	}
+	for o := 0; o < s.outputs; o++ {
+		if s.Output(c, o) {
+			outs |= 1 << o
+		}
+	}
+	return outs, true
 }
 
 // CubeOfMinterm builds the single-minterm cube for input assignment m

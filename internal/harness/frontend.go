@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"ucp/internal/benchmarks"
+	"ucp/internal/budget"
+	"ucp/internal/primes"
+)
+
+// FrontEndRow is one instance of the prime-generation front-end study:
+// the dense bit-slice sweep against iterated consensus on the same
+// random function.
+type FrontEndRow struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Cubes   int
+
+	DensePrimes   int
+	DenseTime     time.Duration
+	DenseComplete bool
+
+	ConsensusPrimes   int
+	ConsensusTime     time.Duration
+	ConsensusComplete bool // false: cut off by the per-run cap
+}
+
+// frontEndCorpus sweeps the regime boundary between the two front
+// ends: a narrow sparse function where iterated consensus wins, the
+// dense mid-width regime where its quadratic work-set scans explode,
+// and a wide sparse function only the streaming pipeline reaches at
+// all (consensus still finishes — the lattice is big but the work set
+// stays small).
+var frontEndCorpus = []struct {
+	inputs, outputs, cubes int
+	density                float64
+	seed                   int64
+}{
+	{12, 2, 40, 0.3, 5},
+	{16, 2, 60, 0.5, 11},
+	{16, 2, 100, 0.5, 11},
+	{20, 3, 80, 0.3, 7},
+}
+
+// FrontEndStudy times both front ends on the corpus.  The dense sweep
+// runs unbounded (its cost is fixed by the care set); each consensus
+// run is capped at cap wall clock and reports a partial work set when
+// it trips.
+func FrontEndStudy(cap time.Duration) []FrontEndRow {
+	var out []FrontEndRow
+	for _, c := range frontEndCorpus {
+		f := benchmarks.RandomPLA(c.seed, c.inputs, c.outputs, c.cubes, c.density, 2)
+		row := FrontEndRow{
+			Name:    fmt.Sprintf("rand%d-%dx%d", c.inputs, c.cubes, c.outputs),
+			Inputs:  c.inputs, Outputs: c.outputs, Cubes: c.cubes,
+		}
+
+		t0 := time.Now()
+		dp, ok := primes.GenerateDenseBudget(f.F, f.D, nil)
+		row.DenseTime = time.Since(t0)
+		row.DensePrimes, row.DenseComplete = dp.Len(), ok
+
+		ctx, cancel := context.WithTimeout(context.Background(), cap)
+		tr := budget.Budget{Context: ctx}.Tracker()
+		t0 = time.Now()
+		cp, ok := primes.GenerateBudget(f.F, f.D, tr)
+		cancel()
+		row.ConsensusTime = time.Since(t0)
+		row.ConsensusPrimes, row.ConsensusComplete = cp.Len(), ok
+
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteFrontEnd prints the front-end study.
+func WriteFrontEnd(w io.Writer, cap time.Duration, rows []FrontEndRow) {
+	fmt.Fprintf(w, "%-14s %4s %4s %6s %8s %10s %10s %8s\n",
+		"instance", "in", "out", "cubes", "primes", "dense(s)", "cons(s)", "ratio")
+	for _, r := range rows {
+		cons := fmt.Sprintf("%10.3f", r.ConsensusTime.Seconds())
+		ratio := fmt.Sprintf("%7.1fx", float64(r.ConsensusTime)/float64(r.DenseTime))
+		if !r.ConsensusComplete {
+			cons = fmt.Sprintf(">%9.3f", cap.Seconds())
+			ratio = fmt.Sprintf(">%6.1fx", float64(cap)/float64(r.DenseTime))
+		}
+		fmt.Fprintf(w, "%-14s %4d %4d %6d %8d %10.3f %s %s\n",
+			r.Name, r.Inputs, r.Outputs, r.Cubes, r.DensePrimes,
+			r.DenseTime.Seconds(), cons, ratio)
+	}
+	fmt.Fprintf(w, "(consensus capped at %v per instance; primes column is the dense count, identical whenever both complete)\n", cap)
+}

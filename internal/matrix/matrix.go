@@ -68,6 +68,40 @@ func New(rows [][]int, ncol int, cost []int) (*Problem, error) {
 	return p, nil
 }
 
+// FromSortedRows builds a problem from rows whose column lists are
+// already sorted ascending and duplicate-free, taking ownership of the
+// slices (no per-row copy or re-sort).  It validates the invariant —
+// strictly increasing ids within the universe — so a caller bug fails
+// loudly rather than corrupting the reduction engine.  A nil cost
+// vector means uniform unit costs.
+func FromSortedRows(rows [][]int, ncol int, cost []int) (*Problem, error) {
+	if cost == nil {
+		cost = make([]int, ncol)
+		for j := range cost {
+			cost[j] = 1
+		}
+	}
+	if len(cost) != ncol {
+		return nil, fmt.Errorf("matrix: %d costs for %d columns", len(cost), ncol)
+	}
+	for i, r := range rows {
+		for k, j := range r {
+			if j < 0 || j >= ncol {
+				return nil, fmt.Errorf("matrix: row %d references column %d outside universe %d", i, j, ncol)
+			}
+			if k > 0 && r[k-1] >= j {
+				return nil, fmt.Errorf("matrix: row %d is not strictly sorted at position %d", i, k)
+			}
+		}
+	}
+	for j, c := range cost {
+		if c < 0 {
+			return nil, fmt.Errorf("matrix: column %d has negative cost %d", j, c)
+		}
+	}
+	return &Problem{Rows: rows, NCol: ncol, Cost: cost}, nil
+}
+
 // MustNew is New that panics on error, for tests and literals.
 func MustNew(rows [][]int, ncol int, cost []int) *Problem {
 	p, err := New(rows, ncol, cost)

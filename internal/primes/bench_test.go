@@ -1,0 +1,57 @@
+package primes
+
+import (
+	"testing"
+
+	"ucp/internal/benchmarks"
+)
+
+// The prime-generation substrate benches compare the two front ends on
+// a 16-input 2-output instance dense enough (100 cubes, half the
+// literals don't-care) that the iterated-consensus work set grows into
+// the thousands.  The dense sweep's cost is fixed by the care set, so
+// the ratio here (>=5x expected) is the point of the bit-slice engine;
+// on sparse instances the consensus path stays competitive and
+// GenerateAutoBudget picks per-instance.
+func BenchmarkPrimeGen(b *testing.B) {
+	f := benchmarks.RandomPLA(11, 16, 2, 100, 0.5, 2)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := GenerateDenseBudget(f.F, f.D, nil); !ok {
+				b.Fatal("dense sweep did not complete")
+			}
+		}
+	})
+	b.Run("consensus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := GenerateBudget(f.F, f.D, nil); !ok {
+				b.Fatal("consensus did not complete")
+			}
+		}
+	})
+}
+
+// BenchmarkBuildCovering compares the streaming bitset construction
+// against the map-based reference oracle on a 20-input 3-output
+// instance (158 primes, ~25k covering rows).
+func BenchmarkBuildCovering(b *testing.B) {
+	f := benchmarks.RandomPLA(7, 20, 3, 80, 0.3, 1)
+	prs, ok := GenerateDenseBudget(f.F, f.D, nil)
+	if !ok {
+		b.Fatal("prime generation did not complete")
+	}
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := BuildCovering(f.F, f.D, prs, UnitCost); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := buildCoveringReference(f.F, f.D, prs, UnitCost); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

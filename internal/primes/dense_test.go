@@ -1,0 +1,257 @@
+package primes
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ucp/internal/budget"
+	"ucp/internal/cube"
+)
+
+// requireSameCover fails unless the two canonical (sorted) covers are
+// cube-for-cube identical.
+func requireSameCover(t *testing.T, s *cube.Space, got, want *cube.Cover, label string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d cubes, want %d\ngot:\n%swant:\n%s", label, got.Len(), want.Len(), got, want)
+	}
+	for i := range want.Cubes {
+		if !s.Equal(got.Cubes[i], want.Cubes[i]) {
+			t.Fatalf("%s: cube %d = %s, want %s", label, i, s.String(got.Cubes[i]), s.String(want.Cubes[i]))
+		}
+	}
+}
+
+// requireSameCovering fails unless the two covering constructions are
+// bit-identical: same row ids, same sorted column lists, same costs.
+func requireSameCovering(t *testing.T, f, d, prs *cube.Cover, label string) {
+	t.Helper()
+	for _, cm := range []CostModel{UnitCost, LiteralCost} {
+		gotP, gotIDs, gotErr := BuildCovering(f, d, prs, cm)
+		wantP, wantIDs, wantErr := buildCoveringReference(f, d, prs, cm)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: err=%v, reference err=%v", label, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("%s: %d rows, reference %d", label, len(gotIDs), len(wantIDs))
+		}
+		for r := range wantIDs {
+			if gotIDs[r] != wantIDs[r] {
+				t.Fatalf("%s: row %d id %+v, reference %+v", label, r, gotIDs[r], wantIDs[r])
+			}
+			g, w := gotP.Rows[r], wantP.Rows[r]
+			if len(g) != len(w) {
+				t.Fatalf("%s: row %d has %d cols, reference %d", label, r, len(g), len(w))
+			}
+			for k := range w {
+				if g[k] != w[k] {
+					t.Fatalf("%s: row %d col %d = %d, reference %d", label, r, k, g[k], w[k])
+				}
+			}
+		}
+		if gotP.NCol != wantP.NCol {
+			t.Fatalf("%s: ncol %d, reference %d", label, gotP.NCol, wantP.NCol)
+		}
+		for j := range wantP.Cost {
+			if gotP.Cost[j] != wantP.Cost[j] {
+				t.Fatalf("%s: cost[%d] = %d, reference %d", label, j, gotP.Cost[j], wantP.Cost[j])
+			}
+		}
+	}
+}
+
+func TestDenseMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 120; trial++ {
+		s := cube.NewSpace(1+rng.Intn(3), 1+rng.Intn(2))
+		f := randomCover(s, 1+rng.Intn(4), rng)
+		d := randomCover(s, rng.Intn(2), rng)
+		if !DenseEligible(f, d) {
+			t.Fatalf("trial %d: small random cover not dense-eligible", trial)
+		}
+		got, complete := GenerateDenseBudget(f, d, nil)
+		if !complete {
+			t.Fatalf("trial %d: unbudgeted sweep incomplete", trial)
+		}
+		want := brutePrimes(f, d)
+		if got.Len() != len(want) {
+			t.Fatalf("trial %d: %d primes, brute force %d\nf:\n%sgot:\n%s",
+				trial, got.Len(), len(want), f, got)
+		}
+		for _, w := range want {
+			found := false
+			for _, g := range got.Cubes {
+				if s.Equal(g, w) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: prime %s missing", trial, s.String(w))
+			}
+		}
+	}
+}
+
+// TestDenseMatchesConsensus drives both engines over random functions
+// large enough to exercise the high-variable chunk dictionary (inputs
+// beyond denseKLow) and checks canonical prime sets and covering
+// problems are bit-identical.
+func TestDenseMatchesConsensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(10) // up to 10 inputs: 4 high variables
+		s := cube.NewSpace(n, rng.Intn(4))
+		f := randomCover(s, 1+rng.Intn(6), rng)
+		d := randomCover(s, rng.Intn(3), rng)
+		want, wc := GenerateBudget(f, d, nil)
+		got, gc := GenerateDenseBudget(f, d, nil)
+		if wc != gc {
+			t.Fatalf("trial %d: complete=%v, consensus %v", trial, gc, wc)
+		}
+		requireSameCover(t, s, got, want, "primes")
+		requireSameCovering(t, f, d, got, "covering")
+	}
+}
+
+func TestDenseNoOutputsAndNoInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	// Output-free space: cubes are pure input products.
+	s := cube.NewSpace(4, 0)
+	f := randomCover(s, 3, rng)
+	requireSameCover(t, s, GenerateDenseBudget0(f, nil), Generate(f, nil), "no outputs")
+	requireSameCovering(t, f, nil, Generate(f, nil), "no outputs covering")
+
+	// Input-free space: cubes are pure output sets.
+	s0 := cube.NewSpace(0, 3)
+	g := cube.NewCover(s0)
+	c := s0.NewCube()
+	s0.SetOutput(c, 0, true)
+	s0.SetOutput(c, 2, true)
+	g.Add(c)
+	c2 := s0.NewCube()
+	s0.SetOutput(c2, 1, true)
+	g.Add(c2)
+	requireSameCover(t, s0, GenerateDenseBudget0(g, nil), Generate(g, nil), "no inputs")
+}
+
+// GenerateDenseBudget0 is a test shim: the dense sweep without budget.
+func GenerateDenseBudget0(f, d *cube.Cover) *cube.Cover {
+	out, complete := GenerateDenseBudget(f, d, nil)
+	if !complete {
+		panic("unbudgeted dense sweep incomplete")
+	}
+	return out
+}
+
+func TestDenseBudgetDegradation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := budget.Budget{Context: ctx}.Tracker()
+
+	rng := rand.New(rand.NewSource(74))
+	s := cube.NewSpace(8, 2)
+	f := randomCover(s, 6, rng)
+	d := randomCover(s, 2, rng)
+	out, complete := GenerateDenseBudget(f, d, tr)
+	if complete {
+		t.Fatal("cancelled sweep reported complete")
+	}
+	// Contract: a valid implicant set containing F ∪ D — every care
+	// minterm remains coverable.
+	union := cube.NewCover(s)
+	union.Cubes = append(union.Cubes, f.Cubes...)
+	union.Cubes = append(union.Cubes, d.Cubes...)
+	for o := 0; o < s.Outputs(); o++ {
+		for m := uint64(0); m < 1<<s.Inputs(); m++ {
+			if inCover(f, m, o) && !inCover(out, m, o) {
+				t.Fatalf("ON minterm (%d,%d) not coverable after degradation", m, o)
+			}
+			// And nothing outside the function was invented.
+			if inCover(out, m, o) && !inCover(union, m, o) {
+				t.Fatalf("degraded set covers (%d,%d) outside F ∪ D", m, o)
+			}
+		}
+	}
+}
+
+func TestGenerateAutoBudgetDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	s := cube.NewSpace(5, 2)
+	f := randomCover(s, 4, rng)
+	if !DenseEligible(f, nil) {
+		t.Fatal("small cover should be dense-eligible")
+	}
+	got, complete := GenerateAutoBudget(f, nil, nil)
+	if !complete {
+		t.Fatal("auto dispatch incomplete")
+	}
+	want := Generate(f, nil)
+	requireSameCover(t, s, got, want, "auto")
+
+	// Oversized spaces must fall back to consensus (and still work).
+	big := cube.NewSpace(DenseMaxInputs+1, 1)
+	bf := cube.NewCover(big)
+	c := big.FullCube()
+	bf.Add(c)
+	if DenseEligible(bf, nil) {
+		t.Fatal("oversized space reported dense-eligible")
+	}
+	out, complete := GenerateAutoBudget(bf, nil, nil)
+	if !complete || out.Len() != 1 || !big.Equal(out.Cubes[0], c) {
+		t.Fatalf("fallback primes = %v (complete=%v)", out, complete)
+	}
+
+	// A cube with an empty part routes to consensus semantics too.
+	se := cube.NewSpace(2, 1)
+	fe := cube.NewCover(se)
+	fe.Add(se.NewCube()) // all-Empty cube
+	if DenseEligible(fe, nil) {
+		t.Fatal("empty cube reported dense-eligible")
+	}
+}
+
+func TestDenseCareBudgetLimit(t *testing.T) {
+	// A full cube over 24 inputs enumerates 2^24 care minterms — right
+	// at the limit; two of them are over it.
+	s := cube.NewSpace(DenseMaxInputs, 1)
+	f := cube.NewCover(s)
+	f.Add(s.FullCube())
+	if !DenseEligible(f, nil) {
+		t.Fatal("2^24 care minterms should be eligible")
+	}
+	f.Add(s.FullCube())
+	if DenseEligible(f, nil) {
+		t.Fatal("2^25 care minterms should exceed the enumeration budget")
+	}
+}
+
+// FuzzPrimesDense is the differential acceptance gate: on arbitrary
+// random functions the dense sweep and iterated consensus must produce
+// identical canonical prime sets and bit-identical covering problems.
+func FuzzPrimesDense(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(2), uint8(4))
+	f.Add(uint64(42), uint8(8), uint8(1), uint8(6))
+	f.Add(uint64(7), uint8(9), uint8(3), uint8(5))
+	f.Add(uint64(99), uint8(1), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nIn, nOut, nCubes uint8) {
+		n := 1 + int(nIn)%9   // 1..9 inputs
+		m := int(nOut) % 4    // 0..3 outputs
+		k := 1 + int(nCubes)%7
+		rng := rand.New(rand.NewSource(int64(seed)))
+		s := cube.NewSpace(n, m)
+		fc := randomCover(s, k, rng)
+		dc := randomCover(s, int(seed)%3, rng)
+		want, wc := GenerateBudget(fc, dc, nil)
+		got, gc := GenerateDenseBudget(fc, dc, nil)
+		if wc != gc {
+			t.Fatalf("complete=%v, consensus %v", gc, wc)
+		}
+		requireSameCover(t, s, got, want, "fuzz primes")
+		requireSameCovering(t, fc, dc, got, "fuzz covering")
+	})
+}

@@ -6,20 +6,73 @@
 package primes
 
 import (
-	"fmt"
-	"sort"
+	"errors"
 
 	"ucp/internal/budget"
 	"ucp/internal/cube"
-	"ucp/internal/matrix"
 )
+
+// sigOf folds a cube's words into a 64-bit occupancy signature.  For
+// cubes a, b: a ⊆ b (word-wise a&^b == 0) implies sig(a)&^sig(b) == 0,
+// so a nonzero sig(a)&^sig(b) refutes containment in one word op —
+// the same short-circuit internal/matrix uses for its row/column
+// dominance scans.  (For single-word cubes the test is exact.)
+func sigOf(c cube.Cube) uint64 {
+	var sig uint64
+	for _, w := range c {
+		sig |= w
+	}
+	return sig
+}
+
+// dedupSig is Cover.Dedup with the signature short-circuit: identical
+// keep/drop decisions (the signature only skips pairs whose
+// containment test must fail), returned together with the kept cubes'
+// signatures so callers can reuse them.
+func dedupSig(s *cube.Space, f *cube.Cover, sigs []uint64) (*cube.Cover, []uint64) {
+	if sigs == nil {
+		sigs = make([]uint64, len(f.Cubes))
+		for i, c := range f.Cubes {
+			sigs[i] = sigOf(c)
+		}
+	}
+	kept := make([]bool, len(f.Cubes))
+	for i := range f.Cubes {
+		kept[i] = true
+	}
+	for i, a := range f.Cubes {
+		if !kept[i] {
+			continue
+		}
+		sa := sigs[i]
+		for j, b := range f.Cubes {
+			if i == j || !kept[j] || sa&^sigs[j] != 0 {
+				continue
+			}
+			if s.Contains(b, a) && (!s.Equal(a, b) || j < i) {
+				kept[i] = false
+				break
+			}
+		}
+	}
+	g := cube.NewCover(s)
+	outSigs := sigs[:0]
+	for i, a := range f.Cubes {
+		if kept[i] {
+			g.Add(a)
+			outSigs = append(outSigs, sigs[i])
+		}
+	}
+	return g, outSigs
+}
 
 // Generate returns every prime implicant of the function whose care
 // ON-set is f and whose don't-care set is d, using iterated consensus:
 // starting from F ∪ D, consensus cubes are added and single-cube
 // contained cubes removed until closure; the surviving cubes are
 // exactly the primes (Quine's theorem, extended to multiple outputs by
-// treating the output part as one multi-valued variable).
+// treating the output part as one multi-valued variable, for which the
+// consensus is taken even at distance zero — see ConsensusOutput).
 func Generate(f, d *cube.Cover) *cube.Cover {
 	out, _ := GenerateBudget(f, d, nil)
 	return out
@@ -44,7 +97,8 @@ func GenerateBudget(f, d *cube.Cover, tr *budget.Tracker) (out *cube.Cover, comp
 			work.Add(s.Copy(c))
 		}
 	}
-	work = work.Dedup()
+	var sigs []uint64
+	work, sigs = dedupSig(s, work, nil)
 
 	for {
 		if tr.Interrupted() {
@@ -52,32 +106,44 @@ func GenerateBudget(f, d *cube.Cover, tr *budget.Tracker) (out *cube.Cover, comp
 			return work, false
 		}
 		var pending []cube.Cube
+		var psigs []uint64
 		for i := 0; i < len(work.Cubes); i++ {
 			if i%64 == 0 && tr.Interrupted() {
 				break // finish this sweep's bookkeeping below
 			}
 			for j := i + 1; j < len(work.Cubes); j++ {
-				cons := s.Consensus(work.Cubes[i], work.Cubes[j])
-				if cons == nil || s.IsEmpty(cons) {
-					continue
-				}
-				contained := false
-				for _, c := range work.Cubes {
-					if s.Contains(c, cons) {
-						contained = true
-						break
+				// Two candidates per pair: the distance-one consensus
+				// and the output-part consensus, which with three or
+				// more outputs is productive even at distance zero
+				// (overlapping output sets whose union is a strictly
+				// larger implicant) — without it the closure misses
+				// multiple-output primes.
+				cand := s.Consensus(work.Cubes[i], work.Cubes[j])
+				candOut := s.ConsensusOutput(work.Cubes[i], work.Cubes[j])
+				for _, cons := range [2]cube.Cube{cand, candOut} {
+					if cons == nil || s.IsEmpty(cons) {
+						continue
 					}
-				}
-				if !contained {
-					for _, c := range pending {
-						if s.Contains(c, cons) {
+					csig := sigOf(cons)
+					contained := false
+					for k, c := range work.Cubes {
+						if csig&^sigs[k] == 0 && s.Contains(c, cons) {
 							contained = true
 							break
 						}
 					}
-				}
-				if !contained {
-					pending = append(pending, cons)
+					if !contained {
+						for k, c := range pending {
+							if csig&^psigs[k] == 0 && s.Contains(c, cons) {
+								contained = true
+								break
+							}
+						}
+					}
+					if !contained {
+						pending = append(pending, cons)
+						psigs = append(psigs, csig)
+					}
 				}
 			}
 		}
@@ -89,7 +155,10 @@ func GenerateBudget(f, d *cube.Cover, tr *budget.Tracker) (out *cube.Cover, comp
 			return work, true
 		}
 		work.Cubes = append(work.Cubes, pending...)
-		work = work.Dedup() // drop cubes swallowed by the new ones
+		sigs = append(sigs, psigs...)
+		// Drop cubes swallowed by the new ones (Dedup semantics, with
+		// the signature prune).
+		work, sigs = dedupSig(s, work, sigs)
 	}
 	work.Sort()
 	return work, false
@@ -105,6 +174,12 @@ type RowID struct {
 // this the covering matrix would not fit in memory anyway.
 const MaxCoveringInputs = 24
 
+// ErrCoveringLimit reports a function whose input count exceeds
+// MaxCoveringInputs, so the explicit covering matrix cannot be built.
+// It is a property of the instance size, not a malformed input: front
+// ends should map it to a client error distinct from a parse failure.
+var ErrCoveringLimit = errors.New("primes: inputs exceed the explicit covering limit")
+
 // CostModel selects the column costs of the covering problem.
 type CostModel int
 
@@ -118,81 +193,6 @@ const (
 	// concern given to the number of literals").
 	LiteralCost
 )
-
-// BuildCovering constructs the unate covering problem for the function
-// (f care ON-set, d don't-care set) over the given prime cover: one
-// row per ON-minterm not excused by d, one column per prime.  It
-// returns the problem plus the row identities (for reporting).
-func BuildCovering(f, d *cube.Cover, prs *cube.Cover, cm CostModel) (*matrix.Problem, []RowID, error) {
-	s := f.S
-	if s.Inputs() > MaxCoveringInputs {
-		return nil, nil, fmt.Errorf("primes: %d inputs exceed the explicit covering limit %d", s.Inputs(), MaxCoveringInputs)
-	}
-	nOut := s.Outputs()
-	if nOut == 0 {
-		nOut = 1
-	}
-	// Collect the required minterms per output.
-	type key struct {
-		m uint64
-		o int
-	}
-	need := make(map[key]bool)
-	for o := 0; o < nOut; o++ {
-		for _, c := range f.Cubes {
-			if err := s.Minterms(c, o, func(m uint64) bool {
-				need[key{m, o}] = true
-				return true
-			}); err != nil {
-				return nil, nil, err
-			}
-		}
-		if d != nil {
-			for _, c := range d.Cubes {
-				if err := s.Minterms(c, o, func(m uint64) bool {
-					delete(need, key{m, o}) // don't cares need no cover
-					return true
-				}); err != nil {
-					return nil, nil, err
-				}
-			}
-		}
-	}
-	ids := make([]RowID, 0, len(need))
-	for k := range need {
-		ids = append(ids, RowID{Minterm: k.m, Output: k.o})
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		if ids[a].Output != ids[b].Output {
-			return ids[a].Output < ids[b].Output
-		}
-		return ids[a].Minterm < ids[b].Minterm
-	})
-
-	rows := make([][]int, len(ids))
-	for r, id := range ids {
-		mc := s.CubeOfMinterm(id.Minterm, id.Output)
-		for j, pc := range prs.Cubes {
-			if s.Contains(pc, mc) {
-				rows[r] = append(rows[r], j)
-			}
-		}
-	}
-	cost := make([]int, prs.Len())
-	for j, pc := range prs.Cubes {
-		switch cm {
-		case LiteralCost:
-			cost[j] = 1 + s.Inputs() - s.InputWeight(pc)
-		default:
-			cost[j] = 1
-		}
-	}
-	p, err := matrix.New(rows, prs.Len(), cost)
-	if err != nil {
-		return nil, nil, err
-	}
-	return p, ids, nil
-}
 
 // CoverFromColumns converts a covering solution (prime indices) back
 // into a two-level cover.

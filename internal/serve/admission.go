@@ -37,7 +37,8 @@ var (
 // disconnected) reads them only after done.
 type job struct {
 	req    *Request
-	prob   *ucp.Problem
+	prob   *ucp.Problem // covering-matrix formats; nil for format "pla"
+	pla    *ucp.PLA     // format "pla"; nil otherwise
 	bytes  int64
 	tenant string
 	// ctx is the request-scoped context: the HTTP server cancels it

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fullAdderPLA: 3 inputs (a, b, cin), outputs (sum, cout).  The known
+// minimum two-level cover has 7 products.
+const fullAdderPLA = `.i 3
+.o 2
+001 10
+010 10
+011 01
+100 10
+101 01
+110 01
+111 11
+.e
+`
+
+func TestSolvePLAUnary(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, solver := range []string{"", "scg", "exact"} {
+		req := &Request{Format: "pla", Problem: fullAdderPLA, Solver: solver}
+		resp, r := postSolve(t, ts.Client(), ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solver %q: status %d (%s)", solver, resp.StatusCode, r.Error)
+		}
+		if !r.Final {
+			t.Fatalf("solver %q: unary response not final", solver)
+		}
+		if len(r.Cover) == 0 || r.Solution != nil {
+			t.Fatalf("solver %q: cover=%v solution=%v; want products, no column solution",
+				solver, r.Cover, r.Solution)
+		}
+		if len(r.Cover) != r.Cost {
+			t.Fatalf("solver %q: %d cover lines for cost %d", solver, len(r.Cover), r.Cost)
+		}
+		if solver == "exact" && (r.Cost != 7 || !r.Optimal) {
+			t.Fatalf("exact: cost %d optimal=%v, want 7/true", r.Cost, r.Optimal)
+		}
+	}
+}
+
+func TestSolvePLACoveringLimit422(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	wide := ".i 25\n.o 1\n" + strings.Repeat("-", 25) + " 1\n.e\n"
+	req := &Request{Format: "pla", Problem: wide}
+	resp, r := postSolve(t, ts.Client(), ts.URL, req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d (%s), want 422", resp.StatusCode, r.Error)
+	}
+	if !strings.Contains(r.Error, "covering limit") {
+		t.Fatalf("422 error %q does not name the covering limit", r.Error)
+	}
+	// The rejection happens at decode time: nothing was accepted.
+	var st Stats
+	resp2, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 0 || st.Status4xx != 1 {
+		t.Fatalf("accepted=%d status4xx=%d, want 0/1", st.Accepted, st.Status4xx)
+	}
+}
+
+func TestSolvePLAMalformed400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := map[string]*Request{
+		"bad pla text":       {Format: "pla", Problem: ".i nope\n"},
+		"greedy on pla":      {Format: "pla", Problem: fullAdderPLA, Solver: "greedy"},
+		"structural payload": {Format: "pla", Problem: fullAdderPLA, NCols: 3},
+	}
+	for name, req := range cases {
+		resp, r := postSolve(t, ts.Client(), ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, r.Error)
+		}
+	}
+}

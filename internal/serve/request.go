@@ -11,18 +11,21 @@ import (
 	"ucp"
 )
 
-// The wire protocol: one JSON request per solve.  The covering
-// instance travels either as text in one of the library's formats
-// (`problem` + `format` "ucp" or "orlib") or structurally (`format`
-// "json" with `rows`/`ncols`/`costs`).  Limits are validated at decode
-// time so a malformed or hostile request is rejected before it touches
-// the queue.
+// The wire protocol: one JSON request per solve.  The instance
+// travels either as text in one of the library's formats (`problem` +
+// `format` "ucp", "orlib" or "pla"), or structurally (`format` "json"
+// with `rows`/`ncols`/`costs`).  Format "pla" runs the full two-level
+// minimisation pipeline (prime generation, covering formulation,
+// covering solve) instead of solving a pre-built covering matrix.
+// Limits are validated at decode time so a malformed or hostile
+// request is rejected before it touches the queue.
 type Request struct {
 	// Format selects the instance encoding: "ucp" (default, the
 	// package's covering-matrix text), "orlib" (Beasley OR-Library
-	// text), or "json" (Rows/NCols/Costs below).
+	// text), "pla" (Berkeley PLA text, two-level minimisation), or
+	// "json" (Rows/NCols/Costs below).
 	Format string `json:"format,omitempty"`
-	// Problem is the text payload for the ucp/orlib formats.
+	// Problem is the text payload for the ucp/orlib/pla formats.
 	Problem string `json:"problem,omitempty"`
 	// Rows/NCols/Costs are the structural payload for format "json".
 	Rows  [][]int `json:"rows,omitempty"`
@@ -89,12 +92,15 @@ func (r *Request) validate() error {
 	}
 	structural := len(r.Rows) > 0 || r.NCols != 0 || len(r.Costs) > 0
 	switch r.Format {
-	case "", "ucp", "orlib":
+	case "", "ucp", "orlib", "pla":
 		if r.Problem == "" {
 			return fmt.Errorf("missing problem text for format %q", r.Format)
 		}
 		if structural {
 			return fmt.Errorf("rows/ncols/costs belong to format \"json\", not %q", r.Format)
+		}
+		if r.Format == "pla" && r.Solver == "greedy" {
+			return fmt.Errorf("the greedy solver applies to covering matrices, not format \"pla\"")
 		}
 	case "json":
 		if r.Problem != "" {
@@ -131,6 +137,23 @@ func (r *Request) BuildProblem() (*ucp.Problem, error) {
 	}
 }
 
+// BuildPLA parses the two-level instance for format "pla".  Parse
+// failures wrap ucp.ErrMalformedInput; a function too wide for the
+// Quine–McCluskey covering matrix wraps ucp.ErrCoveringLimit.  Both
+// checks are linear in the (already capped) body size, preserving the
+// decode-time admission contract — the expensive prime generation only
+// runs on a worker, under the request's budget.
+func (r *Request) BuildPLA() (*ucp.PLA, error) {
+	f, err := ucp.ParsePLA(strings.NewReader(r.Problem))
+	if err != nil {
+		return nil, err
+	}
+	if n := f.F.S.Inputs(); n > ucp.MaxCoveringInputs {
+		return nil, fmt.Errorf("%w: %d inputs exceed %d", ucp.ErrCoveringLimit, n, ucp.MaxCoveringInputs)
+	}
+	return f, nil
+}
+
 // Response is one result record.  Streaming responses emit a sequence
 // of them — improving incumbents with Final=false, then exactly one
 // Final=true record (the authoritative result, its cover verified
@@ -147,6 +170,11 @@ type Response struct {
 	StopReason  string `json:"stop_reason,omitempty"`
 	// CacheHit marks a result served from the shared cross-solve cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Cover carries the minimised product terms (PLA cube notation,
+	// one per line element) for format "pla" results; Cost is then the
+	// product count and Literals the secondary literal cost.
+	Cover    []string `json:"cover,omitempty"`
+	Literals int      `json:"literals,omitempty"`
 	// Final marks the authoritative last record of a stream.
 	Final bool `json:"final"`
 	// Error carries the failure for non-2xx (or failed-stream) results.

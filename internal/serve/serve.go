@@ -293,10 +293,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Decode-time parse: a malformed instance is rejected before it
 	// consumes queue space or a worker.  The parse cost is linear in
 	// the (already capped) body size.
-	prob, err := req.BuildProblem()
+	var prob *ucp.Problem
+	var plaFile *ucp.PLA
+	if req.Format == "pla" {
+		plaFile, err = req.BuildPLA()
+	} else {
+		prob, err = req.BuildProblem()
+	}
 	if err != nil {
-		status := http.StatusBadRequest
-		if !errors.Is(err, ucp.ErrMalformedInput) {
+		var status int
+		switch {
+		case errors.Is(err, ucp.ErrCoveringLimit):
+			// Well-formed but beyond the QM pipeline's explicit
+			// covering limit: the client's instance, not our bug.
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, ucp.ErrMalformedInput):
+			status = http.StatusBadRequest
+		default:
 			status = http.StatusInternalServerError
 		}
 		s.reject(w, status, err)
@@ -318,6 +331,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		req:    req,
 		prob:   prob,
+		pla:    plaFile,
 		bytes:  int64(len(body)),
 		tenant: req.Tenant,
 		ctx:    r.Context(),
@@ -414,10 +428,12 @@ func (s *Server) runJob(j *job) {
 	t0 := time.Now()
 	var resp Response
 	var status int
-	switch j.req.Solver {
-	case "greedy":
+	switch {
+	case j.pla != nil:
+		resp, status = s.solvePLA(j, bud)
+	case j.req.Solver == "greedy":
 		resp, status = s.solveGreedy(j, bud)
-	case "exact":
+	case j.req.Solver == "exact":
 		resp, status = s.solveExact(j, bud)
 	default: // "scg" and ""
 		resp, status = s.solveSCG(j, bud)
@@ -430,7 +446,8 @@ func (s *Server) runJob(j *job) {
 		// Server-side feasibility check: no response leaves with an
 		// unverified cover (the acceptance bar for streamed finals,
 		// and defence in depth against solver or cache corruption).
-		if resp.Solution != nil && !j.prob.IsCover(resp.Solution) {
+		// PLA results verify inside solvePLA instead.
+		if j.prob != nil && resp.Solution != nil && !j.prob.IsCover(resp.Solution) {
 			s.fail(j, http.StatusInternalServerError,
 				errors.New("internal error: solver returned a non-cover"))
 			return
@@ -519,6 +536,64 @@ func (s *Server) solveSCG(j *job, bud ucp.Budget) (Response, int) {
 		Interrupted: res.Interrupted,
 		StopReason:  stopString(res.Interrupted, res.StopReason),
 		CacheHit:    res.Stats.CacheHits > 0,
+	}, http.StatusOK
+}
+
+// equivalentCheckMaxInputs bounds the server-side equivalence
+// verification of PLA results: beyond it the symbolic containment
+// recursion is not guaranteed cheap, and the worker must stay bounded
+// by the request budget alone.  The dense/consensus differential
+// fuzzers carry the correctness burden for the larger instances.
+const equivalentCheckMaxInputs = 14
+
+// solvePLA runs the two-level minimisation pipeline on a format "pla"
+// job.  Streaming jobs emit only the final record: the pipeline's
+// incumbents are covering columns over an instance the client never
+// sees, so there is nothing meaningful to push before the cover maps
+// back.
+func (s *Server) solvePLA(j *job, bud ucp.Budget) (Response, int) {
+	bud.IterCap = j.req.IterCap
+	var res *ucp.TwoLevelResult
+	var err error
+	if j.req.Solver == "exact" {
+		res, err = s.solver.MinimizeExact(j.pla, ucp.ExactOptions{
+			MaxNodes: j.req.MaxNodes,
+			Budget:   bud,
+		})
+	} else {
+		res, err = s.solver.MinimizeSCG(j.pla, ucp.SCGOptions{
+			Seed:    j.req.Seed,
+			NumIter: j.req.NumIter,
+			Budget:  bud,
+		})
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ucp.ErrCoveringLimit):
+			return Response{Error: err.Error()}, http.StatusUnprocessableEntity
+		case errors.Is(err, ucp.ErrBudgetExceeded):
+			return Response{Error: err.Error(), Interrupted: true}, http.StatusGatewayTimeout
+		default:
+			return Response{Error: err.Error()}, http.StatusInternalServerError
+		}
+	}
+	if j.pla.F.S.Inputs() <= equivalentCheckMaxInputs && !ucp.Equivalent(j.pla, res.Cover) {
+		return Response{Error: "internal error: minimiser returned a non-equivalent cover"},
+			http.StatusInternalServerError
+	}
+	cover := make([]string, res.Cover.Len())
+	for i, c := range res.Cover.Cubes {
+		cover[i] = res.Cover.S.String(c)
+	}
+	return Response{
+		Cost:        res.Products,
+		LB:          res.LB,
+		Optimal:     res.ProvedOptimal,
+		Interrupted: res.Interrupted,
+		StopReason:  stopString(res.Interrupted, res.StopReason),
+		CacheHit:    res.CacheHits > 0,
+		Cover:       cover,
+		Literals:    res.Literals,
 	}, http.StatusOK
 }
 

@@ -97,8 +97,11 @@ func BuildCovering(f *PLA, cm CostModel) (p *Problem, c *Cover, err error) {
 // implicant set that still contains every cube of F ∪ D, so the
 // formulation stays feasible and every solution is a valid cover —
 // complete=false just means its optimum may exceed the true minimum.
+// Prime generation picks its engine automatically: the dense bit-slice
+// sweep when the function enumerates within the lattice limits,
+// iterated consensus otherwise (see primes.GenerateAutoBudget).
 func buildCovering(f *PLA, cm CostModel, tr *budget.Tracker) (*Problem, *Cover, bool, error) {
-	prs, complete := primes.GenerateBudget(f.F, f.DontCares(), tr)
+	prs, complete := primes.GenerateAutoBudget(f.F, f.DontCares(), tr)
 	prob, _, err := primes.BuildCovering(f.F, f.DontCares(), prs, cm)
 	if err != nil {
 		return nil, nil, complete, err

@@ -63,6 +63,46 @@ func TestEndToEndMinimisation(t *testing.T) {
 	}
 }
 
+// The committed wide-corpus example must minimise end to end under the
+// default (unlimited) budget: 20 inputs is far past what the covering
+// pipeline reached before the streaming construction, and the dense
+// front end must agree with the solver on a proved optimum.
+func TestWideInstanceEndToEnd(t *testing.T) {
+	f, err := ParsePLAFile("examples/wide20.pla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Space.Inputs(); n < 20 {
+		t.Fatalf("example has %d inputs, want >= 20", n)
+	}
+	if o := f.Space.Outputs(); o < 2 {
+		t.Fatalf("example has %d outputs, want multi-output", o)
+	}
+	res, err := MinimizeSCG(f, SCGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("default budget run reported an interruption")
+	}
+	if res.Products <= 0 || res.Cover.Len() != res.Products {
+		t.Fatalf("products=%d cover=%d", res.Products, res.Cover.Len())
+	}
+	// Full equivalence enumerates 2^20 minterms per output; spot-check
+	// the containment direction cube-wise instead: every ON cube must
+	// be covered, and the cover must stay inside F ∪ D.
+	if !res.Cover.ContainsCover(f.F) {
+		t.Fatal("cover misses part of the ON-set")
+	}
+	on := f.F.Clone()
+	for _, c := range f.DontCares().Cubes {
+		on.Add(c)
+	}
+	if !on.ContainsCover(res.Cover) {
+		t.Fatal("cover leaves F ∪ D")
+	}
+}
+
 func TestCoveringAPI(t *testing.T) {
 	p, err := NewProblem([][]int{{0, 1}, {1, 2}, {0, 2}}, 3, nil)
 	if err != nil {
