@@ -55,8 +55,8 @@ func FrontEndStudy(cap time.Duration) []FrontEndRow {
 	for _, c := range frontEndCorpus {
 		f := benchmarks.RandomPLA(c.seed, c.inputs, c.outputs, c.cubes, c.density, 2)
 		row := FrontEndRow{
-			Name:    fmt.Sprintf("rand%d-%dx%d", c.inputs, c.cubes, c.outputs),
-			Inputs:  c.inputs, Outputs: c.outputs, Cubes: c.cubes,
+			Name:   fmt.Sprintf("rand%d-%dx%d", c.inputs, c.cubes, c.outputs),
+			Inputs: c.inputs, Outputs: c.outputs, Cubes: c.cubes,
 		}
 
 		t0 := time.Now()

@@ -10,7 +10,11 @@
 // word-parallel shifts and masks), the remaining high variables select
 // the chunk through a base-3 key (parts 01/10/11 → digits 0/1/2), and
 // chunks are materialised on demand in a dictionary so sparse
-// functions never touch the full 3^n lattice.
+// functions never touch the full 3^n lattice.  The dictionary is
+// bounded: DenseEligible pre-estimates the merge closure and the sweep
+// hard-caps it at DenseMaxLatticeWords of chunk memory, falling back
+// to iterated consensus rather than letting a wide don't-care input
+// materialise an unbounded lattice.
 //
 // The sweep merges adjacent implicant classes one variable at a time,
 // in increasing variable order:
@@ -59,7 +63,19 @@ const (
 	// DenseMaxCare bounds the estimated care-minterm enumeration
 	// (Σ per cube of driven-outputs × 2^don't-cares).
 	DenseMaxCare = 1 << 24
+	// DenseMaxLatticeWords bounds the memory the chunk dictionary may
+	// materialise, in uint64 words across all planes (implicant planes
+	// plus the primality sweep's covered plane) — 2^24 words is 128 MiB.
+	// Care enumeration alone does not bound the merged lattice: a wide
+	// don't-care cube touches few care minterms but its merge closure is
+	// 3^(high don't-cares) chunks, which grows ×9 per two inputs and
+	// would OOM long before any time budget fires.
+	DenseMaxLatticeWords = 1 << 24
 )
+
+// denseMaxLatticeWords is DenseMaxLatticeWords as a variable so tests
+// can shrink the bound to exercise the overflow path.
+var denseMaxLatticeWords = uint64(DenseMaxLatticeWords)
 
 // denseKLow is the number of low variables addressed inside a chunk:
 // chunks span 4^denseKLow = 4096 bits = 64 words.
@@ -67,13 +83,23 @@ const denseKLow = 6
 
 // DenseEligible reports whether the bit-slice sweep can handle the
 // function: the space fits the lattice limits, every cube packs to
-// (value, mask) form, and the care-set enumeration is affordable.
+// (value, mask) form, the care-set enumeration is affordable, and the
+// estimated merge closure — Σ per cube of 3^(high don't-cares) chunks,
+// clamped at the full high lattice — fits the memory bound.  The
+// estimate can undershoot (cross-cube merges reach chunks no single
+// cube accounts for); the sweep itself enforces the same bound as a
+// hard cap and falls back to consensus when it trips.
 func DenseEligible(f, d *cube.Cover) bool {
 	s := f.S
 	if s.Inputs() > DenseMaxInputs || s.Outputs() > DenseMaxOutputs {
 		return false
 	}
-	var care uint64
+	k := s.Inputs()
+	if k > denseKLow {
+		k = denseKLow
+	}
+	fullLattice := pow3(s.Inputs() - k)
+	var care, lattice uint64
 	count := func(cv *cube.Cover) bool {
 		if cv == nil {
 			return true
@@ -94,10 +120,45 @@ func DenseEligible(f, d *cube.Cover) bool {
 			if care > DenseMaxCare {
 				return false
 			}
+			if lattice += pow3(bits.OnesCount64(mask >> uint(k))); lattice > fullLattice {
+				lattice = fullLattice
+			}
 		}
 		return true
 	}
-	return count(f) && count(d)
+	return count(f) && count(d) && lattice <= denseMaxChunks(s)
+}
+
+// pow3 computes 3^e (e ≤ DenseMaxInputs, so no overflow).
+func pow3(e int) uint64 {
+	p := uint64(1)
+	for ; e > 0; e-- {
+		p *= 3
+	}
+	return p
+}
+
+// denseMaxChunks is the chunk-count form of the lattice memory bound
+// for the given space: DenseMaxLatticeWords divided by the words one
+// chunk costs (implicant planes plus the covered plane).
+func denseMaxChunks(s *cube.Space) uint64 {
+	planes := s.Outputs()
+	if planes == 0 {
+		planes = 1
+	}
+	k := s.Inputs()
+	if k > denseKLow {
+		k = denseKLow
+	}
+	cw := 1
+	if 2*k > 6 {
+		cw = 1 << (2*k - 6)
+	}
+	max := denseMaxLatticeWords / (uint64(planes+1) * uint64(cw))
+	if max < 1 {
+		max = 1
+	}
+	return max
 }
 
 // GenerateAutoBudget selects the prime-generation engine: the dense
@@ -119,7 +180,9 @@ func GenerateDense(f, d *cube.Cover) *cube.Cover {
 
 // GenerateDenseBudget computes all prime implicants with the dense
 // bit-slice sweep.  Functions outside the DenseEligible limits are
-// routed to the consensus generator.  Under an exhausted budget it
+// routed to the consensus generator, as is a sweep whose chunk
+// dictionary outgrows DenseMaxLatticeWords mid-flight (the eligibility
+// estimate is not a hard upper bound).  Under an exhausted budget it
 // degrades exactly like GenerateBudget's contract: the returned cover
 // is a valid implicant set containing F ∪ D (here: F ∪ D itself,
 // deduplicated — the lattice holds no usable partial cube list), and
@@ -130,6 +193,13 @@ func GenerateDenseBudget(f, d *cube.Cover, tr *budget.Tracker) (*cube.Cover, boo
 	}
 	sw := newDenseSweep(f.S, tr)
 	if !sw.init(f, d) || !sw.merge() || !sw.cover() {
+		if sw.overflow {
+			// The realised chunk lattice outgrew the memory bound —
+			// cross-cube merges can exceed the per-cube estimate
+			// DenseEligible admits on.  Consensus works on the cube list
+			// and never enumerates the lattice, so hand it the whole job.
+			return GenerateBudget(f, d, tr)
+		}
 		return denseFallback(f, d), false
 	}
 	out := sw.emit()
@@ -174,6 +244,12 @@ type denseSweep struct {
 	pow3   []uint64
 	chunks map[uint64]*denseChunk
 	keys   []uint64 // sorted chunk keys
+
+	// maxChunks caps the dictionary at DenseMaxLatticeWords of chunk
+	// memory; a create past it sets overflow and aborts the sweep,
+	// which then restarts on the consensus engine.
+	maxChunks uint64
+	overflow  bool
 }
 
 func newDenseSweep(s *cube.Space, tr *budget.Tracker) *denseSweep {
@@ -196,12 +272,20 @@ func newDenseSweep(s *cube.Space, tr *budget.Tracker) *denseSweep {
 		p *= 3
 	}
 	sw.chunks = make(map[uint64]*denseChunk)
+	sw.maxChunks = denseMaxChunks(s)
 	return sw
 }
 
+// chunk returns the chunk for key, materialising it on first touch.
+// nil means the dictionary hit the memory cap (sw.overflow is set) and
+// the sweep must abort.
 func (sw *denseSweep) chunk(key uint64) *denseChunk {
 	if c, ok := sw.chunks[key]; ok {
 		return c
+	}
+	if uint64(len(sw.chunks)) >= sw.maxChunks {
+		sw.overflow = true
+		return nil
 	}
 	c := &denseChunk{a: make([]uint64, sw.planes*sw.cw)}
 	sw.chunks[key] = c
@@ -289,6 +373,9 @@ func (sw *denseSweep) mark(cv *cube.Cover) bool {
 				return false
 			}
 			ch := sw.chunk(sw.key3(highVal | sub))
+			if ch == nil {
+				return false
+			}
 			rem := outs
 			for rem != 0 {
 				o := bits.TrailingZeros64(rem)
@@ -379,6 +466,9 @@ func (sw *denseSweep) merge() bool {
 				continue
 			}
 			t := sw.chunk(key + 2*pw)
+			if t == nil {
+				return false
+			}
 			for w := range t.a {
 				t.a[w] = c0.a[w] & c1.a[w]
 			}
@@ -424,8 +514,8 @@ func (sw *denseSweep) cover() bool {
 					var d1, d2 uint64
 					for p := 0; p < sw.planes; p++ {
 						off := p * sw.cw
-						d1 |= ch.a[off+u] &^ ch.a[off+u+2*ws]      // part 01 vs DC
-						d2 |= ch.a[off+u+ws] &^ ch.a[off+u+2*ws]   // part 10 vs DC
+						d1 |= ch.a[off+u] &^ ch.a[off+u+2*ws]    // part 01 vs DC
+						d2 |= ch.a[off+u+ws] &^ ch.a[off+u+2*ws] // part 10 vs DC
 					}
 					ch.covered[u] |= ^d1
 					ch.covered[u+ws] |= ^d2

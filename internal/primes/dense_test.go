@@ -216,18 +216,70 @@ func TestGenerateAutoBudgetDispatch(t *testing.T) {
 }
 
 func TestDenseCareBudgetLimit(t *testing.T) {
-	// A full cube over 24 inputs enumerates 2^24 care minterms — right
-	// at the limit; two of them are over it.
-	s := cube.NewSpace(DenseMaxInputs, 1)
+	// Lattice-cheap (the full high lattice is 3^2 = 9 chunks) but
+	// enumeration-heavy: each full cube costs 16 outputs × 2^8 care
+	// writes, so 4096 of them sit exactly at the 2^24 limit and one
+	// more is over it.
+	s := cube.NewSpace(8, 16)
 	f := cube.NewCover(s)
-	f.Add(s.FullCube())
+	for i := 0; i < 4096; i++ {
+		f.Add(s.FullCube())
+	}
 	if !DenseEligible(f, nil) {
 		t.Fatal("2^24 care minterms should be eligible")
 	}
 	f.Add(s.FullCube())
 	if DenseEligible(f, nil) {
-		t.Fatal("2^25 care minterms should exceed the enumeration budget")
+		t.Fatal("over 2^24 care minterms should exceed the enumeration budget")
 	}
+}
+
+func TestDenseLatticeMemoryLimit(t *testing.T) {
+	// A single all-don't-care cube over 18 inputs enumerates only 2^18
+	// care minterms, but its merge closure is the full 3^12-chunk high
+	// lattice — hundreds of MB.  The lattice bound must reject it and
+	// auto-dispatch must still answer (consensus proves the tautology
+	// from the cube list without touching any minterm).
+	s := cube.NewSpace(18, 1)
+	f := cube.NewCover(s)
+	f.Add(s.FullCube())
+	if DenseEligible(f, nil) {
+		t.Fatal("3^12-chunk merge closure reported dense-eligible")
+	}
+	out, complete := GenerateAutoBudget(f, nil, nil)
+	if !complete || out.Len() != 1 || !s.Equal(out.Cubes[0], s.FullCube()) {
+		t.Fatalf("tautology primes = %v (complete=%v)", out, complete)
+	}
+}
+
+func TestDenseChunkCapOverflow(t *testing.T) {
+	defer func(v uint64) { denseMaxLatticeWords = v }(denseMaxLatticeWords)
+
+	// Four cubes fixing the two high variables to the four assignments,
+	// low part all don't-care: DenseEligible's per-cube estimate is 4
+	// chunks, but the merge closure is the full 3^2 = 9-chunk lattice.
+	// A cap between the two admits the sweep and then trips the
+	// in-flight guard, which must drop the dense state and finish via
+	// consensus — completely, not with the degraded F ∪ D set.
+	s := cube.NewSpace(8, 1)
+	f := cube.NewCover(s)
+	for hi := 0; hi < 4; hi++ {
+		c := s.FullCube()
+		lit := [2]cube.Literal{cube.Zero, cube.One}
+		s.SetInput(c, 6, lit[hi&1])
+		s.SetInput(c, 7, lit[hi>>1])
+		f.Add(c)
+	}
+	denseMaxLatticeWords = 6 * 2 * 64 // six chunks of (1 plane + covered) × 64 words
+	if !DenseEligible(f, nil) {
+		t.Fatal("4-chunk estimate should pass the 6-chunk test cap")
+	}
+	got, complete := GenerateDenseBudget(f, nil, nil)
+	if !complete {
+		t.Fatal("chunk-cap overflow must complete via the consensus fallback")
+	}
+	want, _ := GenerateBudget(f, nil, nil)
+	requireSameCover(t, s, got, want, "overflow fallback")
 }
 
 // FuzzPrimesDense is the differential acceptance gate: on arbitrary
@@ -239,8 +291,8 @@ func FuzzPrimesDense(f *testing.F) {
 	f.Add(uint64(7), uint8(9), uint8(3), uint8(5))
 	f.Add(uint64(99), uint8(1), uint8(0), uint8(2))
 	f.Fuzz(func(t *testing.T, seed uint64, nIn, nOut, nCubes uint8) {
-		n := 1 + int(nIn)%9   // 1..9 inputs
-		m := int(nOut) % 4    // 0..3 outputs
+		n := 1 + int(nIn)%9 // 1..9 inputs
+		m := int(nOut) % 4  // 0..3 outputs
 		k := 1 + int(nCubes)%7
 		rng := rand.New(rand.NewSource(int64(seed)))
 		s := cube.NewSpace(n, m)

@@ -47,9 +47,10 @@ type job struct {
 	ctx    context.Context
 	events chan Response // conflating incumbent stream; nil unless streaming
 
-	done   chan struct{}
-	status int
-	res    Response
+	done       chan struct{}
+	status     int
+	res        Response
+	retryAfter bool // set on drain-flushed jobs: the 503 carries Retry-After
 }
 
 // tenantQ is one tenant's FIFO backlog.

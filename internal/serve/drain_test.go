@@ -23,8 +23,9 @@ func TestShutdownDrains(t *testing.T) {
 	defer ts.Close()
 
 	type outcome struct {
-		code int
-		res  Response
+		code       int
+		retryAfter string
+		res        Response
 	}
 	results := make(chan outcome, 3)
 	var wg sync.WaitGroup
@@ -33,7 +34,7 @@ func TestShutdownDrains(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			resp, r := postSolve(t, ts.Client(), ts.URL, &Request{Problem: tinyProblem})
-			results <- outcome{resp.StatusCode, r}
+			results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After"), r}
 		}()
 	}
 	select {
@@ -101,6 +102,9 @@ func TestShutdownDrains(t *testing.T) {
 			drained503++
 			if !strings.Contains(o.res.Error, "draining") {
 				t.Fatalf("flushed job error %q", o.res.Error)
+			}
+			if o.retryAfter == "" {
+				t.Fatal("flushed 503 without Retry-After")
 			}
 		default:
 			t.Fatalf("unexpected status %d", o.code)

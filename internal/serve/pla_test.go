@@ -85,3 +85,22 @@ func TestSolvePLAMalformed400(t *testing.T) {
 		}
 	}
 }
+
+// TestSolvePLAWideDontCareBounded: a ~40-byte PLA whose single cube is
+// all don't-cares over 18 inputs has a tiny care description but a
+// 3^12-chunk dense-merge lattice (hundreds of MB).  The lattice memory
+// bound must route it to consensus and answer the one-product optimum
+// instead of ballooning the heap (the admission contract: overload
+// degrades to rejections or fallbacks, never to an OOM kill).
+func TestSolvePLAWideDontCareBounded(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	wide := ".i 18\n.o 1\n" + strings.Repeat("-", 18) + " 1\n.e\n"
+	req := &Request{Format: "pla", Problem: wide}
+	resp, r := postSolve(t, ts.Client(), ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s), want 200", resp.StatusCode, r.Error)
+	}
+	if r.Cost != 1 || len(r.Cover) != 1 {
+		t.Fatalf("cost %d cover %v, want the single all-DC product", r.Cost, r.Cover)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -190,6 +191,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, j := range s.sched.drain() {
 		j.status = http.StatusServiceUnavailable
 		j.res = Response{Final: true, Error: "server draining"}
+		j.retryAfter = true // flushed 503s advertise Retry-After too
 		s.rejDraining.Add(1)
 		s.sched.release(j.bytes)
 		close(j.done) // the waiting handler writes the 503 and counts it
@@ -326,7 +328,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		req.TimeoutMS = ms
 	}
-	stream := req.Stream || r.Header.Get("Accept") == "text/event-stream"
+	stream := req.Stream || acceptsEventStream(r.Header.Get("Accept"))
 
 	j := &job{
 		req:    req,
@@ -368,15 +370,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-j.done:
-		if j.status == statusClientGone {
-			return
-		}
-		s.countStatus(j.status)
-		writeJSON(w, j.status, &j.res)
+		s.writeJobResult(w, j)
 	case <-r.Context().Done():
 		// Client gone while queued or solving; the worker observes the
 		// same context and accounts the job.
 	}
+}
+
+// acceptsEventStream reports whether an Accept header lists
+// text/event-stream among its comma-separated media ranges (media-type
+// parameters ignored, comparison case-insensitive).
+func acceptsEventStream(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = part[:i]
+		}
+		if strings.EqualFold(strings.TrimSpace(part), "text/event-stream") {
+			return true
+		}
+	}
+	return false
+}
+
+// writeJobResult writes a finished job's unary JSON response; shared
+// by the plain path and the no-flusher streaming degrade.  Drain-
+// flushed jobs advertise Retry-After like the admission rejections.
+func (s *Server) writeJobResult(w http.ResponseWriter, j *job) {
+	if j.status == statusClientGone {
+		return
+	}
+	if j.retryAfter {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	}
+	s.countStatus(j.status)
+	writeJSON(w, j.status, &j.res)
 }
 
 func retryAfterSeconds(d time.Duration) string {

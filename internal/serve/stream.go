@@ -37,11 +37,7 @@ func (s *Server) streamResponse(w http.ResponseWriter, r *http.Request, j *job) 
 		// No streaming transport: degrade to unary on the same job.
 		select {
 		case <-j.done:
-			if j.status == statusClientGone {
-				return
-			}
-			s.countStatus(j.status)
-			writeJSON(w, j.status, &j.res)
+			s.writeJobResult(w, j)
 		case <-r.Context().Done():
 		}
 		return

@@ -161,3 +161,47 @@ func TestStreamCacheHit(t *testing.T) {
 		t.Fatalf("cache changed the answer: %d vs %d", f1.Cost, final.Cost)
 	}
 }
+
+// TestAcceptHeaderMediaRanges: standard clients send compound Accept
+// headers ("text/event-stream, */*", parameters, mixed case); any
+// member naming text/event-stream selects streaming.
+func TestAcceptHeaderMediaRanges(t *testing.T) {
+	cases := map[string]bool{
+		"text/event-stream":                   true,
+		"text/event-stream, */*":              true,
+		"application/json, text/event-stream": true,
+		"text/event-stream;q=0.9, text/plain": true,
+		"Text/Event-Stream":                   true,
+		"":                                    false,
+		"application/json":                    false,
+		"text/event-stream-extended":          false,
+	}
+	for h, want := range cases {
+		if got := acceptsEventStream(h); got != want {
+			t.Errorf("acceptsEventStream(%q) = %v, want %v", h, got, want)
+		}
+	}
+
+	// End to end: a compound Accept header (no Stream field) gets SSE.
+	_, ts := newTestServer(t, Config{Workers: 2})
+	p, req := streamProblem(t, 17, 120, 80, 4)
+	req.NumIter = 4
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/solve", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Accept", "text/event-stream, */*")
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	checkStream(t, p, readSSE(t, resp.Body))
+}
