@@ -2,11 +2,11 @@
 
 GO ?= go
 
-# The hot-substrate microbenches tracked across PRs (see BENCH_pr7.json
+# The hot-substrate microbenches tracked across PRs (see BENCH_pr8.json
 # for the committed baseline and DESIGN.md for interpretation).  The
 # front-end benches live in ./internal/primes (they need the unexported
 # covering reference oracle) and get their own pattern.
-SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$
+SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkZDDChainNodes$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$
 FRONTEND_BENCH = BenchmarkPrimeGen$$|BenchmarkBuildCovering$$
 
 .PHONY: build test check bench-diff fuzz bench bench-all serve-smoke
@@ -42,7 +42,7 @@ serve-smoke:
 bench-diff:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
 	  $(GO) test -run '^$$' -bench '$(FRONTEND_BENCH)' -benchtime 1x -count 3 ./internal/primes ; } \
-	| $(GO) run ./cmd/benchfmt -against BENCH_pr7.json
+	| $(GO) run ./cmd/benchfmt -against BENCH_pr8.json
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
 # acceptance bar: no panic reachable through the public API, and the
@@ -58,17 +58,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCanonFingerprint$$' -fuzztime $(FUZZTIME) ./internal/canon
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzPrimesDense$$' -fuzztime $(FUZZTIME) ./internal/primes
+	$(GO) test -run '^$$' -fuzz '^FuzzZDDChain$$' -fuzztime $(FUZZTIME) ./internal/zdd
 
 # bench measures the hot substrates (5 repetitions each, plus the
 # portfolio and the sharded reduction fixpoint under -cpu 1,2,4,8) and
-# records the results in BENCH_pr7.json; commit the refreshed file when
+# records the results in BENCH_pr8.json; commit the refreshed file when
 # a change moves them.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; \
 	  $(GO) test -run '^$$' -bench '$(FRONTEND_BENCH)' -benchtime 1x -count 3 ./internal/primes ; } \
-	| $(GO) run ./cmd/benchfmt -o BENCH_pr7.json \
-	  -note "PR7: dense bit-slice prime generation and streaming covering construction. New in this baseline: PrimeGen/dense vs PrimeGen/consensus on a 16-input 2-output 100-cube instance (the ns/op ratio is the bit-slice speedup, expected >=5x; the consensus side is the quadratic work-set scan the dense sweep replaces) and BuildCovering/stream vs BuildCovering/reference on a 20-input 3-output instance (~25k rows; stream avoids the per-minterm cube allocations and map lookups of the reference oracle). SolveCached/BnBTransposition/SCGCore et al are unchanged substrates and should match the PR5 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr8.json \
+	  -note "PR8: chain-reduced ZDD nodes in the implicit phase. New in this baseline: ZDDChainNodes on the max1024 covering (chainlive/op is the live store the NodeCap budget meters, plain/op the chain-free equivalent, ratio/op the compression factor, expected >=2x on covering families). ZDDGC allocs/op grew ~20% over PR7 (the collector now compacts the chain pool alongside the node arrays) and ZDDReductions/ZDDGC ns/op carry the chain bookkeeping; both are the accepted cost of the 2-6x live-node compression that raises the implicit-phase ceiling at a fixed cap. All other substrates are unchanged and should match the PR7 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
 
 # bench-all runs every benchmark once: the paper tables, the ablations
 # and the substrates.

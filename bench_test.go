@@ -21,6 +21,7 @@ import (
 	"ucp/internal/harness"
 	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
+	"ucp/internal/primes"
 	"ucp/internal/scg"
 	"ucp/internal/solvecache"
 	"ucp/internal/zdd"
@@ -281,6 +282,49 @@ func BenchmarkZDDGC(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(freed), "freed/op")
+}
+
+// BenchmarkZDDChainNodes measures the chain representation's
+// nodes-per-instance win on a paper covering family: load the max1024
+// covering rows, reduce to minimal rows, collect, and profile the
+// surviving family.  chainlive/op is what the NodeCap budget meters;
+// plain/op is what a chain-free ZDD would store for the same family;
+// ratio/op is the compression factor (the implicit-ceiling headroom).
+func BenchmarkZDDChainNodes(b *testing.B) {
+	b.ReportAllocs()
+	var inst *benchmarks.Instance
+	for _, in := range benchmarks.DifficultCyclic() {
+		if in.Name == "max1024" {
+			in := in
+			inst = &in
+			break
+		}
+	}
+	f := inst.PLA()
+	prs, _ := primes.GenerateAutoBudget(f.F, f.D, nil)
+	p, _, err := primes.BuildCovering(f.F, f.D, prs, primes.UnitCost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live, plain int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := zdd.New()
+		fam := zdd.Empty
+		m.AddRoot(&fam)
+		for _, r := range p.Rows {
+			fam = m.Union(fam, mustSet(m, r))
+		}
+		fam = m.Minimal(fam)
+		m.Collect()
+		live, plain = m.LiveProfile()
+		if live == 0 || plain < 2*live {
+			b.Fatalf("chain compression below 2x: %d live vs %d plain-equivalent", live, plain)
+		}
+	}
+	b.ReportMetric(float64(live), "chainlive/op")
+	b.ReportMetric(float64(plain), "plain/op")
+	b.ReportMetric(float64(plain)/float64(live), "ratio/op")
 }
 
 // BenchmarkZDDUnion measures raw family construction: inserting 2000

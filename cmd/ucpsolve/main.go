@@ -110,6 +110,24 @@ func (s *session) report(hits, misses, ttHits int64) {
 		cs.Entries, cs.Hits, cs.Misses, cs.Dedups, cs.Stores, cs.Evictions)
 }
 
+// reportZDD prints the implicit phase's ZDD engine profile under -v:
+// the peak node store the NodeCap budget meters, the live/plain node
+// profile of the surviving family and its chain-compression ratio, and
+// the mark-sweep collections the phase ran.  Solves that never touched
+// the ZDD (dense shortcut, explicit-only paths) report peak 0 and
+// print nothing.
+func (s *session) reportZDD(peak, live, plain, collections int) {
+	if !s.verbose || peak == 0 {
+		return
+	}
+	ratio := 1.0
+	if live > 0 {
+		ratio = float64(plain) / float64(live)
+	}
+	fmt.Printf("zdd: peak %d nodes, live %d (plain-equivalent %d, chain ratio %.2fx), %d collections\n",
+		peak, live, plain, ratio, collections)
+}
+
 // flushProfiles writes any active profiles; fatal must run it because
 // os.Exit skips the deferred flush in main.
 var flushProfiles = func() {}
@@ -160,6 +178,7 @@ func runPLA(sess *session, path, solver, out string, seed int64, numIter, worker
 	fmt.Printf("\nprimes: %d   covering rows: %d   cyclic core: %dx%d\n",
 		res.Primes, res.Rows, res.CoreRows, res.CoreCols)
 	fmt.Printf("time: %v (cyclic core %v)\n", res.TotalTime.Round(time.Millisecond), res.CyclicCoreTime.Round(time.Millisecond))
+	sess.reportZDD(res.ZDDNodes, res.ZDDLiveNodes, res.ZDDPlainNodes, res.ZDDCollections)
 	sess.report(res.CacheHits, res.CacheMisses, res.TTHits)
 	if out != "" {
 		g := &ucp.PLA{Space: f.Space, F: res.Cover, D: f.D, R: f.R, Type: "fd",
@@ -214,6 +233,7 @@ func runMatrix(sess *session, path string, orlib bool, solver string, seed int64
 		fmt.Printf("scg: cost %d%s, LB %.3f, columns %v\n", res.Cost, opt, res.LB, res.Solution)
 		fmt.Printf("core %dx%d, %d fixing steps, %v\n",
 			res.Stats.CoreRows, res.Stats.CoreCols, res.Stats.FixSteps, res.Stats.TotalTime.Round(time.Millisecond))
+		sess.reportZDD(res.Stats.ZDDNodes, res.Stats.ZDDLiveNodes, res.Stats.ZDDPlainNodes, res.Stats.ZDDCollections)
 		sess.report(res.Stats.CacheHits, res.Stats.CacheMisses, 0)
 	case "exact":
 		res := sess.SolveExact(p, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})

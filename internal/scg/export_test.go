@@ -17,3 +17,12 @@ func SetZDDGC(on bool) (restore func()) {
 	zddGC = on
 	return func() { zddGC = old }
 }
+
+// SetZDDChain selects the implicit phase's node layout for a test and
+// returns a restore func: true is the chain-reduced default, false the
+// plain reference engine the differential tests compare against.
+func SetZDDChain(on bool) (restore func()) {
+	old := zddChain
+	zddChain = on
+	return func() { zddChain = old }
+}

@@ -126,9 +126,15 @@ type Stats struct {
 	CoreCols       int // active columns of the cyclic core
 	ZDDNodes       int // high-water ZDD node store of the implicit phase
 	ZDDCollections int // mark-sweep collections run by the implicit phase
-	FixSteps       int // column-fixing iterations over all runs
-	Runs           int // constructive runs executed
-	SubgradIters   int // total subgradient iterations
+	// ZDDLiveNodes / ZDDPlainNodes profile the implicit phase's final
+	// family: live chain-reduced nodes versus the plain-equivalent
+	// node count a chain-free ZDD would store.  Their ratio is the
+	// chain-compression factor; both stay zero on the dense shortcut.
+	ZDDLiveNodes  int
+	ZDDPlainNodes int
+	FixSteps      int // column-fixing iterations over all runs
+	Runs          int // constructive runs executed
+	SubgradIters  int // total subgradient iterations
 	// ImplicitAborted reports that the ZDD phase hit its node cap (or
 	// the deadline) and the solve fell back to the explicit path.
 	ImplicitAborted bool
@@ -201,6 +207,8 @@ func solve(p *matrix.Problem, opt Options) *Result {
 		ir := ImplicitReduceBudgetWorkers(p, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr, workers)
 		res.Stats.ZDDNodes = ir.ZDDNodes
 		res.Stats.ZDDCollections = ir.Collections
+		res.Stats.ZDDLiveNodes = ir.LiveNodes
+		res.Stats.ZDDPlainNodes = ir.PlainNodes
 		res.Stats.ImplicitDense = ir.Dense
 		if ir.Aborted {
 			// Node cap or deadline: degrade to the explicit reduction

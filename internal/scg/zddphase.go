@@ -19,6 +19,12 @@ type ImplicitResult struct {
 	Aborted  bool
 	ZDDNodes int // high-water node store of the manager (survives GC)
 	Passes   int // reduction sweeps executed
+	// LiveNodes and PlainNodes profile the surviving family when the
+	// phase ends: reachable chain nodes, and the plain-equivalent node
+	// count a chain-free ZDD would need for the same family.  Their
+	// ratio is the chain-compression factor (see zdd.LiveProfile).
+	LiveNodes  int
+	PlainNodes int
 	// Collections counts the mark-sweep garbage collections the phase
 	// ran to stay under the node cap (see the GC ladder below).
 	Collections int
@@ -38,6 +44,12 @@ var denseImplicit = true
 // tests flip it off to measure how deep a capped phase reaches without
 // node-store hygiene.
 var zddGC = true
+
+// zddChain selects the chain-reduced node layout for the implicit
+// phase's manager; the differential tests flip it to run the same
+// phase on the plain reference engine and compare results bit for
+// bit (and node budgets not at all: chains are the budget win).
+var zddChain = true
 
 // zddGCRetries bounds how many times one phase may answer a node-cap
 // panic with a collection and a retry.  Each retry wastes at most one
@@ -129,6 +141,9 @@ func ImplicitReduceBudgetWorkers(p *matrix.Problem, maxR, maxC, nodeCap int, tr 
 	}
 
 	m := zdd.New()
+	if !zddChain {
+		m = zdd.NewPlain()
+	}
 	m.SetNodeLimit(nodeCap)
 	f := zdd.Empty
 	// The surviving family is the phase's only long-lived value: it is
@@ -174,9 +189,16 @@ func ImplicitReduceBudgetWorkers(p *matrix.Problem, maxR, maxC, nodeCap int, tr 
 			}
 		}
 	}
+	// finish harvests the manager's observability counters into the
+	// result; every exit path runs it so ucpsolve -v and ucpd /stats
+	// see the phase's node profile even on aborts.
+	finish := func() {
+		res.ZDDNodes = m.PeakNodeCount()
+		res.LiveNodes, res.PlainNodes = m.LiveProfile()
+	}
 	abort := func() *ImplicitResult {
 		res.Aborted = true
-		res.ZDDNodes = m.PeakNodeCount()
+		finish()
 		return res
 	}
 
@@ -213,7 +235,7 @@ func ImplicitReduceBudgetWorkers(p *matrix.Problem, maxR, maxC, nodeCap int, tr 
 		}
 		if m.HasEmptySet(f) {
 			res.Infeasible = true
-			res.ZDDNodes = m.PeakNodeCount()
+			finish()
 			return res
 		}
 		// Node-store hygiene between passes: when the store nears the
@@ -306,7 +328,7 @@ func ImplicitReduceBudgetWorkers(p *matrix.Problem, maxR, maxC, nodeCap int, tr 
 
 	if m.HasEmptySet(f) {
 		res.Infeasible = true
-		res.ZDDNodes = m.PeakNodeCount()
+		finish()
 		return res
 	}
 
@@ -318,6 +340,6 @@ func ImplicitReduceBudgetWorkers(p *matrix.Problem, maxR, maxC, nodeCap int, tr 
 	})
 	sort.Ints(res.Essential)
 	res.Core = core
-	res.ZDDNodes = m.PeakNodeCount()
+	finish()
 	return res
 }

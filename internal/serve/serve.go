@@ -105,6 +105,21 @@ type Stats struct {
 	Draining      bool  `json:"draining"`
 
 	Cache ucp.CacheStats `json:"cache"`
+	ZDD   ZDDStats       `json:"zdd"`
+}
+
+// ZDDStats aggregates the implicit-phase engine profile across every
+// solve that ran the ZDD (solves claimed by the dense shortcut or the
+// cache contribute nothing): the largest node store any single solve
+// grew, total live and plain-equivalent nodes of the surviving
+// families, the chain-compression ratio of those totals, and the
+// mark-sweep collections run.
+type ZDDStats struct {
+	PeakNodes   int64   `json:"peak_nodes"`
+	LiveNodes   int64   `json:"live_nodes"`
+	PlainNodes  int64   `json:"plain_nodes"`
+	ChainRatio  float64 `json:"chain_ratio"`
+	Collections int64   `json:"collections"`
 }
 
 // statusClientGone marks a job whose client disconnected; nothing is
@@ -133,6 +148,27 @@ type Server struct {
 	accepted, completed, streamed   atomic.Int64
 	rejOverload, rejDraining, gone  atomic.Int64
 	status2xx, status4xx, status5xx atomic.Int64
+
+	zddPeak                         atomic.Int64 // max over solves
+	zddLive, zddPlain, zddCollected atomic.Int64 // sums over solves
+}
+
+// recordZDD folds one solve's implicit-phase profile into the /stats
+// aggregates; solves that never ran the ZDD engine report peak 0 and
+// are skipped.
+func (s *Server) recordZDD(peak, live, plain, collections int) {
+	if peak == 0 {
+		return
+	}
+	for {
+		old := s.zddPeak.Load()
+		if int64(peak) <= old || s.zddPeak.CompareAndSwap(old, int64(peak)) {
+			break
+		}
+	}
+	s.zddLive.Add(int64(live))
+	s.zddPlain.Add(int64(plain))
+	s.zddCollected.Add(int64(collections))
 }
 
 // New builds the service and starts its worker pool.
@@ -177,7 +213,21 @@ func (s *Server) Stats() Stats {
 		InflightBytes:    b,
 		Draining:         s.draining.Load(),
 		Cache:            s.solver.CacheStats(),
+		ZDD: ZDDStats{
+			PeakNodes:   s.zddPeak.Load(),
+			LiveNodes:   s.zddLive.Load(),
+			PlainNodes:  s.zddPlain.Load(),
+			ChainRatio:  chainRatio(s.zddLive.Load(), s.zddPlain.Load()),
+			Collections: s.zddCollected.Load(),
+		},
 	}
+}
+
+func chainRatio(live, plain int64) float64 {
+	if live <= 0 {
+		return 0
+	}
+	return float64(plain) / float64(live)
 }
 
 // Shutdown drains the service: admission flips to 503, queued jobs are
@@ -547,6 +597,7 @@ func (s *Server) solveSCG(j *job, bud ucp.Budget) (Response, int) {
 		}
 	}
 	res := s.solver.SolveSCG(j.prob, opt)
+	s.recordZDD(res.Stats.ZDDNodes, res.Stats.ZDDLiveNodes, res.Stats.ZDDPlainNodes, res.Stats.ZDDCollections)
 	if res.Solution == nil {
 		if res.Interrupted {
 			err := res.StopReason.Err()
@@ -604,6 +655,7 @@ func (s *Server) solvePLA(j *job, bud ucp.Budget) (Response, int) {
 			return Response{Error: err.Error()}, http.StatusInternalServerError
 		}
 	}
+	s.recordZDD(res.ZDDNodes, res.ZDDLiveNodes, res.ZDDPlainNodes, res.ZDDCollections)
 	if j.pla.F.S.Inputs() <= equivalentCheckMaxInputs && !ucp.Equivalent(j.pla, res.Cover) {
 		return Response{Error: "internal error: minimiser returned a non-equivalent cover"},
 			http.StatusInternalServerError

@@ -1,0 +1,231 @@
+package zdd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkStoreInvariants walks the whole node store and asserts the
+// structural invariants of the chain representation: chains are
+// strictly ascending and fit the pool, zero-suppression holds
+// (hi != Empty), and in chain mode no node has a pure hi-child (the
+// canonical maximal-chain rule mk's absorption maintains).
+func checkStoreInvariants(t *testing.T, m *Manager) {
+	t.Helper()
+	for n := Node(2); int(n) < m.NodeCount(); n++ {
+		k := int(m.clen[n])
+		if k < 1 {
+			t.Fatalf("node %d: chain length %d", n, k)
+		}
+		if k > 1 {
+			off, end := int(m.coff[n]), int(m.coff[n])+k-1
+			if off < 0 || end > len(m.cpool) {
+				t.Fatalf("node %d: chain [%d:%d) outside pool of %d", n, off, end, len(m.cpool))
+			}
+		}
+		prev := int32(-1)
+		for i := 0; i < k; i++ {
+			v := m.chainVar(n, i)
+			if v <= prev {
+				t.Fatalf("node %d: chain not strictly ascending at %d: %d after %d", n, i, v, prev)
+			}
+			prev = v
+		}
+		if m.hi[n] == Empty {
+			t.Fatalf("node %d: zero-suppression violated (hi = Empty)", n)
+		}
+		if hi := m.hi[n]; hi > Base {
+			if m.top[hi] <= prev {
+				t.Fatalf("node %d: hi top %d not above chain end %d", n, m.top[hi], prev)
+			}
+			if m.chain && m.lo[hi] == Empty {
+				t.Fatalf("node %d: pure hi-child %d not absorbed", n, hi)
+			}
+		}
+		if lo := m.lo[n]; lo > Base && m.top[lo] <= m.top[n] {
+			t.Fatalf("node %d: lo top %d not above node top %d", n, m.top[lo], m.top[n])
+		}
+		if !m.chain && k != 1 {
+			t.Fatalf("node %d: plain manager stored a chain of length %d", n, k)
+		}
+	}
+}
+
+// TestChainSingleSet: one k-element set is one chain node.
+func TestChainSingleSet(t *testing.T) {
+	m := New()
+	f, err := m.Set([]int{4, 9, 2, 17, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodeCount() != 3 {
+		t.Fatalf("5-element set: store = %d nodes, want 3 (terminals + 1 chain)", m.NodeCount())
+	}
+	if got := m.ChainLen(f); got != 5 {
+		t.Fatalf("ChainLen = %d, want 5", got)
+	}
+	if got := m.AppendChain(nil, f); !reflect.DeepEqual(got, []int{2, 4, 9, 17, 30}) {
+		t.Fatalf("AppendChain = %v", got)
+	}
+	if m.Var(f) != 2 {
+		t.Fatalf("Var = %d, want 2", m.Var(f))
+	}
+	if n := m.Count(f); n != 1 {
+		t.Fatalf("Count = %d, want 1", n)
+	}
+	if !m.Member(f, []int{30, 2, 9, 4, 17}) {
+		t.Fatal("Member lost the set")
+	}
+	if m.Member(f, []int{2, 4, 9, 17}) || m.Member(f, []int{2, 4, 9, 17, 30, 31}) {
+		t.Fatal("Member accepted a proper subset or superset")
+	}
+	checkStoreInvariants(t, m)
+}
+
+// TestChainAbsorption: operation results re-form maximal chains — a
+// family rebuilt by ops has the same compressed shape as one built
+// directly from Set.
+func TestChainAbsorption(t *testing.T) {
+	m := New()
+	a, _ := m.Set([]int{1, 3, 5, 7})
+	b, _ := m.Set([]int{1, 3, 5, 7, 9})
+	u := m.Union(a, b)
+	// {1,3,5,7} and {1,3,5,7,9}: one chain (1,3,5,7) whose hi branches
+	// to Base and to the absorbed (9) chain.
+	if got := m.ChainLen(u); got != 4 {
+		t.Fatalf("union top chain = %d vars, want 4", got)
+	}
+	// Dropping 9 from every set must give back exactly node a (equal
+	// ids ⇔ equal families: the fixpoint tests depend on this).
+	if r := m.Remove(u, 9); r != a {
+		t.Fatalf("Remove(u, 9) = %d, want %d", r, a)
+	}
+	// Subset1 through a chain interior variable splits the chain.
+	s := m.Subset1(u, 5)
+	want := [][]int{{1, 3, 7}, {1, 3, 7, 9}}
+	if got := familySets(m, s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Subset1(u, 5) = %v, want %v", got, want)
+	}
+	checkStoreInvariants(t, m)
+}
+
+// TestChainVsPlainOps replays random operation sequences on a chain
+// and a plain manager in lockstep and requires identical families at
+// every step — Count, enumeration order and membership all agree.
+func TestChainVsPlainOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(929))
+	for trial := 0; trial < 40; trial++ {
+		mc, mp := New(), NewPlain()
+		fc, fp := Empty, Empty
+		gc, gp := Empty, Empty
+		for step := 0; step < 50; step++ {
+			s := randSet(rng, 30)
+			sc, err := mc.Set(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, _ := mp.Set(s)
+			v := rng.Intn(30)
+			switch rng.Intn(10) {
+			case 0:
+				fc, fp = mc.Union(fc, sc), mp.Union(fp, sp)
+			case 1:
+				gc, gp = mc.Union(gc, sc), mp.Union(gp, sp)
+			case 2:
+				fc, fp = mc.Intersect(fc, gc), mp.Intersect(fp, gp)
+			case 3:
+				fc, fp = mc.Diff(fc, gc), mp.Diff(fp, gp)
+			case 4:
+				fc, fp = mc.Subset0(fc, v), mp.Subset0(fp, v)
+			case 5:
+				fc, fp = mc.Subset1(fc, v), mp.Subset1(fp, v)
+			case 6:
+				fc, fp = mc.Remove(fc, v), mp.Remove(fp, v)
+			case 7:
+				fc, fp = mc.Minimal(mc.Union(fc, sc)), mp.Minimal(mp.Union(fp, sp))
+			case 8:
+				fc, fp = mc.Maximal(mc.Union(fc, sc)), mp.Maximal(mp.Union(fp, sp))
+			case 9:
+				fc, fp = mc.NonSupersets(fc, gc), mp.NonSupersets(fp, gp)
+			}
+			if cc, cp := mc.Count(fc), mp.Count(fp); cc != cp {
+				t.Fatalf("trial %d step %d: Count %d (chain) != %d (plain)", trial, step, cc, cp)
+			}
+			if sc, sp := familySets(mc, fc), familySets(mp, fp); !reflect.DeepEqual(sc, sp) {
+				t.Fatalf("trial %d step %d: families diverge:\nchain %v\nplain %v", trial, step, sc, sp)
+			}
+			if sc, sp := mc.Singletons(fc), mp.Singletons(fp); !reflect.DeepEqual(familySets(mc, sc), familySets(mp, sp)) {
+				t.Fatalf("trial %d step %d: Singletons diverge", trial, step)
+			}
+			if hc, hp := mc.HasEmptySet(fc), mp.HasEmptySet(fp); hc != hp {
+				t.Fatalf("trial %d step %d: HasEmptySet %v != %v", trial, step, hc, hp)
+			}
+			if sc, sp := mc.Support(fc), mp.Support(fp); !reflect.DeepEqual(sc, sp) {
+				t.Fatalf("trial %d step %d: Support %v != %v", trial, step, sc, sp)
+			}
+		}
+		checkStoreInvariants(t, mc)
+		checkStoreInvariants(t, mp)
+	}
+}
+
+// TestChainCompressionOnRowFamily: covering-matrix-shaped families
+// (many rows with long tails) must store well under the plain node
+// count — this is the nodes-per-instance win the NodeCap budget sees.
+func TestChainCompressionOnRowFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New()
+	f := Empty
+	m.AddRoot(&f)
+	for r := 0; r < 120; r++ {
+		row := make([]int, 0, 12)
+		for len(row) < 12 {
+			row = append(row, rng.Intn(200))
+		}
+		s, err := m.Set(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = m.Union(f, s)
+	}
+	m.Collect()
+	nodes, plain := m.LiveProfile()
+	if nodes*2 > plain {
+		t.Fatalf("chain compression below 2x on a row family: %d chain nodes vs %d plain-equivalent", nodes, plain)
+	}
+	checkStoreInvariants(t, m)
+}
+
+// TestAdaptiveCacheGrowth: the computed cache starts small and scales
+// with the unique table up to the fixed cap.
+func TestAdaptiveCacheGrowth(t *testing.T) {
+	m := New()
+	if got := len(m.ckeys); got != 1<<cacheMinBits {
+		t.Fatalf("fresh cache = %d entries, want %d", got, 1<<cacheMinBits)
+	}
+	f := Empty
+	m.AddRoot(&f)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; len(m.ckeys) < 1<<cacheMaxBits; i++ {
+		if i > 1<<22 {
+			t.Fatal("cache never reached its cap")
+		}
+		s, err := m.Set(randSet(rng, 1<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = m.Union(f, s)
+	}
+	if got := len(m.ckeys); got != 1<<cacheMaxBits {
+		t.Fatalf("cache cap = %d entries, want %d", got, 1<<cacheMaxBits)
+	}
+	m.growUnique()
+	if got := len(m.ckeys); got != 1<<cacheMaxBits {
+		t.Fatalf("cache grew past its cap: %d entries", got)
+	}
+	// Operations stay correct across every resize (lossy drop only).
+	if m.Member(f, nil) != m.HasEmptySet(f) {
+		t.Fatal("membership inconsistent after growth")
+	}
+}

@@ -1,0 +1,96 @@
+package zdd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzZDDChain drives a byte-coded operation sequence against the
+// chain-reduced manager and the plain reference manager in lockstep.
+// After every operation the two engines must agree op-for-op on
+// Count, the full enumeration, emptiness and support — any divergence
+// is a chain-reduction bug.  Periodic Collects on both sides exercise
+// the pool-compacting sweep mid-sequence.
+func FuzzZDDChain(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0x15, 0x28, 0x3b, 0x4e, 0x61, 0x74, 0x87, 0x9a})
+	f.Add([]byte{0x70, 0x70, 0x05, 0x16, 0x27, 0x38, 0x49, 0x5a, 0x6b, 0x7c, 0x8d, 0x9e, 0xaf})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x42, 0x42, 0x42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		mc, mp := New(), NewPlain()
+		fc, fp := Empty, Empty
+		gc, gp := Empty, Empty
+		mc.AddRoot(&fc)
+		mc.AddRoot(&gc)
+		mp.AddRoot(&fp)
+		mp.AddRoot(&gp)
+		pos := 0
+		next := func() int {
+			if pos >= len(data) {
+				return 0
+			}
+			b := int(data[pos])
+			pos++
+			return b
+		}
+		for pos < len(data) {
+			op := next()
+			switch op % 12 {
+			case 0, 1: // build a set from the next few bytes and union it in
+				n := 1 + op%5
+				elems := make([]int, 0, n)
+				for i := 0; i < n; i++ {
+					elems = append(elems, next()%48)
+				}
+				sc, err := mc.Set(elems)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp, _ := mp.Set(elems)
+				fc, fp = mc.Union(fc, sc), mp.Union(fp, sp)
+			case 2: // swap targets
+				fc, gc = gc, fc
+				fp, gp = gp, fp
+			case 3:
+				fc, fp = mc.Intersect(fc, gc), mp.Intersect(fp, gp)
+			case 4:
+				fc, fp = mc.Diff(fc, gc), mp.Diff(fp, gp)
+			case 5:
+				v := next() % 48
+				fc, fp = mc.Subset0(fc, v), mp.Subset0(fp, v)
+			case 6:
+				v := next() % 48
+				fc, fp = mc.Subset1(fc, v), mp.Subset1(fp, v)
+			case 7:
+				v := next() % 48
+				fc, fp = mc.Remove(fc, v), mp.Remove(fp, v)
+			case 8:
+				fc, fp = mc.Minimal(fc), mp.Minimal(fp)
+			case 9:
+				fc, fp = mc.Maximal(fc), mp.Maximal(fp)
+			case 10:
+				fc, fp = mc.NonSupersets(fc, gc), mp.NonSupersets(fp, gp)
+			case 11:
+				fc, fp = mc.Singletons(fc), mp.Singletons(fp)
+			}
+			if op%7 == 0 {
+				mc.Collect()
+				mp.Collect()
+			}
+			if cc, cp := mc.Count(fc), mp.Count(fp); cc != cp {
+				t.Fatalf("Count diverges after op %d: chain %d, plain %d", op%12, cc, cp)
+			}
+			if hc, hp := mc.HasEmptySet(fc), mp.HasEmptySet(fp); hc != hp {
+				t.Fatalf("HasEmptySet diverges after op %d", op%12)
+			}
+			if sc, sp := familySets(mc, fc), familySets(mp, fp); !reflect.DeepEqual(sc, sp) {
+				t.Fatalf("families diverge after op %d:\nchain %v\nplain %v", op%12, sc, sp)
+			}
+			if sc, sp := mc.Support(fc), mp.Support(fp); !reflect.DeepEqual(sc, sp) {
+				t.Fatalf("Support diverges after op %d: %v vs %v", op%12, sc, sp)
+			}
+		}
+	})
+}

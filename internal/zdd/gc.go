@@ -1,0 +1,214 @@
+package zdd
+
+// Garbage collection.
+//
+// The node store is append-only between collections: operations
+// hash-cons every intermediate result, so long reduction runs strand
+// large amounts of dead nodes behind the live families.  A collection
+// reclaims everything unreachable from the registered roots.
+//
+// Protocol: register every family that must survive with AddRoot
+// (passing a *Node, because compaction renumbers ids and the collector
+// rewrites the roots in place), call Collect only between operations —
+// node ids held on the Go stack by an operation in flight are
+// invisible to the collector — and treat every unregistered Node as
+// invalidated by the sweep.
+//
+// Chain reduction adds one asset to sweep: the chain pool.  Live
+// chains are compacted into a fresh pool in node order (the old and
+// new pools double-buffer across collections), so dead chains stop
+// holding pool memory; a Tail residual consed after the sweep simply
+// copies its suffix again.
+
+// beginVisit opens a traversal epoch: it grows the stamp slice to the
+// node store and bumps the epoch counter, which invalidates every
+// stamp of earlier traversals in O(1).  On (rare) epoch wraparound the
+// stamps are cleared so a stale stamp can never alias the new epoch.
+func (m *Manager) beginVisit() {
+	if len(m.vstamp) < len(m.top) {
+		m.vstamp = append(m.vstamp, make([]int32, len(m.top)-len(m.vstamp))...)
+	}
+	m.vepoch++
+	if m.vepoch <= 0 {
+		for i := range m.vstamp {
+			m.vstamp[i] = 0
+		}
+		m.vepoch = 1
+	}
+}
+
+// AddRoot registers *f as an external GC root: the family *f (at the
+// time of a future Collect) survives collections and *f is rewritten
+// to the node's post-compaction id.  The same pointer may be
+// registered once; AddRoot panics on re-registration to catch
+// double-add bugs early.
+func (m *Manager) AddRoot(f *Node) {
+	for _, r := range m.roots {
+		if r == f {
+			panic("zdd: AddRoot: pointer already registered")
+		}
+	}
+	m.roots = append(m.roots, f)
+}
+
+// RemoveRoot unregisters a pointer previously passed to AddRoot.  It
+// is a no-op when the pointer is not registered.
+func (m *Manager) RemoveRoot(f *Node) {
+	for i, r := range m.roots {
+		if r == f {
+			m.roots = append(m.roots[:i], m.roots[i+1:]...)
+			return
+		}
+	}
+}
+
+// markLive stamps every node reachable from the registered roots with
+// the current epoch (the caller opens it) and returns the live node
+// count, terminals included.
+func (m *Manager) markLive() int {
+	live := 2
+	var mark func(Node)
+	mark = func(n Node) {
+		for n > Base && m.vstamp[n] != m.vepoch {
+			m.vstamp[n] = m.vepoch
+			live++
+			mark(m.hi[n])
+			n = m.lo[n]
+		}
+	}
+	for _, r := range m.roots {
+		mark(*r)
+	}
+	return live
+}
+
+// LiveNodeCount returns the number of nodes reachable from the
+// registered roots, terminals included — the store size a Collect
+// would compact to.  NodeCount, by contrast, counts every node ever
+// allocated since the last collection; budgeting against LiveNodeCount
+// lets a node cap measure the working set instead of the history.
+func (m *Manager) LiveNodeCount() int {
+	m.beginVisit()
+	return m.markLive()
+}
+
+// PeakNodeCount returns the high-water node store size over the
+// manager's lifetime; collections do not lower it.
+func (m *Manager) PeakNodeCount() int { return m.peak }
+
+// LiveProfile returns the live node count (exactly LiveNodeCount) and
+// the plain-equivalent node count: the store a chain-free ZDD would
+// need for the same families, counted as the total chain length over
+// the live nodes plus the terminals.  The ratio plain/nodes is the
+// chain-compression factor the stats surfaces report.  (Tail sharing
+// in a plain manager can make its true store slightly smaller than
+// plain, so treat the ratio as the storage win of absorption, not a
+// bit-exact cross-engine node count.)
+func (m *Manager) LiveProfile() (nodes, plain int) {
+	m.beginVisit()
+	nodes, plain = 2, 2
+	var walk func(Node)
+	walk = func(n Node) {
+		for n > Base && m.vstamp[n] != m.vepoch {
+			m.vstamp[n] = m.vepoch
+			nodes++
+			plain += int(m.clen[n])
+			walk(m.hi[n])
+			n = m.lo[n]
+		}
+	}
+	for _, r := range m.roots {
+		walk(*r)
+	}
+	return nodes, plain
+}
+
+// Collect reclaims every node unreachable from the registered roots
+// and returns how many it freed.  The surviving nodes are compacted to
+// the low ids (children always precede parents, so one in-order pass
+// remaps lo/hi), their chains are compacted into a fresh pool, the
+// unique table is rebuilt over the compacted store, the computed and
+// count caches are invalidated — their keys embed pre-sweep ids — and
+// each registered root is rewritten to its new id.  Every Node value
+// not covered by a registered root is dangling after Collect returns
+// and must not be used.
+func (m *Manager) Collect() int {
+	n := len(m.top)
+	m.beginVisit()
+	live := m.markLive()
+	if live == n {
+		return 0
+	}
+	// Sweep: compact stores in id order, remapping through gcMap.
+	if cap(m.gcMap) < n {
+		m.gcMap = make([]Node, n)
+	}
+	remap := m.gcMap[:n]
+	remap[0], remap[1] = Empty, Base
+	// The compacted pool never exceeds the old one; presizing the swap
+	// buffer keeps the rebuild to zero append growth.
+	if cap(m.poolSwap) < len(m.cpool) {
+		m.poolSwap = make([]int32, 0, len(m.cpool))
+	}
+	npool := m.poolSwap[:0]
+	w := 2
+	for i := 2; i < n; i++ {
+		if m.vstamp[i] != m.vepoch {
+			continue
+		}
+		remap[i] = Node(w)
+		m.top[w] = m.top[i]
+		if k := m.clen[i]; k > 1 {
+			off := int32(len(npool))
+			npool = append(npool, m.cpool[m.coff[i]:m.coff[i]+k-1]...)
+			m.coff[w] = off
+		} else {
+			m.coff[w] = 0
+		}
+		m.clen[w] = m.clen[i]
+		m.lo[w] = remap[m.lo[i]]
+		m.hi[w] = remap[m.hi[i]]
+		w++
+	}
+	m.top = m.top[:w]
+	m.coff = m.coff[:w]
+	m.clen = m.clen[:w]
+	m.lo = m.lo[:w]
+	m.hi = m.hi[:w]
+	m.poolSwap = m.cpool
+	m.cpool = npool
+	// Stamps refer to pre-sweep ids; the next beginVisit re-arms them.
+	m.vstamp = m.vstamp[:w]
+	// Rebuild the unique table at the load factor cons maintains.
+	size := uint32(1024)
+	for size*3 < uint32(w)*4 {
+		size *= 2
+	}
+	if uint32(len(m.uslots)) == size {
+		for i := range m.uslots {
+			m.uslots[i] = 0
+		}
+	} else {
+		m.uslots = make([]int32, size)
+	}
+	m.umask = size - 1
+	for i := 2; i < w; i++ {
+		idx := m.uniqueHash(m.top[i], m.restOf(Node(i)), m.lo[i], m.hi[i]) & m.umask
+		for m.uslots[idx] != 0 {
+			idx = (idx + 1) & m.umask
+		}
+		m.uslots[idx] = int32(i) + 1
+	}
+	// Invalidate the computed and count caches: zeroed keys can never
+	// match (operation codes start at 1; Count never caches terminals).
+	for i := range m.ckeys {
+		m.ckeys[i] = 0
+	}
+	for i := range m.nkeys {
+		m.nkeys[i] = 0
+	}
+	for _, r := range m.roots {
+		*r = remap[*r]
+	}
+	return n - w
+}

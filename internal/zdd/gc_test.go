@@ -31,11 +31,17 @@ func randSet(rng *rand.Rand, universe int) []int {
 // enumerate to exactly the sets they held before, LiveNodeCount must
 // never exceed NodeCount, and later operations (running against the
 // rebuilt unique table and the invalidated caches) must keep producing
-// correct results.
+// correct results.  It runs on both engines — the sweep has to compact
+// the chain pool correctly on top of the node store.
 func TestCollectPreservesFamilies(t *testing.T) {
+	t.Run("chain", func(t *testing.T) { testCollectPreservesFamilies(t, New) })
+	t.Run("plain", func(t *testing.T) { testCollectPreservesFamilies(t, NewPlain) })
+}
+
+func testCollectPreservesFamilies(t *testing.T, mk func() *Manager) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 30; trial++ {
-		m := New()
+		m := mk()
 		f, g := Empty, Empty
 		m.AddRoot(&f)
 		m.AddRoot(&g)
@@ -89,9 +95,10 @@ func TestCollectPreservesFamilies(t *testing.T) {
 				t.Fatalf("trial %d step %d: g changed across Collect:\nbefore %v\nafter  %v",
 					trial, step, beforeG, after)
 			}
+			checkStoreInvariants(t, m)
 		}
 		// Cross-check against a sweep-free replay of the same families.
-		ref := New()
+		ref := mk()
 		rf, rErr := refRebuild(ref, familySets(m, f))
 		if rErr != nil {
 			t.Fatal(rErr)
@@ -180,23 +187,39 @@ func TestCollectRewritesRoots(t *testing.T) {
 }
 
 // TestLiveNodeCountTracksRoots: with no roots only the terminals are
-// live; adding and removing roots moves the count.
+// live; adding and removing roots moves the count.  A 3-element set is
+// three plain nodes but a single chain node — the difference is the
+// whole point of the representation.
 func TestLiveNodeCountTracksRoots(t *testing.T) {
-	m := New()
-	f, _ := m.Set([]int{1, 2, 3})
-	if got := m.LiveNodeCount(); got != 2 {
-		t.Fatalf("no roots: live = %d, want 2 (terminals)", got)
-	}
-	m.AddRoot(&f)
-	if got := m.LiveNodeCount(); got != 5 {
-		t.Fatalf("one 3-element chain: live = %d, want 5", got)
-	}
-	if m.LiveNodeCount() > m.NodeCount() {
-		t.Fatal("live exceeds store")
-	}
-	m.RemoveRoot(&f)
-	if got := m.LiveNodeCount(); got != 2 {
-		t.Fatalf("after RemoveRoot: live = %d, want 2", got)
+	for _, tc := range []struct {
+		name string
+		mk   func() *Manager
+		want int
+	}{
+		{"chain", New, 3},
+		{"plain", NewPlain, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mk()
+			f, _ := m.Set([]int{1, 2, 3})
+			if got := m.LiveNodeCount(); got != 2 {
+				t.Fatalf("no roots: live = %d, want 2 (terminals)", got)
+			}
+			m.AddRoot(&f)
+			if got := m.LiveNodeCount(); got != tc.want {
+				t.Fatalf("one 3-element set: live = %d, want %d", got, tc.want)
+			}
+			if nodes, plain := m.LiveProfile(); nodes != tc.want || plain != 5 {
+				t.Fatalf("LiveProfile = (%d, %d), want (%d, 5)", nodes, plain, tc.want)
+			}
+			if m.LiveNodeCount() > m.NodeCount() {
+				t.Fatal("live exceeds store")
+			}
+			m.RemoveRoot(&f)
+			if got := m.LiveNodeCount(); got != 2 {
+				t.Fatalf("after RemoveRoot: live = %d, want 2", got)
+			}
+		})
 	}
 }
 

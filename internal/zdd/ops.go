@@ -1,0 +1,291 @@
+package zdd
+
+// Set-algebra operations.  Every operation recurses
+// variable-at-a-time through the virtual cofactor view (topVar for
+// the first chain variable, lo for the stored lo-cofactor, Tail for
+// the hi-cofactor at the top variable alone), and mk's absorption
+// rule re-forms maximal chains in the results.  The recurrences are
+// therefore the textbook plain-ZDD ones; chain reduction lives
+// entirely in the node layer.  Results are memoized in the computed
+// cache keyed on (op, f, g) — chain-node ids are canonical, so the
+// cache contract is unchanged.
+
+// Union returns f ∪ g.
+func (m *Manager) Union(f, g Node) Node {
+	switch {
+	case f == Empty:
+		return g
+	case g == Empty, f == g:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheGet(opUnion, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf < vg:
+		r = m.mk(vf, m.Union(m.lo[f], g), m.Tail(f))
+	case vf > vg:
+		r = m.mk(vg, m.Union(f, m.lo[g]), m.Tail(g))
+	default:
+		r = m.mk(vf, m.Union(m.lo[f], m.lo[g]), m.Union(m.Tail(f), m.Tail(g)))
+	}
+	m.cachePut(opUnion, f, g, r)
+	return r
+}
+
+// Intersect returns f ∩ g.
+func (m *Manager) Intersect(f, g Node) Node {
+	switch {
+	case f == Empty || g == Empty:
+		return Empty
+	case f == g:
+		return f
+	case f == Base:
+		if m.hasEmptySet(g) {
+			return Base
+		}
+		return Empty
+	case g == Base:
+		if m.hasEmptySet(f) {
+			return Base
+		}
+		return Empty
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheGet(opIntersect, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf < vg:
+		r = m.Intersect(m.lo[f], g)
+	case vf > vg:
+		r = m.Intersect(f, m.lo[g])
+	default:
+		r = m.mk(vf, m.Intersect(m.lo[f], m.lo[g]), m.Intersect(m.Tail(f), m.Tail(g)))
+	}
+	m.cachePut(opIntersect, f, g, r)
+	return r
+}
+
+// Diff returns f \ g.
+func (m *Manager) Diff(f, g Node) Node {
+	switch {
+	case f == Empty || f == g:
+		return Empty
+	case g == Empty:
+		return f
+	case f == Base:
+		if m.hasEmptySet(g) {
+			return Empty
+		}
+		return Base
+	}
+	if r, ok := m.cacheGet(opDiff, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf < vg:
+		r = m.mk(vf, m.Diff(m.lo[f], g), m.Tail(f))
+	case vf > vg:
+		r = m.Diff(f, m.lo[g])
+	default:
+		r = m.mk(vf, m.Diff(m.lo[f], m.lo[g]), m.Diff(m.Tail(f), m.Tail(g)))
+	}
+	m.cachePut(opDiff, f, g, r)
+	return r
+}
+
+// Subset1 returns {S \ {v} : S ∈ f, v ∈ S}: the sets containing v,
+// with v removed.
+func (m *Manager) Subset1(f Node, v int) Node {
+	if f <= Base {
+		return Empty
+	}
+	t := m.topVar(f)
+	switch {
+	case t > int32(v):
+		return Empty // v is above every element of these sets
+	case t == int32(v):
+		return m.Tail(f)
+	}
+	if r, ok := m.cacheGet(opSubset1, f, Node(v)); ok {
+		return r
+	}
+	r := m.mk(t, m.Subset1(m.lo[f], v), m.Subset1(m.Tail(f), v))
+	m.cachePut(opSubset1, f, Node(v), r)
+	return r
+}
+
+// Subset0 returns {S ∈ f : v ∉ S}.
+func (m *Manager) Subset0(f Node, v int) Node {
+	if f <= Base {
+		return f
+	}
+	t := m.topVar(f)
+	switch {
+	case t > int32(v):
+		return f
+	case t == int32(v):
+		return m.lo[f]
+	}
+	if r, ok := m.cacheGet(opSubset0, f, Node(v)); ok {
+		return r
+	}
+	r := m.mk(t, m.Subset0(m.lo[f], v), m.Subset0(m.Tail(f), v))
+	m.cachePut(opSubset0, f, Node(v), r)
+	return r
+}
+
+// Remove deletes element v from every set of f (the union of Subset0
+// and Subset1).
+func (m *Manager) Remove(f Node, v int) Node {
+	return m.Union(m.Subset0(f, v), m.Subset1(f, v))
+}
+
+// NonSupersets returns {S ∈ f : no T ∈ g satisfies T ⊆ S}.
+func (m *Manager) NonSupersets(f, g Node) Node {
+	switch {
+	case g == Empty:
+		return f
+	case f == Empty:
+		return Empty
+	case m.hasEmptySet(g):
+		return Empty // ∅ is a subset of everything
+	case f == Base:
+		return Base // ∅ has no non-empty subset
+	case f == g:
+		return Empty
+	}
+	if r, ok := m.cacheGet(opNonSup, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf == vg:
+		// Sets of f.hi contain vf: they are supersets of T either when
+		// T ∈ g.lo (T avoids vf) with T ⊆ S, or when T ∈ g.hi with
+		// T\{vf} ⊆ S\{vf}.
+		fh := m.Tail(f)
+		hi := m.Intersect(m.NonSupersets(fh, m.lo[g]), m.NonSupersets(fh, m.Tail(g)))
+		lo := m.NonSupersets(m.lo[f], m.lo[g])
+		r = m.mk(vf, lo, hi)
+	case vf < vg:
+		// No set of g contains vf, so vf is irrelevant for the
+		// subset tests.
+		r = m.mk(vf, m.NonSupersets(m.lo[f], g), m.NonSupersets(m.Tail(f), g))
+	default: // vg < vf: sets of g containing vg cannot be subsets
+		r = m.NonSupersets(f, m.lo[g])
+	}
+	m.cachePut(opNonSup, f, g, r)
+	return r
+}
+
+// Minimal returns the sets of f that contain no other set of f: the
+// minimal elements of the family under inclusion.  On a covering
+// matrix stored row-wise this performs row dominance in one pass.
+func (m *Manager) Minimal(f Node) Node {
+	if f <= Base {
+		return f
+	}
+	if m.hasEmptySet(f) {
+		return Base
+	}
+	if r, ok := m.cacheGet(opMinimal, f, Empty); ok {
+		return r
+	}
+	lo := m.Minimal(m.lo[f])
+	hi := m.Minimal(m.Tail(f))
+	// A set containing v is minimal only if no minimal set without v
+	// is included in it.
+	hi = m.NonSupersets(hi, lo)
+	r := m.mk(m.topVar(f), lo, hi)
+	m.cachePut(opMinimal, f, Empty, r)
+	return r
+}
+
+// NonSubsets returns {S ∈ f : no T ∈ g satisfies S ⊆ T}.
+func (m *Manager) NonSubsets(f, g Node) Node {
+	switch {
+	case g == Empty:
+		return f
+	case f == Empty, f == g:
+		return Empty
+	case f == Base:
+		return Empty // ∅ is a subset of any set of the non-empty g
+	}
+	if r, ok := m.cacheGet(opNonSub, f, g); ok {
+		return r
+	}
+	vf, vg := m.topVar(f), m.topVar(g)
+	var r Node
+	switch {
+	case vf == vg:
+		// Sets without vf can hide inside g.lo or inside g.hi (their
+		// supersets may or may not contain vf); sets with vf only
+		// inside g.hi.
+		gh := m.Tail(g)
+		lo := m.Intersect(m.NonSubsets(m.lo[f], m.lo[g]), m.NonSubsets(m.lo[f], gh))
+		hi := m.NonSubsets(m.Tail(f), gh)
+		r = m.mk(vf, lo, hi)
+	case vf < vg:
+		// Sets of f containing vf cannot be subsets of any set of g
+		// (none contains vf), so they all survive.
+		r = m.mk(vf, m.NonSubsets(m.lo[f], g), m.Tail(f))
+	default: // vg < vf
+		r = m.Intersect(m.NonSubsets(f, m.lo[g]), m.NonSubsets(f, m.Tail(g)))
+	}
+	m.cachePut(opNonSub, f, g, r)
+	return r
+}
+
+// Maximal returns the sets of f contained in no other set of f: the
+// maximal elements of the family under inclusion (the dual of
+// Minimal).
+func (m *Manager) Maximal(f Node) Node {
+	if f <= Base {
+		return f
+	}
+	if r, ok := m.cacheGet(opMaximal, f, Empty); ok {
+		return r
+	}
+	lo := m.Maximal(m.lo[f])
+	hi := m.Maximal(m.Tail(f))
+	// A set without v is maximal only if it is not a subset of a
+	// maximal set containing v.
+	lo = m.NonSubsets(lo, hi)
+	r := m.mk(m.topVar(f), lo, hi)
+	m.cachePut(opMaximal, f, Empty, r)
+	return r
+}
+
+// Singletons returns the subfamily of f consisting of its one-element
+// sets.  On a covering matrix these identify essential columns.
+func (m *Manager) Singletons(f Node) Node {
+	if f <= Base {
+		return Empty
+	}
+	if r, ok := m.cacheGet(opSingletons, f, Empty); ok {
+		return r
+	}
+	// A chain of length > 1 puts ≥ 2 elements in every hi-side set, so
+	// only single-variable chains can contribute a singleton.
+	hi := Empty
+	if m.clen[f] == 1 && m.hasEmptySet(m.hi[f]) {
+		hi = Base
+	}
+	r := m.mk(m.topVar(f), m.Singletons(m.lo[f]), hi)
+	m.cachePut(opSingletons, f, Empty, r)
+	return r
+}

@@ -8,10 +8,36 @@
 // for free by canonicity, row dominance is the Minimal operation, and
 // essential columns are the family's singleton sets.
 //
+// # Chain reduction
+//
+// Nodes are chain-reduced in the spirit of Bryant's CZDDs (arXiv
+// 1710.06500), adapted to the literal chains covering matrices
+// actually produce: a node carries an ascending *chain* of variables
+// v1 < v2 < … < vk instead of a single variable, and denotes
+//
+//	S(node) = S(lo) ∪ { {v1,…,vk} ∪ s : s ∈ S(hi) }
+//
+// i.e. the whole chain is present together in every hi-side set.  A
+// plain ZDD spells such a run as k nodes whose lo-edges all point at
+// Empty; covering rows are exactly that shape (one all-present chain
+// per row tail), so collapsing them stores the same family in a
+// fraction of the nodes and a NodeCap admits a strictly larger
+// implicit frontier.  Unlike Bryant's [t:b] spans the chain variables
+// need not be consecutive — covering matrices produce gapped runs.
+//
+// Canonical form: a stored node never has a hi-child that is a "pure"
+// node (a nonterminal with lo == Empty).  mk absorbs such a child by
+// concatenating its chain, so maximal chains are formed bottom-up and
+// the representation stays canonical — equal ids ⇔ equal families,
+// which the scg implicit phase's fixpoint test relies on.  Operations
+// work variable-at-a-time through a virtual cofactor view (top chain
+// variable + tail residual), and absorption re-forms chains in their
+// results automatically.
+//
 // The node store is hash-consed through an open-addressed unique
-// table, and operation results go through a fixed-size direct-mapped
-// computed cache (lossy, as in CUDD: a collision merely costs a
-// recomputation).
+// table, and operation results go through a direct-mapped computed
+// cache (lossy, as in CUDD: a collision merely costs a recomputation)
+// that starts small and doubles alongside the unique table.
 package zdd
 
 import (
@@ -52,30 +78,54 @@ const (
 
 const terminalVar = int32(1) << 30 // sentinel: below every real variable
 
-// cacheBits sizes the direct-mapped computed cache (2^cacheBits
-// entries ≈ 12 bytes each).
-const cacheBits = 17
+// Computed-cache sizing: New starts at 2^cacheMinBits entries (~48 KiB)
+// so tiny instances stop paying for a fixed multi-megabyte table, and
+// growUnique doubles it alongside the unique table up to
+// 2^cacheMaxBits (the former fixed size).  The count cache scales the
+// same way within its own bounds.
+const (
+	cacheMinBits = 12
+	cacheMaxBits = 17
+	countMinBits = 10
+	countMaxBits = 14
+)
 
 // Manager owns the node store, the hash-consing unique table and the
 // operation cache of a ZDD universe.  A Manager is not safe for
 // concurrent use.
 type Manager struct {
-	varOf []int32 // variable of node i (terminals use sentinel)
-	lo    []Node  // cofactor: sets without var
-	hi    []Node  // cofactor: sets with var (var removed)
+	// Node store.  A node's chain is its top variable plus clen-1
+	// further ascending variables held in cpool at coff (nodes with a
+	// single-variable chain occupy no pool space).  Terminals use the
+	// sentinel variable and chain length 0.
+	top   []int32 // first chain variable of node i
+	coff  []int32 // offset of the chain tail in cpool (clen > 1 only)
+	clen  []int32 // chain length of node i
+	lo    []Node  // cofactor: sets without the chain
+	hi    []Node  // cofactor: sets with the whole chain (chain removed)
+	cpool []int32 // chain-tail storage, compacted by Collect
+
+	// chain gates absorption: true for New (chain-reduced nodes),
+	// false for NewPlain (every chain has length 1 — the reference
+	// plain-ZDD engine the differential tests compare against).
+	chain bool
 
 	// Unique table: open addressing with linear probing; a slot holds
 	// node id + 1 (0 = empty).
 	uslots []int32
 	umask  uint32
 
-	// Computed cache: direct mapped, lossy.
+	// Computed cache: direct mapped, lossy, power-of-two sized.
 	ckeys []uint64
 	cvals []Node
 
-	// Count cache: direct mapped, lossy.
+	// Count cache: direct mapped, lossy, power-of-two sized.
 	nkeys []Node
 	nvals []uint64
+
+	// abuf is the chain-concatenation scratch of mk/mkChain (absorption
+	// builds the merged chain here before consing it).
+	abuf []int32
 
 	// Visit stamps: one epoch counter plus a per-node stamp slice shared
 	// by every traversal (Support, LiveNodeCount, the collector's mark
@@ -86,61 +136,123 @@ type Manager struct {
 	vepoch int32
 
 	// Garbage collection: externally registered roots (pointers, so the
-	// sweep can rewrite them to the compacted ids) and the old→new id
-	// scratch of the sweep.  peak is the high-water node count across
+	// sweep can rewrite them to the compacted ids), the old→new id
+	// scratch of the sweep, and the double-buffered pool the sweep
+	// compacts chains into.  peak is the high-water node count across
 	// the manager's lifetime, surviving collections.
-	roots []*Node
-	gcMap []Node
-	peak  int
+	roots    []*Node
+	gcMap    []Node
+	poolSwap []int32
+	peak     int
 
 	// limit caps the node store; 0 = unlimited.
 	limit int
 }
 
-// New returns an empty manager.
+// New returns an empty chain-reduced manager.
 func New() *Manager {
+	m := newManager()
+	m.chain = true
+	return m
+}
+
+// NewPlain returns an empty manager with chain reduction disabled:
+// every node carries a single variable, exactly the classic ZDD
+// layout.  It exists as the reference engine for differential tests
+// and compression measurements; the two engines represent the same
+// families and every operation returns set-identical results.
+func NewPlain() *Manager { return newManager() }
+
+func newManager() *Manager {
 	m := &Manager{
 		uslots: make([]int32, 1024),
 		umask:  1023,
-		ckeys:  make([]uint64, 1<<cacheBits),
-		cvals:  make([]Node, 1<<cacheBits),
-		nkeys:  make([]Node, 1<<14),
-		nvals:  make([]uint64, 1<<14),
+		ckeys:  make([]uint64, 1<<cacheMinBits),
+		cvals:  make([]Node, 1<<cacheMinBits),
+		nkeys:  make([]Node, 1<<countMinBits),
+		nvals:  make([]uint64, 1<<countMinBits),
 	}
 	// Slots 0 and 1 are the terminals.
-	m.varOf = append(m.varOf, terminalVar, terminalVar)
+	m.top = append(m.top, terminalVar, terminalVar)
+	m.coff = append(m.coff, 0, 0)
+	m.clen = append(m.clen, 0, 0)
 	m.lo = append(m.lo, Empty, Empty)
 	m.hi = append(m.hi, Empty, Empty)
 	m.peak = 2
 	return m
 }
 
-// NodeCount returns the number of live nodes in the manager, including
-// the two terminals.
-func (m *Manager) NodeCount() int { return len(m.varOf) }
+// ChainEnabled reports whether the manager absorbs literal chains
+// (New) or stores plain single-variable nodes (NewPlain).
+func (m *Manager) ChainEnabled() bool { return m.chain }
+
+// NodeCount returns the number of nodes in the store, including the
+// two terminals and any garbage not yet collected.
+func (m *Manager) NodeCount() int { return len(m.top) }
 
 // SetNodeLimit caps the node store at n nodes (0 removes the cap).  An
 // operation that would allocate past the cap panics with ErrNodeLimit;
 // callers that want graceful degradation recover it at their phase
 // boundary (see scg.ImplicitReduce) and fall back to an explicit
 // algorithm.  The manager's existing nodes stay valid after the panic,
-// but the family under construction is lost.
+// but the family under construction is lost.  With chain reduction a
+// capped store holds whole chains per node, so the same cap admits a
+// strictly larger family than the plain layout.
 func (m *Manager) SetNodeLimit(n int) { m.limit = n }
 
-// Var returns the top variable of f; it panics on terminals.
+// Var returns the top (first chain) variable of f; it panics on
+// terminals.
 func (m *Manager) Var(f Node) int {
 	if f <= Base {
 		panic("zdd: Var of terminal")
 	}
-	return int(m.varOf[f])
+	return int(m.top[f])
 }
 
-// Lo returns the cofactor of f without its top variable.
+// Lo returns the cofactor of f without its top variable (equivalently:
+// without its chain — no set on the lo side contains any prefix of
+// it).
 func (m *Manager) Lo(f Node) Node { return m.lo[f] }
 
-// Hi returns the cofactor of f with its top variable (the variable
-// removed from the member sets).
+// Hi returns the stored cofactor of f with its whole chain (the chain
+// variables removed from the member sets).  Note that under chain
+// reduction this is the cofactor after *all* of ChainLen(f) variables,
+// not just the top one; Tail gives the single-variable view.
 func (m *Manager) Hi(f Node) Node { return m.hi[f] }
+
+// ChainLen returns the number of variables on f's chain (1 for every
+// node of a plain manager); it panics on terminals.
+func (m *Manager) ChainLen(f Node) int {
+	if f <= Base {
+		panic("zdd: ChainLen of terminal")
+	}
+	return int(m.clen[f])
+}
+
+// AppendChain appends f's chain variables in ascending order to dst.
+func (m *Manager) AppendChain(dst []int, f Node) []int {
+	for i := 0; i < int(m.clen[f]); i++ {
+		dst = append(dst, int(m.chainVar(f, i)))
+	}
+	return dst
+}
+
+// chainVar returns the i-th variable of f's chain (0-indexed).
+func (m *Manager) chainVar(f Node, i int) int32 {
+	if i == 0 {
+		return m.top[f]
+	}
+	return m.cpool[m.coff[f]+int32(i)-1]
+}
+
+// restOf returns the chain tail of f (everything after the top
+// variable) as a view into the pool; nil for single-variable chains.
+func (m *Manager) restOf(f Node) []int32 {
+	if m.clen[f] <= 1 {
+		return nil
+	}
+	return m.cpool[m.coff[f] : m.coff[f]+m.clen[f]-1]
+}
 
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
@@ -151,216 +263,135 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-func (m *Manager) uniqueHash(v int32, lo, hi Node) uint32 {
-	return uint32(mix64(uint64(uint32(v))<<40 ^ uint64(uint32(lo))<<20 ^ uint64(uint32(hi))))
+func (m *Manager) uniqueHash(top int32, rest []int32, lo, hi Node) uint32 {
+	h := uint64(uint32(top))<<40 ^ uint64(uint32(lo))<<20 ^ uint64(uint32(hi))
+	for _, v := range rest {
+		h = mix64(h) ^ uint64(uint32(v))
+	}
+	return uint32(mix64(h))
 }
 
-// mk returns the canonical node (v, lo, hi), applying the
-// zero-suppression rule hi = Empty ⇒ node = lo.
-func (m *Manager) mk(v int32, lo, hi Node) Node {
-	if hi == Empty {
-		return lo
-	}
-	idx := m.uniqueHash(v, lo, hi) & m.umask
+// cons hash-conses the node (top·rest, lo, hi).  The caller guarantees
+// canonical form: hi != Empty, and in chain mode hi is not pure (mk
+// and mkChain absorb pure hi-children before consing).  rest may alias
+// cpool — the insert path appends a copy before any slot is written.
+func (m *Manager) cons(top int32, rest []int32, lo, hi Node) Node {
+	k := int32(len(rest)) + 1
+	idx := m.uniqueHash(top, rest, lo, hi) & m.umask
 	for {
 		s := m.uslots[idx]
 		if s == 0 {
 			break
 		}
 		n := Node(s - 1)
-		if m.varOf[n] == v && m.lo[n] == lo && m.hi[n] == hi {
+		if m.top[n] == top && m.clen[n] == k && m.lo[n] == lo && m.hi[n] == hi &&
+			slices.Equal(m.restOf(n), rest) {
 			return n
 		}
 		idx = (idx + 1) & m.umask
 	}
-	if m.limit > 0 && len(m.varOf) >= m.limit {
+	if m.limit > 0 && len(m.top) >= m.limit {
 		panic(ErrNodeLimit)
 	}
-	n := Node(len(m.varOf))
-	m.varOf = append(m.varOf, v)
+	n := Node(len(m.top))
+	off := int32(0)
+	if len(rest) > 0 {
+		off = int32(len(m.cpool))
+		m.cpool = append(m.cpool, rest...)
+	}
+	m.top = append(m.top, top)
+	m.coff = append(m.coff, off)
+	m.clen = append(m.clen, k)
 	m.lo = append(m.lo, lo)
 	m.hi = append(m.hi, hi)
-	if len(m.varOf) > m.peak {
-		m.peak = len(m.varOf)
+	if len(m.top) > m.peak {
+		m.peak = len(m.top)
 	}
 	m.uslots[idx] = int32(n) + 1
-	if uint32(len(m.varOf))*4 >= m.umask*3 { // load factor 3/4
+	if uint32(len(m.top))*4 >= m.umask*3 { // load factor 3/4
 		m.growUnique()
 	}
 	return n
 }
 
+// pure reports whether f is a nonterminal whose lo-cofactor is Empty:
+// every set of f contains f's whole chain.  Canonical chain form
+// forbids a pure hi-child — mk absorbs it into the parent's chain.
+func (m *Manager) pure(f Node) bool { return f > Base && m.lo[f] == Empty }
+
+// mk returns the canonical node (v, lo, hi), applying the
+// zero-suppression rule hi = Empty ⇒ node = lo and, in chain mode,
+// absorbing a pure hi-child into the chain.  Absorption terminates in
+// one step: a stored node's hi is never pure, by induction.
+func (m *Manager) mk(v int32, lo, hi Node) Node {
+	if hi == Empty {
+		return lo
+	}
+	if m.chain && m.pure(hi) {
+		b := append(m.abuf[:0], v, m.top[hi])
+		b = append(b, m.restOf(hi)...)
+		m.abuf = b
+		return m.cons(v, b[1:], lo, m.hi[hi])
+	}
+	return m.cons(v, nil, lo, hi)
+}
+
+// mkChain returns the canonical node carrying the whole ascending
+// chain vars over (lo, hi).  In plain mode it expands to the classic
+// one-node-per-variable spine.
+func (m *Manager) mkChain(vars []int32, lo, hi Node) Node {
+	if hi == Empty {
+		return lo
+	}
+	if !m.chain {
+		for i := len(vars) - 1; i >= 1; i-- {
+			hi = m.cons(vars[i], nil, Empty, hi)
+		}
+		return m.cons(vars[0], nil, lo, hi)
+	}
+	if m.pure(hi) {
+		b := append(m.abuf[:0], vars...)
+		b = append(b, m.top[hi])
+		b = append(b, m.restOf(hi)...)
+		m.abuf = b
+		return m.cons(b[0], b[1:], lo, m.hi[hi])
+	}
+	return m.cons(vars[0], vars[1:], lo, hi)
+}
+
+// Tail returns the virtual hi-cofactor of f at its top variable alone:
+// the family {s \ {top} : s ∈ f, top ∈ s}.  For a single-variable
+// chain this is the stored hi; for a longer chain it is the pure node
+// carrying the rest of the chain, which shares pool storage with f.
+// Operations recurse through Tail to work variable-at-a-time.
+func (m *Manager) Tail(f Node) Node {
+	if m.clen[f] <= 1 {
+		return m.hi[f]
+	}
+	r := m.restOf(f)
+	return m.cons(r[0], r[1:], Empty, m.hi[f])
+}
+
 func (m *Manager) growUnique() {
 	m.umask = m.umask*2 + 1
 	m.uslots = make([]int32, m.umask+1)
-	for n := 2; n < len(m.varOf); n++ {
-		idx := m.uniqueHash(m.varOf[n], m.lo[n], m.hi[n]) & m.umask
+	for n := 2; n < len(m.top); n++ {
+		idx := m.uniqueHash(m.top[n], m.restOf(Node(n)), m.lo[n], m.hi[n]) & m.umask
 		for m.uslots[idx] != 0 {
 			idx = (idx + 1) & m.umask
 		}
 		m.uslots[idx] = int32(n) + 1
 	}
-}
-
-// beginVisit opens a traversal epoch: it grows the stamp slice to the
-// node store and bumps the epoch counter, which invalidates every
-// stamp of earlier traversals in O(1).  On (rare) epoch wraparound the
-// stamps are cleared so a stale stamp can never alias the new epoch.
-func (m *Manager) beginVisit() {
-	if len(m.vstamp) < len(m.varOf) {
-		m.vstamp = append(m.vstamp, make([]int32, len(m.varOf)-len(m.vstamp))...)
+	// The lossy caches scale with the unique table up to their caps;
+	// resizing drops their contents, which only costs recomputation.
+	if len(m.ckeys) < 1<<cacheMaxBits {
+		m.ckeys = make([]uint64, 2*len(m.ckeys))
+		m.cvals = make([]Node, 2*len(m.cvals))
 	}
-	m.vepoch++
-	if m.vepoch <= 0 {
-		for i := range m.vstamp {
-			m.vstamp[i] = 0
-		}
-		m.vepoch = 1
+	if len(m.nkeys) < 1<<countMaxBits {
+		m.nkeys = make([]Node, 2*len(m.nkeys))
+		m.nvals = make([]uint64, 2*len(m.nvals))
 	}
-}
-
-// ----- garbage collection -----
-//
-// The node store is append-only between collections: operations
-// hash-cons every intermediate result, so long reduction runs strand
-// large amounts of dead nodes behind the live families.  A collection
-// reclaims everything unreachable from the registered roots.
-//
-// Protocol: register every family that must survive with AddRoot
-// (passing a *Node, because compaction renumbers ids and the collector
-// rewrites the roots in place), call Collect only between operations —
-// node ids held on the Go stack by an operation in flight are
-// invisible to the collector — and treat every unregistered Node as
-// invalidated by the sweep.
-
-// AddRoot registers *f as an external GC root: the family *f (at the
-// time of a future Collect) survives collections and *f is rewritten
-// to the node's post-compaction id.  The same pointer may be
-// registered once; AddRoot panics on re-registration to catch
-// double-add bugs early.
-func (m *Manager) AddRoot(f *Node) {
-	for _, r := range m.roots {
-		if r == f {
-			panic("zdd: AddRoot: pointer already registered")
-		}
-	}
-	m.roots = append(m.roots, f)
-}
-
-// RemoveRoot unregisters a pointer previously passed to AddRoot.  It
-// is a no-op when the pointer is not registered.
-func (m *Manager) RemoveRoot(f *Node) {
-	for i, r := range m.roots {
-		if r == f {
-			m.roots = append(m.roots[:i], m.roots[i+1:]...)
-			return
-		}
-	}
-}
-
-// markLive stamps every node reachable from the registered roots with
-// the current epoch (the caller opens it) and returns the live node
-// count, terminals included.
-func (m *Manager) markLive() int {
-	live := 2
-	var mark func(Node)
-	mark = func(n Node) {
-		for n > Base && m.vstamp[n] != m.vepoch {
-			m.vstamp[n] = m.vepoch
-			live++
-			mark(m.hi[n])
-			n = m.lo[n]
-		}
-	}
-	for _, r := range m.roots {
-		mark(*r)
-	}
-	return live
-}
-
-// LiveNodeCount returns the number of nodes reachable from the
-// registered roots, terminals included — the store size a Collect
-// would compact to.  NodeCount, by contrast, counts every node ever
-// allocated since the last collection; budgeting against LiveNodeCount
-// lets a node cap measure the working set instead of the history.
-func (m *Manager) LiveNodeCount() int {
-	m.beginVisit()
-	return m.markLive()
-}
-
-// PeakNodeCount returns the high-water node store size over the
-// manager's lifetime; collections do not lower it.
-func (m *Manager) PeakNodeCount() int { return m.peak }
-
-// Collect reclaims every node unreachable from the registered roots
-// and returns how many it freed.  The surviving nodes are compacted to
-// the low ids (children always precede parents, so one in-order pass
-// remaps lo/hi), the unique table is rebuilt over the compacted store,
-// the computed and count caches are invalidated — their keys embed
-// pre-sweep ids — and each registered root is rewritten to its new id.
-// Every Node value not covered by a registered root is dangling after
-// Collect returns and must not be used.
-func (m *Manager) Collect() int {
-	n := len(m.varOf)
-	m.beginVisit()
-	live := m.markLive()
-	if live == n {
-		return 0
-	}
-	// Sweep: compact stores in id order, remapping through gcMap.
-	if cap(m.gcMap) < n {
-		m.gcMap = make([]Node, n)
-	}
-	remap := m.gcMap[:n]
-	remap[0], remap[1] = Empty, Base
-	w := 2
-	for i := 2; i < n; i++ {
-		if m.vstamp[i] != m.vepoch {
-			continue
-		}
-		remap[i] = Node(w)
-		m.varOf[w] = m.varOf[i]
-		m.lo[w] = remap[m.lo[i]]
-		m.hi[w] = remap[m.hi[i]]
-		w++
-	}
-	m.varOf = m.varOf[:w]
-	m.lo = m.lo[:w]
-	m.hi = m.hi[:w]
-	// Stamps refer to pre-sweep ids; the next beginVisit re-arms them.
-	m.vstamp = m.vstamp[:w]
-	// Rebuild the unique table at the load factor mk maintains.
-	size := uint32(1024)
-	for size*3 < uint32(w)*4 {
-		size *= 2
-	}
-	if uint32(len(m.uslots)) == size {
-		for i := range m.uslots {
-			m.uslots[i] = 0
-		}
-	} else {
-		m.uslots = make([]int32, size)
-	}
-	m.umask = size - 1
-	for i := 2; i < w; i++ {
-		idx := m.uniqueHash(m.varOf[i], m.lo[i], m.hi[i]) & m.umask
-		for m.uslots[idx] != 0 {
-			idx = (idx + 1) & m.umask
-		}
-		m.uslots[idx] = int32(i) + 1
-	}
-	// Invalidate the computed and count caches: zeroed keys can never
-	// match (operation codes start at 1; Count never caches terminals).
-	for i := range m.ckeys {
-		m.ckeys[i] = 0
-	}
-	for i := range m.nkeys {
-		m.nkeys[i] = 0
-	}
-	for _, r := range m.roots {
-		*r = remap[*r]
-	}
-	return n - w
 }
 
 // cacheKey packs an operation and its operands.  Node ids above 2^28
@@ -377,7 +408,7 @@ func (m *Manager) cacheGet(op uint64, f, g Node) (Node, bool) {
 	if !ok {
 		return 0, false
 	}
-	i := mix64(k) & (1<<cacheBits - 1)
+	i := mix64(k) & uint64(len(m.ckeys)-1)
 	if m.ckeys[i] == k {
 		return m.cvals[i], true
 	}
@@ -389,19 +420,19 @@ func (m *Manager) cachePut(op uint64, f, g, r Node) {
 	if !ok {
 		return
 	}
-	i := mix64(k) & (1<<cacheBits - 1)
+	i := mix64(k) & uint64(len(m.ckeys)-1)
 	m.ckeys[i] = k
 	m.cvals[i] = r
 }
 
-func (m *Manager) topVar(f Node) int32 { return m.varOf[f] }
+func (m *Manager) topVar(f Node) int32 { return m.top[f] }
 
 // Set builds the family containing exactly one set with the given
 // elements.  Elements may be passed in any order; duplicates are
 // collapsed.  Negative elements are rejected with an error (elements
-// index ZDD variables, which are non-negative by construction).
+// index ZDD variables, which are non-negative by construction).  In
+// chain mode the whole set is a single chain node.
 func (m *Manager) Set(elems []int) (Node, error) {
-	// Build bottom-up in decreasing variable order.
 	sorted := append([]int(nil), elems...)
 	for i := 1; i < len(sorted); i++ { // insertion sort: inputs are short
 		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
@@ -411,161 +442,29 @@ func (m *Manager) Set(elems []int) (Node, error) {
 	if len(sorted) > 0 && sorted[0] < 0 {
 		return Empty, fmt.Errorf("zdd: negative element %d", sorted[0])
 	}
-	n := Base
-	for i := len(sorted) - 1; i >= 0; i-- {
-		if i+1 < len(sorted) && sorted[i] == sorted[i+1] {
+	vars := m.abuf[:0]
+	for i, v := range sorted {
+		if i > 0 && v == sorted[i-1] {
 			continue
 		}
-		n = m.mk(int32(sorted[i]), Empty, n)
+		vars = append(vars, int32(v))
 	}
-	return n, nil
+	m.abuf = vars
+	if len(vars) == 0 {
+		return Base, nil
+	}
+	if !m.chain {
+		n := Base
+		for i := len(vars) - 1; i >= 0; i-- {
+			n = m.cons(vars[i], nil, Empty, n)
+		}
+		return n, nil
+	}
+	return m.cons(vars[0], vars[1:], Empty, Base), nil
 }
 
 // Single returns the family {{v}}.
 func (m *Manager) Single(v int) Node { return m.mk(int32(v), Empty, Base) }
-
-// Union returns f ∪ g.
-func (m *Manager) Union(f, g Node) Node {
-	switch {
-	case f == Empty:
-		return g
-	case g == Empty, f == g:
-		return f
-	}
-	if f > g {
-		f, g = g, f
-	}
-	if r, ok := m.cacheGet(opUnion, f, g); ok {
-		return r
-	}
-	vf, vg := m.topVar(f), m.topVar(g)
-	var r Node
-	switch {
-	case vf < vg:
-		r = m.mk(vf, m.Union(m.lo[f], g), m.hi[f])
-	case vf > vg:
-		r = m.mk(vg, m.Union(f, m.lo[g]), m.hi[g])
-	default:
-		r = m.mk(vf, m.Union(m.lo[f], m.lo[g]), m.Union(m.hi[f], m.hi[g]))
-	}
-	m.cachePut(opUnion, f, g, r)
-	return r
-}
-
-// Intersect returns f ∩ g.
-func (m *Manager) Intersect(f, g Node) Node {
-	switch {
-	case f == Empty || g == Empty:
-		return Empty
-	case f == g:
-		return f
-	case f == Base:
-		if m.hasEmptySet(g) {
-			return Base
-		}
-		return Empty
-	case g == Base:
-		if m.hasEmptySet(f) {
-			return Base
-		}
-		return Empty
-	}
-	if f > g {
-		f, g = g, f
-	}
-	if r, ok := m.cacheGet(opIntersect, f, g); ok {
-		return r
-	}
-	vf, vg := m.topVar(f), m.topVar(g)
-	var r Node
-	switch {
-	case vf < vg:
-		r = m.Intersect(m.lo[f], g)
-	case vf > vg:
-		r = m.Intersect(f, m.lo[g])
-	default:
-		r = m.mk(vf, m.Intersect(m.lo[f], m.lo[g]), m.Intersect(m.hi[f], m.hi[g]))
-	}
-	m.cachePut(opIntersect, f, g, r)
-	return r
-}
-
-// Diff returns f \ g.
-func (m *Manager) Diff(f, g Node) Node {
-	switch {
-	case f == Empty || f == g:
-		return Empty
-	case g == Empty:
-		return f
-	case f == Base:
-		if m.hasEmptySet(g) {
-			return Empty
-		}
-		return Base
-	}
-	if r, ok := m.cacheGet(opDiff, f, g); ok {
-		return r
-	}
-	vf, vg := m.topVar(f), m.topVar(g)
-	var r Node
-	switch {
-	case vf < vg:
-		r = m.mk(vf, m.Diff(m.lo[f], g), m.hi[f])
-	case vf > vg:
-		r = m.Diff(f, m.lo[g])
-	default:
-		r = m.mk(vf, m.Diff(m.lo[f], m.lo[g]), m.Diff(m.hi[f], m.hi[g]))
-	}
-	m.cachePut(opDiff, f, g, r)
-	return r
-}
-
-// Subset1 returns {S \ {v} : S ∈ f, v ∈ S}: the sets containing v,
-// with v removed.
-func (m *Manager) Subset1(f Node, v int) Node {
-	if f <= Base {
-		return Empty
-	}
-	t := m.topVar(f)
-	switch {
-	case t > int32(v):
-		return Empty // v is above every element of these sets
-	case t == int32(v):
-		return m.hi[f]
-	}
-	if r, ok := m.cacheGet(opSubset1, f, Node(v)); ok {
-		return r
-	}
-	r := m.mk(t, m.Subset1(m.lo[f], v), m.Subset1(m.hi[f], v))
-	m.cachePut(opSubset1, f, Node(v), r)
-	return r
-}
-
-// Subset0 returns {S ∈ f : v ∉ S}.
-func (m *Manager) Subset0(f Node, v int) Node {
-	if f <= Base {
-		return f
-	}
-	t := m.topVar(f)
-	switch {
-	case t > int32(v):
-		return f
-	case t == int32(v):
-		return m.lo[f]
-	}
-	if r, ok := m.cacheGet(opSubset0, f, Node(v)); ok {
-		return r
-	}
-	r := m.mk(t, m.Subset0(m.lo[f], v), m.Subset0(m.hi[f], v))
-	m.cachePut(opSubset0, f, Node(v), r)
-	return r
-}
-
-// Remove deletes element v from every set of f (the union of Subset0
-// and Subset1).
-func (m *Manager) Remove(f Node, v int) Node {
-	return m.Union(m.Subset0(f, v), m.Subset1(f, v))
-}
 
 // hasEmptySet reports whether ∅ ∈ f.  The empty set lives at the end
 // of the lo-spine.
@@ -581,7 +480,8 @@ func (m *Manager) hasEmptySet(f Node) bool {
 func (m *Manager) HasEmptySet(f Node) bool { return m.hasEmptySet(f) }
 
 // Count returns the number of sets in the family, saturating at
-// MaxUint64.
+// MaxUint64.  A chain contributes a single branch point, so the
+// recurrence is the plain one over the stored cofactors.
 func (m *Manager) Count(f Node) uint64 {
 	switch f {
 	case Empty:
@@ -619,13 +519,14 @@ func (m *Manager) AppendSupport(dst []int, f Node) []int {
 	}
 	m.beginVisit()
 	base := len(dst)
-	// One entry per node, then sort + dedup: the same variable appears
-	// on many nodes, but the node walk itself bounds the work.
+	// One entry per chain variable, then sort + dedup: the same
+	// variable appears on many nodes, but the node walk itself bounds
+	// the work.
 	var walk func(Node)
 	walk = func(n Node) {
 		for n > Base && m.vstamp[n] != m.vepoch {
 			m.vstamp[n] = m.vepoch
-			dst = append(dst, int(m.varOf[n]))
+			dst = m.AppendChain(dst, n)
 			walk(m.hi[n])
 			n = m.lo[n]
 		}
@@ -659,146 +560,13 @@ func (m *Manager) Enumerate(f Node, visit func(set []int) bool) {
 		if !rec(m.lo[n]) {
 			return false
 		}
-		elems = append(elems, int(m.varOf[n]))
+		mark := len(elems)
+		elems = m.AppendChain(elems, n)
 		ok := rec(m.hi[n])
-		elems = elems[:len(elems)-1]
+		elems = elems[:mark]
 		return ok
 	}
 	rec(f)
-}
-
-// NonSupersets returns {S ∈ f : no T ∈ g satisfies T ⊆ S}.
-func (m *Manager) NonSupersets(f, g Node) Node {
-	switch {
-	case g == Empty:
-		return f
-	case f == Empty:
-		return Empty
-	case m.hasEmptySet(g):
-		return Empty // ∅ is a subset of everything
-	case f == Base:
-		return Base // ∅ has no non-empty subset
-	case f == g:
-		return Empty
-	}
-	if r, ok := m.cacheGet(opNonSup, f, g); ok {
-		return r
-	}
-	vf, vg := m.topVar(f), m.topVar(g)
-	var r Node
-	switch {
-	case vf == vg:
-		// Sets of f.hi contain vf: they are supersets of T either when
-		// T ∈ g.lo (T avoids vf) with T ⊆ S, or when T ∈ g.hi with
-		// T\{vf} ⊆ S\{vf}.
-		hi := m.Intersect(m.NonSupersets(m.hi[f], m.lo[g]), m.NonSupersets(m.hi[f], m.hi[g]))
-		lo := m.NonSupersets(m.lo[f], m.lo[g])
-		r = m.mk(vf, lo, hi)
-	case vf < vg:
-		// No set of g contains vf, so vf is irrelevant for the
-		// subset tests.
-		r = m.mk(vf, m.NonSupersets(m.lo[f], g), m.NonSupersets(m.hi[f], g))
-	default: // vg < vf: sets of g containing vg cannot be subsets
-		r = m.NonSupersets(f, m.lo[g])
-	}
-	m.cachePut(opNonSup, f, g, r)
-	return r
-}
-
-// Minimal returns the sets of f that contain no other set of f: the
-// minimal elements of the family under inclusion.  On a covering
-// matrix stored row-wise this performs row dominance in one pass.
-func (m *Manager) Minimal(f Node) Node {
-	if f <= Base {
-		return f
-	}
-	if m.hasEmptySet(f) {
-		return Base
-	}
-	if r, ok := m.cacheGet(opMinimal, f, Empty); ok {
-		return r
-	}
-	lo := m.Minimal(m.lo[f])
-	hi := m.Minimal(m.hi[f])
-	// A set containing v is minimal only if no minimal set without v
-	// is included in it.
-	hi = m.NonSupersets(hi, lo)
-	r := m.mk(m.topVar(f), lo, hi)
-	m.cachePut(opMinimal, f, Empty, r)
-	return r
-}
-
-// NonSubsets returns {S ∈ f : no T ∈ g satisfies S ⊆ T}.
-func (m *Manager) NonSubsets(f, g Node) Node {
-	switch {
-	case g == Empty:
-		return f
-	case f == Empty, f == g:
-		return Empty
-	case f == Base:
-		return Empty // ∅ is a subset of any set of the non-empty g
-	}
-	if r, ok := m.cacheGet(opNonSub, f, g); ok {
-		return r
-	}
-	vf, vg := m.topVar(f), m.topVar(g)
-	var r Node
-	switch {
-	case vf == vg:
-		// Sets without vf can hide inside g.lo or inside g.hi (their
-		// supersets may or may not contain vf); sets with vf only
-		// inside g.hi.
-		lo := m.Intersect(m.NonSubsets(m.lo[f], m.lo[g]), m.NonSubsets(m.lo[f], m.hi[g]))
-		hi := m.NonSubsets(m.hi[f], m.hi[g])
-		r = m.mk(vf, lo, hi)
-	case vf < vg:
-		// Sets of f containing vf cannot be subsets of any set of g
-		// (none contains vf), so they all survive.
-		r = m.mk(vf, m.NonSubsets(m.lo[f], g), m.hi[f])
-	default: // vg < vf
-		lo := m.Intersect(m.NonSubsets(f, m.lo[g]), m.NonSubsets(f, m.hi[g]))
-		r = lo
-	}
-	m.cachePut(opNonSub, f, g, r)
-	return r
-}
-
-// Maximal returns the sets of f contained in no other set of f: the
-// maximal elements of the family under inclusion (the dual of
-// Minimal).
-func (m *Manager) Maximal(f Node) Node {
-	if f <= Base {
-		return f
-	}
-	if r, ok := m.cacheGet(opMaximal, f, Empty); ok {
-		return r
-	}
-	lo := m.Maximal(m.lo[f])
-	hi := m.Maximal(m.hi[f])
-	// A set without v is maximal only if it is not a subset of a
-	// maximal set containing v.
-	lo = m.NonSubsets(lo, hi)
-	r := m.mk(m.topVar(f), lo, hi)
-	m.cachePut(opMaximal, f, Empty, r)
-	return r
-}
-
-// Singletons returns the subfamily of f consisting of its one-element
-// sets.  On a covering matrix these identify essential columns.
-func (m *Manager) Singletons(f Node) Node {
-	if f <= Base {
-		return Empty
-	}
-	if r, ok := m.cacheGet(opSingletons, f, Empty); ok {
-		return r
-	}
-	hi := Empty
-	if m.hasEmptySet(m.hi[f]) {
-		hi = Base
-	}
-	r := m.mk(m.topVar(f), m.Singletons(m.lo[f]), hi)
-	m.cachePut(opSingletons, f, Empty, r)
-	return r
 }
 
 // Member reports whether the given set belongs to the family.
@@ -822,8 +590,16 @@ func (m *Manager) Member(f Node, set []int) bool {
 		case int32(sorted[i]) < v:
 			return false
 		case int32(sorted[i]) == v:
+			// The hi side carries the whole chain: the set must
+			// contain every chain variable, consecutively in sorted
+			// order up to the next gap.
+			for j := 0; j < int(m.clen[f]); j++ {
+				if i == len(sorted) || int32(sorted[i]) != m.chainVar(f, j) {
+					return false
+				}
+				i++
+			}
 			f = m.hi[f]
-			i++
 		default:
 			f = m.lo[f]
 		}

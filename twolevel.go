@@ -81,6 +81,15 @@ type TwoLevelResult struct {
 	CacheHits   int64
 	CacheMisses int64
 	TTHits      int64
+	// ZDD engine profile of the implicit reduction phase (SCG pipeline
+	// only; all zero for Espresso, the exact pipeline, or when the
+	// dense shortcut claimed the instance): high-water node store,
+	// live and plain-equivalent nodes of the surviving family, and
+	// mark-sweep collections.  See scg.Stats.
+	ZDDNodes       int
+	ZDDLiveNodes   int
+	ZDDPlainNodes  int
+	ZDDCollections int
 }
 
 // BuildCovering reformulates the minimisation of f (ON-set F, DC-set
@@ -142,6 +151,10 @@ func MinimizeSCG(f *PLA, opt SCGOptions) (out *TwoLevelResult, err error) {
 		StopReason:     res.StopReason,
 		CacheHits:      res.Stats.CacheHits,
 		CacheMisses:    res.Stats.CacheMisses,
+		ZDDNodes:       res.Stats.ZDDNodes,
+		ZDDLiveNodes:   res.Stats.ZDDLiveNodes,
+		ZDDPlainNodes:  res.Stats.ZDDPlainNodes,
+		ZDDCollections: res.Stats.ZDDCollections,
 	}
 	if !complete {
 		// The covering ranged over a partial implicant set: its bound
