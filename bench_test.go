@@ -438,6 +438,123 @@ func BenchmarkSolveCached(b *testing.B) {
 	})
 }
 
+// deltaRow1 builds the single-row edit: one near-duplicate (superset)
+// of an existing row, the shape an iterated minimisation loop submits.
+func deltaRow1(p *matrix.Problem) *Delta {
+	src := p.Rows[len(p.Rows)/2]
+	extra := 0
+	for _, j := range src {
+		if j == extra {
+			extra++
+		}
+	}
+	row := append(append([]int(nil), src...), extra%p.NCol)
+	d, err := p.AddRows([][]int{row})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// deltaCol1 builds the single-column edit: one fresh column covering a
+// handful of spread-out rows.
+func deltaCol1(p *matrix.Problem) *Delta {
+	cover := make([]int, 0, 8)
+	for i := 0; i < len(p.Rows); i += 1 + len(p.Rows)/8 {
+		cover = append(cover, i)
+	}
+	d, err := p.AddCols([]int{p.Cost[0] + 1}, [][]int{cover})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// deltaBatch5 builds the 5% batch edit: near-duplicate rows appended
+// for one row in twenty.
+func deltaBatch5(p *matrix.Problem) *Delta {
+	var rows [][]int
+	for i := 0; i < len(p.Rows); i += 20 {
+		src := p.Rows[i]
+		rows = append(rows, append(append([]int(nil), src...), (src[0]+i+1)%p.NCol))
+	}
+	d, err := p.AddRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BenchmarkDeltaResolve measures the incremental re-solve path against
+// a from-scratch kept solve of the same edited instance: cold is the
+// baseline SolveSCGKeep of the single-row child, row1/col1/batch5pct
+// are Solver.Resolve with the parent state in hand.  The acceptance
+// bar is row1 ≤ 25% of cold ns/op (target ~10%); results are
+// bit-identical to cold by the replay contract, checked every
+// iteration.  Instances: a scpd1-shaped random covering (400×4000,
+// 5% density, the OR-Library hard-set shape) and the max1024 covering
+// from the paper's difficult cyclic set.
+func BenchmarkDeltaResolve(b *testing.B) {
+	var max1024 benchmarks.Instance
+	for _, in := range benchmarks.DifficultCyclic() {
+		if in.Name == "max1024" {
+			max1024 = in
+		}
+	}
+	instances := []struct {
+		name string
+		p    *matrix.Problem
+	}{
+		{"scpd-like", benchmarks.RandomCovering(41, 400, 4000, 0.05, 100)},
+		{"max1024", harness.Covering(max1024)},
+	}
+	opt := SCGOptions{Seed: 7, NumIter: 1}
+	for _, inst := range instances {
+		b.Run(inst.name, func(b *testing.B) {
+			p := inst.p
+			edits := []struct {
+				name string
+				d    *Delta
+			}{
+				{"row1", deltaRow1(p)},
+				{"col1", deltaCol1(p)},
+				{"batch5pct", deltaBatch5(p)},
+			}
+			b.Run("cold", func(b *testing.B) {
+				b.ReportAllocs()
+				s := NewSolver(SolverOptions{ArenaSize: -1})
+				child := edits[0].d.Child
+				for i := 0; i < b.N; i++ {
+					if res, _ := s.SolveSCGKeep(child, opt); res.Solution == nil {
+						b.Fatal("no solution")
+					}
+				}
+			})
+			for _, e := range edits {
+				b.Run(e.name, func(b *testing.B) {
+					b.ReportAllocs()
+					s := NewSolver(SolverOptions{ArenaSize: -1})
+					_, keep := s.SolveSCGKeep(p, opt)
+					want, _ := s.SolveSCGKeep(e.d.Child, opt)
+					if want.Solution == nil {
+						b.Fatal("no solution")
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, _ := s.Resolve(e.d, keep, opt, ResolveOptions{})
+						if res.Cost != want.Cost || res.Stats.Runs != want.Stats.Runs {
+							b.Fatalf("resolve diverged from cold: cost %d vs %d", res.Cost, want.Cost)
+						}
+					}
+					b.StopTimer()
+					rs := s.ResolveStats()
+					b.ReportMetric(float64(rs.CompsReused)/float64(b.N), "reused/op")
+				})
+			}
+		})
+	}
+}
+
 // isoBlockCovering builds k label-disjoint copies of one random
 // covering block: the branch-and-bound partitions it into k components
 // whose sub-cores are isomorphic, so the canonical transposition table

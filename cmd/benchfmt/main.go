@@ -190,18 +190,21 @@ func loadBaseline(path string) (*Doc, error) {
 	return base, nil
 }
 
-// Regression thresholds for -against: timing may wobble by up to 25%
-// before failing the gate (shared machines are noisy), plus an
-// absolute slack so sub-millisecond benchmarks — whose noise floor
-// (scheduler ticks, cold caches) is a large fraction of the runtime —
-// don't flake the gate while it stays meaningful for the ms-to-s
-// benches.  Allocation counts are near-deterministic, but the parallel
+// Regression thresholds for -against: timing may wobble by up to 75%
+// before failing the gate — the shared container drifts between load
+// windows whose minima differ by ~1.5× on millisecond-scale benches
+// (measured on the ZDD substrates), so any tighter bound flakes on
+// noise while a real slowdown worth acting on (2×+) still fails —
+// plus an absolute slack so sub-millisecond benchmarks, whose noise
+// floor (scheduler ticks, cold caches) is a large fraction of the
+// runtime, don't flake either.  The precise half of the gate is
+// allocations: counts are near-deterministic, but the parallel
 // portfolio's sync.Pool behaviour is scheduler-dependent, so its count
 // jitters by a few per-op in the hundreds of thousands between runs; a
 // 0.5% allowance absorbs that while a real leak (orders of magnitude
 // larger) still fails.
 const (
-	maxNsGrowth     = 0.25
+	maxNsGrowth     = 0.75
 	minNsSlack      = 100e3 // 100µs
 	maxAllocsGrowth = 0.005
 )

@@ -281,6 +281,38 @@ func ReduceTrackedWorkers(p *Problem, tr *budget.Tracker, workers int) *TrackedR
 	return reduceTracked(p, tr, workers)
 }
 
+// ReduceTrace records the dominance facts a reduction applied, as
+// (victim, witness) pairs: the input-row index a killed row descends
+// from together with the row that dominated it, and the id of a
+// removed column together with its dominating column.  Essential
+// extractions are not recorded — they are cheap to re-derive and their
+// justification (a singleton row) rarely survives an edit verbatim.
+//
+// A trace is a set of hints, not a proof: facts later in the list may
+// have been justified against an already-reduced intermediate state,
+// so ReplayReduce re-verifies every pair against the edited child
+// before applying it.  That is what makes replay sound under arbitrary
+// edits — an invalidated fact simply fails verification and falls back
+// to the fixpoint.
+type ReduceTrace struct {
+	// RowKills holds {killed, killer} input-row index pairs: killer's
+	// column set was a subset of killed's when the kill happened.
+	RowKills [][2]int32
+	// ColKills holds {removed, dominator} column-id pairs: dominator
+	// covered a superset of removed's rows at no greater cost.
+	ColKills [][2]int32
+}
+
+// ReduceTrackedTrace is ReduceTrackedWorkers plus a fact trace for
+// later incremental replay (see ReplayReduce).  Tracing pins the
+// reduction to the sparse engine — whose output is bit-identical to
+// the dense one by contract — and costs one extra O(rows+cols) scratch
+// pass per fixpoint round.
+func ReduceTrackedTrace(p *Problem, tr *budget.Tracker, workers int) (*TrackedReduction, *ReduceTrace) {
+	trace := &ReduceTrace{}
+	return reduceTrackedT(p, tr, workers, trace, nil), trace
+}
+
 // reduceScratch carries the fixpoint loop's reusable state: the packed
 // (length, index) candidate ordering — hoisted out of the passes and
 // re-sorted in place each pass instead of re-derived from scratch —
@@ -302,6 +334,18 @@ type reduceScratch struct {
 	colSig  []uint64
 	active  []int
 	deadCol []bool
+	// trace, when non-nil, collects the dominance facts the passes
+	// apply; killer/domBy are its per-pass witness scratch.
+	trace  *ReduceTrace
+	killer []int32
+	domBy  []int32
+	// colHints seeds the first column-dominance pass with candidate
+	// (victim, dominator) pairs from a parent trace: each pair is
+	// verified against the pass-start state — the same predicate the
+	// scan applies — and a verified victim skips its dominator scan.
+	// Hints can never change the kill set, only how cheaply it is
+	// found, so replayed reductions stay bit-identical to cold ones.
+	colHints [][2]int32
 }
 
 func growInt(s []int, n int) []int {
@@ -328,11 +372,19 @@ func sigOf(ids []int) uint64 {
 }
 
 func reduceTracked(p *Problem, tr *budget.Tracker, workers int) *TrackedReduction {
+	return reduceTrackedT(p, tr, workers, nil, nil)
+}
+
+// colHints, when non-nil, seeds the first column-dominance pass with
+// replayed candidate kills; see reduceScratch.colHints.
+func reduceTrackedT(p *Problem, tr *budget.Tracker, workers int, trace *ReduceTrace, colHints [][2]int32) *TrackedReduction {
 	res := &TrackedReduction{}
 	// The dense bit-matrix engine and this sparse loop implement the
 	// identical fixpoint (same orders, same tie-breaks); the choice is
-	// purely a data-layout decision.
-	useDense := reduceOverride == 2 || (reduceOverride == 0 && DenseEligible(p))
+	// purely a data-layout decision.  Tracing needs the sparse loop's
+	// witness bookkeeping, so it pins the sparse engine.
+	useDense := trace == nil &&
+		(reduceOverride == 2 || (reduceOverride == 0 && DenseEligible(p)))
 	if useDense {
 		denseReduce(p, tr, res, workers)
 		sort.Ints(res.Essential)
@@ -343,7 +395,7 @@ func reduceTracked(p *Problem, tr *budget.Tracker, workers int) *TrackedReductio
 	for i := range origin {
 		origin[i] = i
 	}
-	st := &reduceScratch{workers: workers}
+	st := &reduceScratch{workers: workers, trace: trace, colHints: colHints}
 	st.rowSig = growU64(st.rowSig, len(cur.Rows))
 	for i, r := range cur.Rows {
 		st.rowSig[i] = sigOf(r)
@@ -468,6 +520,15 @@ func dropSupersetRows(p *Problem, origin []int, st *reduceScratch) ([]int, bool)
 		keep[i] = true
 	}
 	sig := st.rowSig
+	// Witness capture for the replay trace: killer[b] is the canonical
+	// (first-in-order) dominator of a killed row b.  Shards write
+	// disjoint b's, so the slice needs no synchronisation, and the
+	// witness is deterministic because the inner scan order is.
+	var killer []int32
+	if st.trace != nil {
+		st.killer = growI32(st.killer, n)
+		killer = st.killer
+	}
 	var nKill atomic.Int64
 	parShard(n, st.workers, func(lo, hi int) {
 		kills := 0
@@ -480,6 +541,9 @@ func dropSupersetRows(p *Problem, origin []int, st *reduceScratch) ([]int, bool)
 				}
 				if isSubsetSorted(p.Rows[a], rb) {
 					keep[b] = false
+					if killer != nil {
+						killer[b] = int32(a)
+					}
 					kills++
 					break
 				}
@@ -491,6 +555,16 @@ func dropSupersetRows(p *Problem, origin []int, st *reduceScratch) ([]int, bool)
 	})
 	if nKill.Load() == 0 {
 		return origin, false
+	}
+	if st.trace != nil {
+		// Record in ascending victim index, before the filter below
+		// rewrites origin in place.
+		for b := 0; b < n; b++ {
+			if !keep[b] {
+				st.trace.RowKills = append(st.trace.RowKills,
+					[2]int32{int32(origin[b]), int32(origin[killer[b]])})
+			}
+		}
 	}
 	w := 0
 	for i, r := range p.Rows {
@@ -567,11 +641,57 @@ func dropDominatedCols(p *Problem, st *reduceScratch) bool {
 		colSig[j] = s
 		dead[j] = false
 	}
+	var domBy []int32
+	if st.trace != nil {
+		st.domBy = growI32(st.domBy, p.NCol)
+		domBy = st.domBy
+	}
 	var nDead atomic.Int64
+	// Hinted kills first: verify each replayed (victim, dominator) pair
+	// with the exact predicate the scan below applies.  A verified
+	// victim is killed without scanning for a dominator; an unverified
+	// pair is simply dropped and the victim scans normally.  Either way
+	// the kill set equals the scan's — a verified dominator IS a
+	// witness for the scan's existential — only the recorded witness
+	// may differ.  Hints apply to one pass only: they were recorded
+	// against the parent's corresponding pass state, and later passes
+	// run on states the parent never saw.
+	if st.colHints != nil {
+		nHint := 0
+		for _, f := range st.colHints {
+			k, j := int(f[0]), int(f[1])
+			if k < 0 || j < 0 || k >= p.NCol || j >= p.NCol || k == j || dead[k] {
+				continue
+			}
+			ck := idx[start[k]:start[k+1]]
+			cj := idx[start[j]:start[j+1]]
+			if len(ck) == 0 || p.Cost[j] > p.Cost[k] {
+				continue
+			}
+			if colSig[k]&^colSig[j] != 0 || len(ck) > len(cj) || !isSubsetSortedI32(ck, cj) {
+				continue
+			}
+			if len(ck) == len(cj) && p.Cost[j] == p.Cost[k] && j > k {
+				continue
+			}
+			dead[k] = true
+			if domBy != nil {
+				domBy[k] = int32(j)
+			}
+			nHint++
+		}
+		st.colHints = nil
+		if nHint > 0 {
+			nDead.Add(int64(nHint))
+		}
+	}
 	parShard(len(active), st.workers, func(lo, hi int) {
 		kills := 0
 		for ki := lo; ki < hi; ki++ {
 			k := active[ki]
+			if dead[k] {
+				continue // killed by a verified hint above
+			}
 			ck := idx[start[k]:start[k+1]]
 			sk, costK := colSig[k], p.Cost[k]
 			for _, j := range active {
@@ -591,6 +711,9 @@ func dropDominatedCols(p *Problem, st *reduceScratch) bool {
 					continue
 				}
 				dead[k] = true
+				if domBy != nil {
+					domBy[k] = int32(j)
+				}
 				kills++
 				break
 			}
@@ -601,6 +724,13 @@ func dropDominatedCols(p *Problem, st *reduceScratch) bool {
 	})
 	if nDead.Load() == 0 {
 		return false
+	}
+	if st.trace != nil {
+		for _, k := range active {
+			if dead[k] {
+				st.trace.ColKills = append(st.trace.ColKills, [2]int32{int32(k), domBy[k]})
+			}
+		}
 	}
 	for i, r := range p.Rows {
 		out := r[:0]

@@ -45,6 +45,14 @@ type compState struct {
 	core *matrix.Problem
 	idx  int // block index, part of every restart's RNG seed
 
+	// capture asks init to snapshot the initial phase's multipliers
+	// (for later warm starts across solves); warm, when non-nil, seeds
+	// the initial subgradient phase instead of starting cold.  Warm
+	// starts trade the bit-identity contract for convergence speed —
+	// see ResolveOptions.WarmStart.
+	capture bool
+	warm    *warmStart
+
 	// Initial phase results.
 	ok        bool // block is coverable (always true post-reduction)
 	noRuns    bool // initial incumbent already matches ⌈LB⌉
@@ -52,6 +60,12 @@ type compState struct {
 	best      []int
 	bestCost  int
 	lb        float64
+
+	// Multiplier snapshots of the initial phase, kept when capture is
+	// set: lambdaSnap aligns with core.Rows, muSnap is indexed by
+	// original column id (length core.NCol).
+	lambdaSnap []float64
+	muSnap     []float64
 
 	// Restart jobs, indexed run-1.
 	runs []runResult
@@ -84,9 +98,20 @@ type runResult struct {
 // nil) collects per-block incumbents for the OnImprove hook.
 func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker, obs *anytime) []*compState {
 	states := make([]*compState, len(comps))
+	pend := make([]int, len(comps))
 	for c, comp := range comps {
 		states[c] = &compState{core: comp.Problem, idx: c}
+		pend[c] = c
 	}
+	runStates(states, pend, opt, tr, obs)
+	return states
+}
+
+// runStates executes the portfolio for the listed (pending) blocks:
+// one init job each, then one job per restart, all on the shared worker
+// pool.  Blocks outside pend are left untouched — the resolve path
+// passes states it carried over from a parent solve, already final.
+func runStates(states []*compState, pend []int, opt Options, tr *budget.Tracker, obs *anytime) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -104,7 +129,8 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker, obs 
 	// phase must produce its greedy feasible cover — the bottom rung of
 	// the degradation ladder.  Each job observes the real tracker
 	// internally and returns promptly.
-	parallelDo(len(states), workers, nil, pool, func(c int, sc *lagrangian.Scratch) {
+	parallelDo(len(pend), workers, nil, pool, func(k int, sc *lagrangian.Scratch) {
+		c := pend[k]
 		states[c].init(opt, tr, sc)
 		if cs := states[c]; cs.ok {
 			obs.update(c, cs.best, cs.bestCost, cs.lb)
@@ -113,8 +139,8 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker, obs 
 
 	type job struct{ c, r int }
 	var jobs []job
-	for c, cs := range states {
-		if cs.ok && !cs.noRuns {
+	for _, c := range pend {
+		if cs := states[c]; cs.ok && !cs.noRuns {
 			for r := 1; r <= len(cs.runs); r++ {
 				jobs = append(jobs, job{c, r})
 			}
@@ -123,15 +149,39 @@ func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker, obs 
 	parallelDo(len(jobs), workers, tr, pool, func(k int, sc *lagrangian.Scratch) {
 		states[jobs[k].c].runJob(jobs[k].r, opt, tr, sc, obs)
 	})
-	return states
+}
+
+// warmStart carries multipliers into a block's initial subgradient
+// phase: lambda aligns with the block's core rows, muByCol is indexed
+// by original column id (ids at or past its length start at zero).
+type warmStart struct {
+	lambda  []float64
+	muByCol []float64
 }
 
 // init runs the block's initial subgradient phase and prepares the
 // restart slots.
 func (cs *compState) init(opt Options, tr *budget.Tracker, sc *lagrangian.Scratch) {
 	compact, ids := cs.core.Compact()
-	sg := lagrangian.SubgradientScratch(compact, opt.Params, nil, 0, tr, sc)
+	var start *lagrangian.Multipliers
+	if w := cs.warm; w != nil && len(w.lambda) == len(cs.core.Rows) {
+		mu := make([]float64, compact.NCol)
+		for k, j := range ids {
+			if j < len(w.muByCol) {
+				mu[k] = w.muByCol[j]
+			}
+		}
+		start = &lagrangian.Multipliers{Lambda: w.lambda, Mu: mu}
+	}
+	sg := lagrangian.SubgradientScratch(compact, opt.Params, start, 0, tr, sc)
 	cs.initIters = sg.Iters
+	if cs.capture && len(sg.Lambda) == len(cs.core.Rows) && len(sg.Mu) == compact.NCol {
+		cs.lambdaSnap = append([]float64(nil), sg.Lambda...)
+		cs.muSnap = make([]float64, cs.core.NCol)
+		for k, j := range ids {
+			cs.muSnap[j] = sg.Mu[k]
+		}
+	}
 	if sg.Best == nil {
 		return // uncoverable block: ok stays false
 	}

@@ -42,6 +42,20 @@ type Request struct {
 	// IterCap caps scg subgradient iterations (anytime degradation).
 	IterCap int `json:"itercap,omitempty"`
 
+	// Keep asks the server to retain the solve state for later
+	// incremental re-solves; the response then carries a solve_id the
+	// client can name as Parent in a follow-up request.  Matrix scg
+	// solves only; keep solves pin the explicit reduction pipeline,
+	// bypass the cross-solve cache and emit no streamed incumbents.
+	Keep bool `json:"keep,omitempty"`
+	// Parent names an earlier keep solve's solve_id: the server
+	// reconstructs the edit from that retained instance to this one
+	// and re-solves incrementally, bit-identical to a from-scratch
+	// solve (Keep is implied, so chains keep working).  An expired or
+	// unknown id silently degrades to a from-scratch solve — the id is
+	// a performance hint, not state the client may rely on.
+	Parent string `json:"parent,omitempty"`
+
 	// TimeoutMS is the client's requested wall-clock budget in
 	// milliseconds; the server clamps it to its configured maximum
 	// (the X-UCP-Timeout-Ms header, when present, overrides it).
@@ -121,6 +135,16 @@ func (r *Request) validate() error {
 	if r.MaxNodes < 0 || r.IterCap < 0 || r.TimeoutMS < 0 {
 		return fmt.Errorf("negative cap")
 	}
+	if r.Keep || r.Parent != "" {
+		if r.Format == "pla" {
+			return fmt.Errorf("keep/parent apply to covering matrices, not format \"pla\"")
+		}
+		switch r.Solver {
+		case "", "scg":
+		default:
+			return fmt.Errorf("keep/parent need the scg solver, not %q", r.Solver)
+		}
+	}
 	return nil
 }
 
@@ -170,6 +194,9 @@ type Response struct {
 	StopReason  string `json:"stop_reason,omitempty"`
 	// CacheHit marks a result served from the shared cross-solve cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// SolveID names the retained state of a keep/parent solve; pass it
+	// as the next request's parent to re-solve incrementally.
+	SolveID string `json:"solve_id,omitempty"`
 	// Cover carries the minimised product terms (PLA cube notation,
 	// one per line element) for format "pla" results; Cost is then the
 	// product count and Literals the secondary literal cost.

@@ -104,8 +104,9 @@ type Stats struct {
 	InflightBytes int64 `json:"inflight_bytes"`
 	Draining      bool  `json:"draining"`
 
-	Cache ucp.CacheStats `json:"cache"`
-	ZDD   ZDDStats       `json:"zdd"`
+	Cache   ucp.CacheStats `json:"cache"`
+	Resolve ResolveStats   `json:"resolve"`
+	ZDD     ZDDStats       `json:"zdd"`
 }
 
 // ZDDStats aggregates the implicit-phase engine profile across every
@@ -135,6 +136,7 @@ type Server struct {
 	sched  *scheduler
 	fault  *faultinject.Injector
 	mux    *http.ServeMux
+	keeps  *keepStore
 
 	wg sync.WaitGroup // worker goroutines
 
@@ -151,6 +153,8 @@ type Server struct {
 
 	zddPeak                         atomic.Int64 // max over solves
 	zddLive, zddPlain, zddCollected atomic.Int64 // sums over solves
+
+	unknownParents atomic.Int64 // parent ids that missed the keep store
 }
 
 // recordZDD folds one solve's implicit-phase profile into the /stats
@@ -180,6 +184,7 @@ func New(cfg Config) *Server {
 		sched:   newScheduler(cfg.MaxQueue, cfg.MaxInflightBytes),
 		fault:   cfg.Fault,
 		cancels: make(map[*job]context.CancelFunc),
+		keeps:   newKeepStore(),
 	}
 	s.solver = ucp.NewSolver(ucp.SolverOptions{Cache: s.cache})
 	s.mux = http.NewServeMux()
@@ -213,6 +218,7 @@ func (s *Server) Stats() Stats {
 		InflightBytes:    b,
 		Draining:         s.draining.Load(),
 		Cache:            s.solver.CacheStats(),
+		Resolve:          s.resolveStats(),
 		ZDD: ZDDStats{
 			PeakNodes:   s.zddPeak.Load(),
 			LiveNodes:   s.zddLive.Load(),
@@ -584,6 +590,9 @@ func (s *Server) solveExact(j *job, bud ucp.Budget) (Response, int) {
 }
 
 func (s *Server) solveSCG(j *job, bud ucp.Budget) (Response, int) {
+	if j.req.Keep || j.req.Parent != "" {
+		return s.solveSCGKeep(j, bud)
+	}
 	bud.IterCap = j.req.IterCap
 	opt := ucp.SCGOptions{
 		Seed:    j.req.Seed,

@@ -1,0 +1,105 @@
+package solvecache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Arena is a small size-bounded LRU side store for retained solver
+// states (the incremental-resolve ancestor arena).  It differs from
+// Cache deliberately: no singleflight (states are written after a
+// solve completes, never computed under the arena's lock), no work
+// threshold (a state's value is its reusability, not its cost), and a
+// single mutex (the arena holds tens of entries, not thousands).
+//
+// Values are opaque; keyed by the same 128-bit Key type as the cache.
+// A nil *Arena is a valid always-miss arena.
+type Arena struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[Key]*list.Element
+
+	hits, misses, stores, evictions atomic.Int64
+}
+
+// ArenaStats is a point-in-time snapshot of the arena counters.  The
+// json tags fix the wire names the ucpd /stats endpoint exposes.
+type ArenaStats struct {
+	Hits      int64 `json:"hits"`      // lookups served from a stored entry
+	Misses    int64 `json:"misses"`    // lookups that found nothing
+	Stores    int64 `json:"stores"`    // admissions (updates of an existing key included)
+	Evictions int64 `json:"evictions"` // LRU evictions
+	Entries   int   `json:"entries"`   // entries currently resident
+}
+
+// NewArena builds an arena holding up to size entries.  A size ≤ 0
+// returns nil, the always-miss arena.
+func NewArena(size int) *Arena {
+	if size <= 0 {
+		return nil
+	}
+	return &Arena{cap: size, ll: list.New(), m: make(map[Key]*list.Element)}
+}
+
+// Get returns the stored value for k, refreshing its LRU position.
+func (a *Arena) Get(k Key) (any, bool) {
+	if a == nil {
+		return nil, false
+	}
+	a.mu.Lock()
+	if el, ok := a.m[k]; ok {
+		a.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		a.mu.Unlock()
+		a.hits.Add(1)
+		return v, true
+	}
+	a.mu.Unlock()
+	a.misses.Add(1)
+	return nil, false
+}
+
+// Put stores v under k, evicting the least recently used entry when
+// the arena is full.  Storing under an existing key replaces the value
+// and refreshes its position.
+func (a *Arena) Put(k Key, v any) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if el, ok := a.m[k]; ok {
+		el.Value.(*entry).val = v
+		a.ll.MoveToFront(el)
+		a.mu.Unlock()
+		a.stores.Add(1)
+		return
+	}
+	for a.ll.Len() >= a.cap {
+		back := a.ll.Back()
+		a.ll.Remove(back)
+		delete(a.m, back.Value.(*entry).key)
+		a.evictions.Add(1)
+	}
+	a.m[k] = a.ll.PushFront(&entry{key: k, val: v})
+	a.mu.Unlock()
+	a.stores.Add(1)
+}
+
+// Stats snapshots the counters.
+func (a *Arena) Stats() ArenaStats {
+	if a == nil {
+		return ArenaStats{}
+	}
+	st := ArenaStats{
+		Hits:      a.hits.Load(),
+		Misses:    a.misses.Load(),
+		Stores:    a.stores.Load(),
+		Evictions: a.evictions.Load(),
+	}
+	a.mu.Lock()
+	st.Entries = a.ll.Len()
+	a.mu.Unlock()
+	return st
+}

@@ -1,0 +1,79 @@
+package solvecache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaLRUAndStats(t *testing.T) {
+	a := NewArena(2)
+	k1, k2, k3 := Key{Hi: 1}, Key{Hi: 2}, Key{Hi: 3}
+
+	if _, ok := a.Get(k1); ok {
+		t.Fatal("empty arena hit")
+	}
+	a.Put(k1, "one")
+	a.Put(k2, "two")
+	if v, ok := a.Get(k1); !ok || v != "one" {
+		t.Fatalf("Get(k1) = %v, %v", v, ok)
+	}
+	// k1 is now most recent; inserting k3 must evict k2.
+	a.Put(k3, "three")
+	if _, ok := a.Get(k2); ok {
+		t.Fatal("k2 survived eviction")
+	}
+	if v, ok := a.Get(k1); !ok || v != "one" {
+		t.Fatalf("k1 lost: %v, %v", v, ok)
+	}
+	// Replacing an existing key must not evict.
+	a.Put(k1, "uno")
+	if v, _ := a.Get(k1); v != "uno" {
+		t.Fatalf("replace failed: %v", v)
+	}
+	if _, ok := a.Get(k3); !ok {
+		t.Fatal("k3 evicted by a replace")
+	}
+
+	st := a.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Stores != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("hit/miss counters empty: %+v", st)
+	}
+}
+
+func TestArenaNilSafe(t *testing.T) {
+	var a *Arena
+	if a != NewArena(0) {
+		t.Fatal("size 0 must be the nil arena")
+	}
+	a.Put(Key{Hi: 1}, "x")
+	if _, ok := a.Get(Key{Hi: 1}); ok {
+		t.Fatal("nil arena stored a value")
+	}
+	if st := a.Stats(); st != (ArenaStats{}) {
+		t.Fatalf("nil arena stats = %+v", st)
+	}
+}
+
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Hi: uint64(g), Lo: uint64(i % 4)}
+				a.Put(k, i)
+				a.Get(k)
+				a.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := a.Stats(); st.Entries > 8 {
+		t.Fatalf("arena overfull: %+v", st)
+	}
+}

@@ -35,14 +35,15 @@ type Key struct {
 	Hi, Lo uint64
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters.  The json
+// tags fix the wire names the ucpd /stats endpoint exposes.
 type Stats struct {
-	Hits      int64 // lookups served from a stored entry
-	Misses    int64 // lookups that computed (leader or post-failure waiter)
-	Dedups    int64 // lookups served by waiting on an in-flight leader
-	Stores    int64 // admissions
-	Evictions int64 // LRU evictions
-	Entries   int   // entries currently resident
+	Hits      int64 `json:"hits"`      // lookups served from a stored entry
+	Misses    int64 `json:"misses"`    // lookups that computed (leader or post-failure waiter)
+	Dedups    int64 `json:"dedups"`    // lookups served by waiting on an in-flight leader
+	Stores    int64 `json:"stores"`    // admissions
+	Evictions int64 `json:"evictions"` // LRU evictions
+	Entries   int   `json:"entries"`   // entries currently resident
 }
 
 type entry struct {

@@ -184,7 +184,8 @@ func (m *Manager) Collect() int {
 	for size*3 < uint32(w)*4 {
 		size *= 2
 	}
-	if uint32(len(m.uslots)) == size {
+	if uint32(cap(m.uslots)) >= size {
+		m.uslots = m.uslots[:size]
 		for i := range m.uslots {
 			m.uslots[i] = 0
 		}

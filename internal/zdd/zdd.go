@@ -127,6 +127,11 @@ type Manager struct {
 	// builds the merged chain here before consing it).
 	abuf []int32
 
+	// sbuf is Set's sort/dedup scratch: callers build one set per row
+	// of a covering matrix, so the per-call copy dominated Set's
+	// allocation profile before it was pooled here.
+	sbuf []int
+
 	// Visit stamps: one epoch counter plus a per-node stamp slice shared
 	// by every traversal (Support, LiveNodeCount, the collector's mark
 	// phase), so no walk ever allocates a visited map.  A node is marked
@@ -433,7 +438,8 @@ func (m *Manager) topVar(f Node) int32 { return m.top[f] }
 // index ZDD variables, which are non-negative by construction).  In
 // chain mode the whole set is a single chain node.
 func (m *Manager) Set(elems []int) (Node, error) {
-	sorted := append([]int(nil), elems...)
+	sorted := append(m.sbuf[:0], elems...)
+	m.sbuf = sorted
 	for i := 1; i < len(sorted); i++ { // insertion sort: inputs are short
 		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]

@@ -1,0 +1,130 @@
+package ucp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucp/internal/benchmarks"
+)
+
+// sameSCG asserts the bit-identity contract between two SCG results
+// (timings and cache counters exempt).
+func sameSCG(t *testing.T, label string, got, want *SCGResult) {
+	t.Helper()
+	if len(got.Solution) != len(want.Solution) {
+		t.Fatalf("%s: solutions differ: %v vs %v", label, got.Solution, want.Solution)
+	}
+	for i := range want.Solution {
+		if got.Solution[i] != want.Solution[i] {
+			t.Fatalf("%s: solutions differ: %v vs %v", label, got.Solution, want.Solution)
+		}
+	}
+	if got.Cost != want.Cost || got.LB != want.LB || got.ProvedOptimal != want.ProvedOptimal {
+		t.Fatalf("%s: cost/LB differ", label)
+	}
+	if got.Stats.Runs != want.Stats.Runs || got.Stats.SubgradIters != want.Stats.SubgradIters ||
+		got.Stats.FixSteps != want.Stats.FixSteps {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, got.Stats, want.Stats)
+	}
+}
+
+// TestSolverResolveChain: explicit-handle resolves along an edit chain
+// are bit-identical to cold kept solves of each child.
+func TestSolverResolveChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	s := NewSolver(SolverOptions{})
+	for trial := 0; trial < 15; trial++ {
+		p := benchmarks.RandomCovering(rng.Int63(), 20, 15, 0.3, 3)
+		opt := SCGOptions{Seed: int64(trial), NumIter: 2, Workers: 1 + trial%4}
+		_, keep := s.SolveSCGKeep(p, opt)
+		cur := p
+		for gen := 0; gen < 2; gen++ {
+			src := cur.Rows[rng.Intn(len(cur.Rows))]
+			row := append(append([]int(nil), src...), rng.Intn(cur.NCol))
+			d, err := cur.AddRows([][]int{row})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := NewSolver(SolverOptions{ArenaSize: -1})
+			want, _ := cold.SolveSCGKeep(d.Child, opt)
+			got, next := s.Resolve(d, keep, opt, ResolveOptions{})
+			sameSCG(t, "chain", got, want)
+			keep, cur = next, d.Child
+		}
+	}
+	st := s.ResolveStats()
+	if st.Resolves == 0 || st.ParentHits != st.Resolves {
+		t.Fatalf("resolve stats wrong: %+v", st)
+	}
+}
+
+// TestSolverResolveArena: with no handle passed, the ancestor arena
+// recovers the parent state by structural fingerprint.
+func TestSolverResolveArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	s := NewSolver(SolverOptions{})
+	p := benchmarks.RandomCovering(7, 25, 18, 0.3, 3)
+	opt := SCGOptions{Seed: 5, NumIter: 2}
+	_, _ = s.SolveSCGKeep(p, opt)
+
+	src := p.Rows[rng.Intn(len(p.Rows))]
+	row := append(append([]int(nil), src...), rng.Intn(p.NCol))
+	d, err := p.AddRows([][]int{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSolver(SolverOptions{ArenaSize: -1})
+	want, _ := cold.SolveSCGKeep(d.Child, opt)
+	got, _ := s.Resolve(d, nil, opt, ResolveOptions{})
+	sameSCG(t, "arena", got, want)
+
+	rs := s.ResolveStats()
+	if rs.ArenaHits != 1 {
+		t.Fatalf("expected one arena hit: %+v", rs)
+	}
+	as := s.ArenaStats()
+	if as.Hits != 1 || as.Entries == 0 {
+		t.Fatalf("arena stats wrong: %+v", as)
+	}
+
+	// A foreign parent misses the arena and falls back to a cold solve,
+	// still correct.
+	q := benchmarks.RandomCovering(99, 25, 18, 0.3, 3)
+	dq := DeltaBetween(q, d.Child)
+	got2, _ := s.Resolve(dq, nil, opt, ResolveOptions{})
+	sameSCG(t, "miss", got2, want)
+	if rs2 := s.ResolveStats(); rs2.ArenaMisses == 0 {
+		t.Fatalf("expected an arena miss: %+v", rs2)
+	}
+}
+
+// TestSolverResolveNoArena: a Solver with the arena disabled still
+// resolves correctly (from scratch) with nil parents.
+func TestSolverResolveNoArena(t *testing.T) {
+	s := NewSolver(SolverOptions{ArenaSize: -1})
+	p := benchmarks.RandomCovering(3, 15, 12, 0.3, 3)
+	opt := SCGOptions{Seed: 1}
+	d, err := p.AddRows([][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.SolveSCGKeep(d.Child, opt)
+	got, _ := s.Resolve(d, nil, opt, ResolveOptions{})
+	sameSCG(t, "noarena", got, want)
+	if as := s.ArenaStats(); as != (ArenaStats{}) {
+		t.Fatalf("disabled arena counted: %+v", as)
+	}
+}
+
+// TestResolvableAccessors: the handle exposes its result and problem.
+func TestResolvableAccessors(t *testing.T) {
+	s := NewSolver(SolverOptions{})
+	p := benchmarks.RandomCovering(11, 12, 10, 0.3, 3)
+	res, keep := s.SolveSCGKeep(p, SCGOptions{Seed: 2})
+	if keep.Result() != res {
+		t.Fatal("Result accessor mismatch")
+	}
+	if keep.Problem() != p {
+		t.Fatal("Problem accessor mismatch")
+	}
+}

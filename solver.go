@@ -1,12 +1,22 @@
 package ucp
 
+import "ucp/internal/solvecache"
+
 // SolverOptions configures a Solver session.
 type SolverOptions struct {
 	// Cache is the session's cross-solve memoization cache, threaded
 	// into every solve the Solver runs (unless the per-solve options
 	// already carry one).  Nil disables caching.
 	Cache *Cache
+	// ArenaSize bounds the ancestor arena — the LRU of retained solve
+	// states Resolve consults when no parent handle is passed.  0
+	// selects the default (64 entries); negative disables the arena.
+	ArenaSize int
 }
+
+// defaultArenaSize is the ancestor arena's capacity when
+// SolverOptions.ArenaSize is zero.
+const defaultArenaSize = 64
 
 // Solver is a session handle over the package's solvers: every entry
 // point run through one Solver shares one cross-solve Cache, so an
@@ -18,13 +28,19 @@ type SolverOptions struct {
 // A Solver is safe for concurrent use; concurrent identical solves
 // are deduplicated behind a single computation.
 type Solver struct {
-	cache *Cache
+	cache      *Cache
+	arena      *solvecache.Arena
+	resolveCtr resolveCounters
 }
 
 // NewSolver builds a session handle.  A zero SolverOptions gives an
-// uncached Solver, equivalent to calling the package-level functions.
+// uncached Solver with a default-sized ancestor arena.
 func NewSolver(opt SolverOptions) *Solver {
-	return &Solver{cache: opt.Cache}
+	size := opt.ArenaSize
+	if size == 0 {
+		size = defaultArenaSize
+	}
+	return &Solver{cache: opt.Cache, arena: solvecache.NewArena(size)}
 }
 
 // CacheStats snapshots the session cache's counters (zero without a
