@@ -2,14 +2,15 @@
 
 GO ?= go
 
-# The hot-substrate microbenches tracked across PRs (see BENCH_pr9.json
-# for the committed baseline and DESIGN.md for interpretation).  The
-# front-end benches live in ./internal/primes (they need the unexported
-# covering reference oracle) and get their own pattern.
-SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkZDDChainNodes$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$|BenchmarkDeltaResolve$$
+# The hot-substrate microbenches tracked across PRs (see
+# BENCH_pr10.json for the committed baseline and DESIGN.md for
+# interpretation).  The front-end benches live in ./internal/primes
+# (they need the unexported covering reference oracle) and get their
+# own pattern.
+SUBSTRATE_BENCH = BenchmarkZDDReductions$$|BenchmarkSubgradient$$|BenchmarkSCGCore$$|BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$|BenchmarkZDDGC$$|BenchmarkZDDChainNodes$$|BenchmarkSolveCached$$|BenchmarkBnBTransposition$$|BenchmarkDeltaResolve$$|BenchmarkShardedSolve$$
 FRONTEND_BENCH = BenchmarkPrimeGen$$|BenchmarkBuildCovering$$
 
-.PHONY: build test check bench-diff fuzz bench bench-all serve-smoke
+.PHONY: build test check bench-diff fuzz bench bench-all serve-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -29,12 +30,20 @@ check:
 	$(GO) test -race -run 'TestResolveMatchesCold' ./internal/scg
 	$(GO) test -race ./...
 	$(MAKE) serve-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) bench-diff
 
 # serve-smoke boots ucpd, drives it with ucpload (unary and streaming),
 # asserts zero server-side failures and a clean SIGTERM drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# shard-smoke generates an instance >4x the memory budget with scpgen
+# and solves it out-of-core through `ucpsolve -mem-budget` under a
+# GOMEMLIMIT envelope, asserting components spilled and the tracked
+# peak stayed under budget.
+shard-smoke:
+	sh scripts/shard_smoke.sh
 
 # bench-diff reruns the substrate benches and fails on regression
 # against the committed baseline: >75% ns/op growth or >0.5% allocs/op
@@ -44,7 +53,7 @@ serve-smoke:
 bench-diff:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
 	  $(GO) test -run '^$$' -bench '$(FRONTEND_BENCH)' -benchtime 1x -count 3 ./internal/primes ; } \
-	| $(GO) run ./cmd/benchfmt -against BENCH_pr9.json
+	| $(GO) run ./cmd/benchfmt -against BENCH_pr10.json
 
 # fuzz runs every fuzz target for 30 seconds each (the robustness
 # acceptance bar: no panic reachable through the public API, and the
@@ -65,14 +74,14 @@ fuzz:
 
 # bench measures the hot substrates (5 repetitions each, plus the
 # portfolio and the sharded reduction fixpoint under -cpu 1,2,4,8) and
-# records the results in BENCH_pr9.json; commit the refreshed file when
-# a change moves them.
+# records the results in BENCH_pr10.json; commit the refreshed file
+# when a change moves them.
 bench:
 	{ $(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCH)' -benchtime 1x -count 5 . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSCGPortfolio$$|BenchmarkReduceFixpoint$$' -benchtime 1x -count 3 -cpu 1,2,4,8 . ; \
 	  $(GO) test -run '^$$' -bench '$(FRONTEND_BENCH)' -benchtime 1x -count 3 ./internal/primes ; } \
-	| $(GO) run ./cmd/benchfmt -o BENCH_pr9.json \
-	  -note "PR9: incremental re-solve. New in this baseline: DeltaResolve on a scpd1-shaped random covering and the max1024 covering — cold is a from-scratch kept solve of the edited child, row1/col1/batch5pct are Solver.Resolve with the parent state in hand (bit-identical to cold by contract, checked per iteration); the acceptance bar is row1 <= 25% of cold ns/op on the same instance, measured ~20% under contention. col1 on scpd-like stays near cold — a fresh covering column lands in the single core block and forces its re-solve; reused/op counts the portfolio blocks carried over verbatim. ZDDGC allocs/op drops ~70% vs the PR8 baseline (Set's per-call sort scratch and Collect's unique-table rebuild now reuse manager-owned buffers), repaying the PR8 chain-pool regression with interest. Keep solves pin the explicit reduction pipeline, so DeltaResolve carries no ZDD metrics. All other substrates are unchanged and should match the PR8 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
+	| $(GO) run ./cmd/benchfmt -o BENCH_pr10.json \
+	  -note "PR10: out-of-core component-sharded solving. New in this baseline: ShardedSolve on a 60-component round-robin instance (the streaming partitioner's worst case) — direct is the unsharded scg.Solve, inram runs the sharded driver with every component resident (pure streaming/partitioning overhead, ~5% over direct), spill forces most components through the spill file (spilled/op says how many; expect ~45-50 of 60). All three are bit-identical by the driver's contract, checked per iteration. The sharded variants pay one frame encode/decode per row plus the union-find, so their allocs/op sit well above direct; that cost buys a tracked-byte peak under any budget (see make shard-smoke). All pre-existing substrates are unchanged and should match the PR9 mins within noise. Container timings are noisy (+/-10% between windows); allocs/op is near-exact (portfolio pool jitter only) and part of the regression gate."
 
 # bench-all runs every benchmark once: the paper tables, the ablations
 # and the substrates.

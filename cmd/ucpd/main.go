@@ -44,6 +44,8 @@ func main() {
 		drainTimeout    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown lets in-flight solves finish before cancelling their budgets")
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After advertised on 429/503")
 		cacheSize       = flag.Int("cache", ucp.DefaultCacheSize, "shared cross-solve cache entries (negative disables)")
+		memBudget       = flag.Int64("mem-budget", 0, "route SCG covering solves through the out-of-core sharded driver under this many bytes of tracked instance memory per solve (0 = direct in-memory solves)")
+		spillDir        = flag.String("spill-dir", "", "directory for sharded solves' spill files (default: the OS temp directory)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,8 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		RetryAfter:       *retryAfter,
 		CacheSize:        *cacheSize,
+		MemBudget:        *memBudget,
+		SpillDir:         *spillDir,
 	}
 	if *maxTimeout == 0 {
 		cfg.MaxTimeout = serve.NoTimeoutCap

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ucp"
@@ -48,6 +50,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget, e.g. 30s (0 = unlimited); on expiry or Ctrl-C the best solution so far is printed")
 		deltaPath  = flag.String("delta", "", "second instance in the same format: solve the first, then re-solve this one incrementally (scg, matrix/orlib modes)")
 		bounds     = flag.Bool("bounds", false, "also print the four lower bounds (matrix mode)")
+		memBudget  = flag.String("mem-budget", "", "route scg solves through the out-of-core sharded driver under this many bytes of tracked instance memory, e.g. 256M or 2G; -matrix/-orlib inputs then stream from disk instead of loading whole (scg only)")
+		spillDir   = flag.String("spill-dir", "", "directory for the sharded driver's spill file (default: the OS temp directory)")
 		useCache   = flag.Bool("cache", false, "memoize solves in a session cache (useful with repeated invocations of the library; here mostly demonstrates the flag plumbing)")
 		cacheSize  = flag.Int("cache-size", ucp.DefaultCacheSize, "session cache capacity in entries (with -cache)")
 		verbose    = flag.Bool("v", false, "print cache and transposition-table statistics")
@@ -80,7 +84,15 @@ func main() {
 	if *useCache {
 		sopt.Cache = ucp.NewCache(*cacheSize, ucp.DefaultCacheMinWork)
 	}
-	sess := &session{Solver: ucp.NewSolver(sopt), verbose: *verbose, cached: *useCache}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fatal("-mem-budget: %v", err)
+	}
+	if budget > 0 && *solver != "scg" {
+		fatal("-mem-budget works with -solver scg only")
+	}
+	sess := &session{Solver: ucp.NewSolver(sopt), verbose: *verbose, cached: *useCache,
+		memBudget: budget, spillDir: *spillDir}
 
 	inputs := 0
 	for _, v := range []string{*plaPath, *matrixPath, *orlibPath} {
@@ -103,11 +115,45 @@ func main() {
 	}
 }
 
-// session bundles the cache-carrying Solver with the -v switch.
+// session bundles the cache-carrying Solver with the -v switch and the
+// out-of-core memory budget.
 type session struct {
 	*ucp.Solver
-	verbose bool
-	cached  bool
+	verbose   bool
+	cached    bool
+	memBudget int64
+	spillDir  string
+}
+
+// parseBytes parses a byte count with an optional binary suffix
+// (K/M/G, with or without a trailing "b"/"ib"); empty means 0.
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	t := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t, mult = strings.TrimSuffix(t, u.suffix), u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("byte count %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // report prints the solve's cache counters and the session cache's
@@ -140,6 +186,17 @@ func (s *session) reportZDD(peak, live, plain, collections int) {
 		peak, live, plain, ratio, collections)
 }
 
+// reportShard prints the out-of-core driver's scheduling profile under
+// -v.  Direct (unsharded) solves report zero components and print
+// nothing; sharded solves always report at least one.
+func (s *session) reportShard(components, spilled, respilled, degraded int, peak int64) {
+	if !s.verbose || components == 0 {
+		return
+	}
+	fmt.Printf("shard: %d components (%d spilled, %d respilled, %d degraded), peak %d tracked bytes\n",
+		components, spilled, respilled, degraded, peak)
+}
+
 // flushProfiles writes any active profiles; fatal must run it because
 // os.Exit skips the deferred flush in main.
 var flushProfiles = func() {}
@@ -164,7 +221,8 @@ func runPLA(sess *session, path, solver, out string, seed int64, numIter, worker
 	var res *ucp.TwoLevelResult
 	switch solver {
 	case "scg":
-		res, err = sess.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud})
+		res, err = sess.MinimizeSCG(f, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud,
+			MemBudget: sess.memBudget, SpillDir: sess.spillDir})
 	case "exact":
 		res, err = sess.MinimizeExact(f, ucp.ExactOptions{MaxNodes: maxNodes, Budget: bud})
 	case "espresso":
@@ -191,6 +249,7 @@ func runPLA(sess *session, path, solver, out string, seed int64, numIter, worker
 		res.Primes, res.Rows, res.CoreRows, res.CoreCols)
 	fmt.Printf("time: %v (cyclic core %v)\n", res.TotalTime.Round(time.Millisecond), res.CyclicCoreTime.Round(time.Millisecond))
 	sess.reportZDD(res.ZDDNodes, res.ZDDLiveNodes, res.ZDDPlainNodes, res.ZDDCollections)
+	sess.reportShard(res.ShardComponents, res.ShardSpilled, res.ShardRespilled, res.ShardDegraded, res.ShardPeakBytes)
 	sess.report(res.CacheHits, res.CacheMisses, res.TTHits)
 	if out != "" {
 		g := &ucp.PLA{Space: f.Space, F: res.Cover, D: f.D, R: f.R, Type: "fd",
@@ -228,6 +287,19 @@ func readMatrix(path string, orlib bool) *ucp.Problem {
 }
 
 func runMatrix(sess *session, path, deltaPath string, orlib bool, solver string, seed int64, numIter, workers int, maxNodes int64, bounds bool, bud ucp.Budget) {
+	if sess.memBudget > 0 {
+		// The whole point of the budget is never materialising the
+		// instance, so the modes that need it in memory are out.
+		if deltaPath != "" {
+			fatal("-mem-budget is incompatible with -delta")
+		}
+		if bounds {
+			fatal("-mem-budget is incompatible with -bounds")
+		}
+		runStream(sess, path, orlib, ucp.SCGOptions{Seed: seed, NumIter: numIter, Workers: workers, Budget: bud,
+			MemBudget: sess.memBudget, SpillDir: sess.spillDir})
+		return
+	}
 	p := readMatrix(path, orlib)
 	fmt.Printf("problem: %d rows, %d columns\n", len(p.Rows), p.NCol)
 	if deltaPath != "" {
@@ -288,6 +360,40 @@ func runMatrix(sess *session, path, deltaPath string, orlib bool, solver string,
 	default:
 		fatal("unknown matrix solver %q", solver)
 	}
+}
+
+// runStream solves a matrix/OR-Library instance through the out-of-core
+// sharded driver, streaming it from disk under the -mem-budget byte
+// cap; the result is bit-identical to the in-memory solve.
+func runStream(sess *session, path string, orlib bool, opt ucp.SCGOptions) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	var res *ucp.SCGResult
+	if orlib {
+		res, err = ucp.SolveSCGORLib(f, opt)
+	} else {
+		res, err = ucp.SolveSCGMatrix(f, opt)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	if res.Solution == nil {
+		fatal("problem is infeasible")
+	}
+	notice(res.Interrupted, res.StopReason)
+	optS := ""
+	if res.ProvedOptimal {
+		optS = " (proved optimal)"
+	}
+	fmt.Printf("scg: cost %d%s, LB %.3f, columns %v\n", res.Cost, optS, res.LB, res.Solution)
+	fmt.Printf("core %dx%d, %d fixing steps, %v\n",
+		res.Stats.CoreRows, res.Stats.CoreCols, res.Stats.FixSteps, res.Stats.TotalTime.Round(time.Millisecond))
+	sess.reportZDD(res.Stats.ZDDNodes, res.Stats.ZDDLiveNodes, res.Stats.ZDDPlainNodes, res.Stats.ZDDCollections)
+	sess.reportShard(res.Stats.ShardComponents, res.Stats.ShardSpilled,
+		res.Stats.ShardRespilled, res.Stats.ShardDegraded, res.Stats.ShardPeakBytes)
 }
 
 // runDelta solves p with the state kept, reconstructs the edit to q,

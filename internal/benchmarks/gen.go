@@ -1,0 +1,174 @@
+package benchmarks
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"ucp/internal/matrix"
+)
+
+// ComponentSpec describes a random set-covering instance assembled
+// from independent column blocks: block k owns columns
+// [k·ColsPerComp, (k+1)·ColsPerComp) and every one of its rows covers
+// the block's spine column (the first of the block) plus RowDegree-1
+// further random columns of the block.  The spine keeps each block
+// internally connected, so the instance has exactly Components
+// connected components, and rows are emitted round-robin across
+// blocks so the components interleave in row order — the worst case
+// for a streaming partitioner.
+//
+// Rows can be generated one at a time (EachRow), so arbitrarily large
+// instances stream straight to disk without ever materialising.
+type ComponentSpec struct {
+	Seed        int64
+	Components  int
+	RowsPerComp int
+	ColsPerComp int
+	RowDegree   int // columns per row, spine included
+	MaxCost     int // uniform in [1, MaxCost]; 0 means unit costs
+}
+
+func (s ComponentSpec) validate() error {
+	if s.Components < 1 || s.RowsPerComp < 1 || s.ColsPerComp < 1 {
+		return fmt.Errorf("benchmarks: spec needs at least one component, row, and column")
+	}
+	if s.RowDegree < 1 || s.RowDegree > s.ColsPerComp {
+		return fmt.Errorf("benchmarks: row degree %d outside [1, %d]", s.RowDegree, s.ColsPerComp)
+	}
+	return nil
+}
+
+// NumRows returns the total row count.
+func (s ComponentSpec) NumRows() int { return s.Components * s.RowsPerComp }
+
+// NumCols returns the total column count.
+func (s ComponentSpec) NumCols() int { return s.Components * s.ColsPerComp }
+
+// Costs returns the column cost vector; nil when MaxCost is 0 (unit).
+func (s ComponentSpec) Costs() []int {
+	if s.MaxCost <= 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	cost := make([]int, s.NumCols())
+	for j := range cost {
+		cost[j] = 1 + rng.Intn(s.MaxCost)
+	}
+	return cost
+}
+
+// EachRow generates every row in emission order (round-robin across
+// blocks) and hands its sorted column ids to fn; the slice is reused
+// between calls.  Generation is deterministic in Seed.
+func (s ComponentSpec) EachRow(fn func(row int, cols []int) error) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	cols := make([]int, 0, s.RowDegree)
+	seen := make(map[int]bool, s.RowDegree)
+	for i := 0; i < s.NumRows(); i++ {
+		comp := i % s.Components
+		base := comp * s.ColsPerComp
+		cols = cols[:0]
+		for k := range seen {
+			delete(seen, k)
+		}
+		cols = append(cols, base) // spine
+		seen[base] = true
+		for len(cols) < s.RowDegree {
+			c := base + rng.Intn(s.ColsPerComp)
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+		sort.Ints(cols)
+		if err := fn(i, cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComponentCovering materialises the spec as an in-memory problem.
+func ComponentCovering(s ComponentSpec) (*matrix.Problem, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rows := make([][]int, 0, s.NumRows())
+	s.EachRow(func(_ int, cols []int) error {
+		rows = append(rows, append([]int(nil), cols...))
+		return nil
+	})
+	return matrix.New(rows, s.NumCols(), s.Costs())
+}
+
+// WriteORLib streams the instance to w in the Beasley OR-Library
+// format without materialising it.
+func (s ComponentSpec) WriteORLib(w io.Writer) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", s.NumRows(), s.NumCols())
+	cost := s.Costs()
+	for j := 0; j < s.NumCols(); j++ {
+		if j > 0 {
+			bw.WriteByte(' ')
+		}
+		c := 1
+		if cost != nil {
+			c = cost[j]
+		}
+		fmt.Fprintf(bw, "%d", c)
+	}
+	bw.WriteByte('\n')
+	err := s.EachRow(func(_ int, cols []int) error {
+		fmt.Fprintf(bw, "%d\n", len(cols))
+		for k, j := range cols {
+			if k > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", j+1)
+		}
+		bw.WriteByte('\n')
+		return bw.Flush() // bound buffered bytes; surfaces write errors early
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteMatrix streams the instance to w in the repo's covering-matrix
+// text format.
+func (s ComponentSpec) WriteMatrix(w io.Writer) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p %d %d\n", s.NumRows(), s.NumCols())
+	if cost := s.Costs(); cost != nil {
+		bw.WriteString("c")
+		for _, c := range cost {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	err := s.EachRow(func(_ int, cols []int) error {
+		bw.WriteString("r")
+		for _, j := range cols {
+			fmt.Fprintf(bw, " %d", j)
+		}
+		bw.WriteByte('\n')
+		return bw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,66 @@
+package benchmarks
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ucp/internal/matrix"
+)
+
+func TestComponentCoveringStructure(t *testing.T) {
+	spec := ComponentSpec{Seed: 42, Components: 7, RowsPerComp: 20, ColsPerComp: 15, RowDegree: 4, MaxCost: 9}
+	p, err := ComponentCovering(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != spec.NumRows() || p.NCol != spec.NumCols() {
+		t.Fatalf("shape %dx%d, want %dx%d", len(p.Rows), p.NCol, spec.NumRows(), spec.NumCols())
+	}
+	comps := matrix.Components(p)
+	if len(comps) != spec.Components {
+		t.Fatalf("got %d components, want %d", len(comps), spec.Components)
+	}
+	// Round-robin emission: consecutive rows belong to different blocks.
+	for i, r := range p.Rows {
+		if len(r) != spec.RowDegree {
+			t.Fatalf("row %d has degree %d, want %d", i, len(r), spec.RowDegree)
+		}
+		block := (i % spec.Components) * spec.ColsPerComp
+		for _, j := range r {
+			if j < block || j >= block+spec.ColsPerComp {
+				t.Fatalf("row %d references column %d outside its block [%d,%d)", i, j, block, block+spec.ColsPerComp)
+			}
+		}
+	}
+}
+
+// TestComponentCoveringORLibRoundTrip: the streamed ORLib emission and
+// the in-memory materialisation describe the same instance.
+func TestComponentCoveringORLibRoundTrip(t *testing.T) {
+	spec := ComponentSpec{Seed: 5, Components: 3, RowsPerComp: 10, ColsPerComp: 8, RowDegree: 3, MaxCost: 4}
+	p, err := ComponentCovering(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := spec.WriteORLib(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadORLib(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Rows, q.Rows) || p.NCol != q.NCol || !reflect.DeepEqual(p.Cost, q.Cost) {
+		t.Fatal("ORLib round trip changed the instance")
+	}
+}
+
+func TestComponentSpecValidation(t *testing.T) {
+	if _, err := ComponentCovering(ComponentSpec{Components: 0, RowsPerComp: 1, ColsPerComp: 1, RowDegree: 1}); err == nil {
+		t.Fatal("zero components accepted")
+	}
+	if _, err := ComponentCovering(ComponentSpec{Components: 1, RowsPerComp: 1, ColsPerComp: 2, RowDegree: 3}); err == nil {
+		t.Fatal("degree above block width accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"ucp/internal/matrix"
+	"ucp/internal/scpio"
 )
 
 // ReadORLib parses a set-covering instance in the Beasley OR-Library
@@ -20,77 +21,25 @@ import (
 //	...
 //
 // All tokens are whitespace separated and may wrap lines arbitrarily.
+// The file is streamed through a fixed-size buffer (never slurped) and
+// every parse error carries the 1-based line number it was detected on.
 func ReadORLib(r io.Reader) (*matrix.Problem, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	sc.Split(bufio.ScanWords)
-	next := func() (int, error) {
-		if !sc.Scan() {
-			if err := sc.Err(); err != nil {
-				return 0, err
-			}
-			return 0, io.ErrUnexpectedEOF
-		}
-		v := 0
-		neg := false
-		tok := sc.Text()
-		for i, ch := range tok {
-			if i == 0 && ch == '-' {
-				neg = true
-				continue
-			}
-			if ch < '0' || ch > '9' {
-				return 0, fmt.Errorf("benchmarks: non-numeric token %q", tok)
-			}
-			v = v*10 + int(ch-'0')
-			if v > 1<<31 {
-				return 0, fmt.Errorf("benchmarks: numeric token %q out of range", tok)
-			}
-		}
-		if neg {
-			v = -v
-		}
-		return v, nil
-	}
-	m, err := next()
+	or, err := scpio.NewORLibReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("benchmarks: reading row count: %w", err)
+		return nil, fmt.Errorf("benchmarks: %w", err)
 	}
-	n, err := next()
-	if err != nil {
-		return nil, fmt.Errorf("benchmarks: reading column count: %w", err)
-	}
-	const maxDim = 1 << 24
-	if m < 0 || n <= 0 || m > maxDim || n > maxDim {
-		return nil, fmt.Errorf("benchmarks: invalid size %d x %d", m, n)
-	}
-	cost := make([]int, n)
-	for j := range cost {
-		if cost[j], err = next(); err != nil {
-			return nil, fmt.Errorf("benchmarks: reading cost %d: %w", j, err)
+	rows := make([][]int, 0, or.NumRows())
+	for {
+		row, err := or.Next(nil)
+		if err == io.EOF {
+			break
 		}
-	}
-	rows := make([][]int, m)
-	for i := range rows {
-		k, err := next()
 		if err != nil {
-			return nil, fmt.Errorf("benchmarks: reading degree of row %d: %w", i, err)
+			return nil, fmt.Errorf("benchmarks: %w", err)
 		}
-		if k < 0 {
-			return nil, fmt.Errorf("benchmarks: row %d has negative degree", i)
-		}
-		for t := 0; t < k; t++ {
-			col, err := next()
-			if err != nil {
-				return nil, fmt.Errorf("benchmarks: reading row %d: %w", i, err)
-			}
-			if col < 1 || col > n {
-				return nil, fmt.Errorf("benchmarks: row %d references column %d of %d", i, col, n)
-			}
-			rows[i] = append(rows[i], col-1)
-		}
+		rows = append(rows, row)
 	}
-	return matrix.New(rows, n, cost)
+	return matrix.New(rows, or.NumCols(), or.Cost())
 }
 
 // WriteORLib emits the problem in the Beasley format (costs first,

@@ -1,0 +1,180 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestComponentsEmptyRows: a row with no columns is uncoverable but
+// must still surface as its own singleton component at its canonical
+// position, so a partitioned solve reports infeasibility at the same
+// fold step as the whole-problem solve.
+func TestComponentsEmptyRows(t *testing.T) {
+	p := MustNew([][]int{{0, 1}, {}, {1, 2}, {}}, 3, nil)
+	comps := Components(p)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0].RowIdx, []int{0, 2}) {
+		t.Fatalf("component 0 rows = %v, want [0 2]", comps[0].RowIdx)
+	}
+	if !reflect.DeepEqual(comps[1].RowIdx, []int{1}) {
+		t.Fatalf("component 1 rows = %v, want [1]", comps[1].RowIdx)
+	}
+	if !reflect.DeepEqual(comps[2].RowIdx, []int{3}) {
+		t.Fatalf("component 2 rows = %v, want [3]", comps[2].RowIdx)
+	}
+	if len(comps[1].Problem.Rows[0]) != 0 {
+		t.Fatal("empty row lost its emptiness")
+	}
+	// A problem that is nothing but empty rows: one component per row.
+	q := MustNew([][]int{{}, {}, {}}, 2, nil)
+	if got := Components(q); len(got) != 3 {
+		t.Fatalf("all-empty problem: %d components, want 3", len(got))
+	}
+}
+
+// TestComponentsSingletonColumns: rows covered by pairwise-distinct
+// single columns never connect — n rows, n components, in row order.
+func TestComponentsSingletonColumns(t *testing.T) {
+	rows := [][]int{{3}, {0}, {4}, {1}, {2}}
+	p := MustNew(rows, 5, nil)
+	comps := Components(p)
+	if len(comps) != len(rows) {
+		t.Fatalf("got %d components, want %d", len(comps), len(rows))
+	}
+	for i, c := range comps {
+		if !reflect.DeepEqual(c.RowIdx, []int{i}) {
+			t.Fatalf("component %d rows = %v, want [%d]", i, c.RowIdx, i)
+		}
+		if !reflect.DeepEqual(c.Problem.Rows[0], rows[i]) {
+			t.Fatalf("component %d kept row %v, want %v", i, c.Problem.Rows[0], rows[i])
+		}
+	}
+	// The same rows sharing one column collapse to a single component,
+	// which Partition reports as "connected" (nil).
+	for i := range rows {
+		rows[i] = append(rows[i], 4)
+	}
+	q := MustNew(rows, 5, nil)
+	if got := Components(q); len(got) != 1 {
+		t.Fatalf("shared column: %d components, want 1", len(got))
+	}
+	if Partition(q) != nil {
+		t.Fatal("Partition of a connected problem should be nil")
+	}
+}
+
+// TestComponentsFullyConnected: a dense instance is one component, and
+// Partition avoids materialising it.
+func TestComponentsFullyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng, 12, 9)
+	// Chain every row through column 0 so the instance is connected no
+	// matter what the generator produced.
+	for i := range p.Rows {
+		p.Rows[i] = append([]int{}, p.Rows[i]...)
+		p.Rows[i] = append(p.Rows[i], 0)
+		sort.Ints(p.Rows[i])
+	}
+	p = MustNew(p.Rows, p.NCol, p.Cost)
+	comps := Components(p)
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	if len(comps[0].Problem.Rows) != len(p.Rows) {
+		t.Fatalf("component kept %d rows, want %d", len(comps[0].Problem.Rows), len(p.Rows))
+	}
+	if Partition(p) != nil {
+		t.Fatal("Partition of a fully connected problem should be nil")
+	}
+}
+
+// TestComponentsPermutationDeterminism: permuting rows permutes the
+// decomposition but never changes the component row-sets, and the
+// canonical order (ascending smallest row index, rows in input order
+// inside each component) is always honoured.
+func TestComponentsPermutationDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 10, 12)
+		base := Components(p)
+
+		perm := rng.Perm(len(p.Rows))
+		rows := make([][]int, len(p.Rows))
+		for i, pi := range perm {
+			rows[pi] = p.Rows[i] // row i moves to position perm[i]
+		}
+		q := MustNew(rows, p.NCol, p.Cost)
+		permuted := Components(q)
+		if len(base) != len(permuted) {
+			t.Fatalf("trial %d: %d components before, %d after permutation", trial, len(base), len(permuted))
+		}
+
+		// Components as sets of original row ids must be identical.
+		canon := func(comps []Component, back func(int) int) []string {
+			keys := make([]string, len(comps))
+			for k, c := range comps {
+				ids := make([]int, len(c.RowIdx))
+				for t, i := range c.RowIdx {
+					ids[t] = back(i)
+				}
+				sort.Ints(ids)
+				keys[k] = intsKey(ids)
+			}
+			sort.Strings(keys)
+			return keys
+		}
+		inv := make([]int, len(perm))
+		for i, pi := range perm {
+			inv[pi] = i
+		}
+		before := canon(base, func(i int) int { return i })
+		after := canon(permuted, func(i int) int { return inv[i] })
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("trial %d: component row-sets changed under permutation\nbefore %v\nafter  %v", trial, before, after)
+		}
+
+		// Canonical order invariants on both decompositions.
+		for _, comps := range [][]Component{base, permuted} {
+			prevMin := -1
+			for k, c := range comps {
+				if !sort.IntsAreSorted(c.RowIdx) {
+					t.Fatalf("trial %d: component %d rows out of input order: %v", trial, k, c.RowIdx)
+				}
+				if c.RowIdx[0] <= prevMin {
+					t.Fatalf("trial %d: component %d first row %d not after previous %d", trial, k, c.RowIdx[0], prevMin)
+				}
+				prevMin = c.RowIdx[0]
+			}
+		}
+	}
+}
+
+func intsKey(ids []int) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, v := range ids {
+		b = append(b, byte(v), ',')
+	}
+	return string(b)
+}
+
+// TestCompactSparseMatchesCompact: the sparse compaction must be
+// bit-identical to Compact — the partition-first pipeline and the
+// sharded driver both rely on it.
+func TestCompactSparseMatchesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 8, 20)
+		q1, ids1 := p.Compact()
+		q2, ids2 := p.CompactSparse()
+		if !reflect.DeepEqual(ids1, ids2) {
+			t.Fatalf("trial %d: active cols %v != %v", trial, ids1, ids2)
+		}
+		if !reflect.DeepEqual(q1.Rows, q2.Rows) || q1.NCol != q2.NCol || !reflect.DeepEqual(q1.Cost, q2.Cost) {
+			t.Fatalf("trial %d: compact problems differ", trial)
+		}
+	}
+}

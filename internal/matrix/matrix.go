@@ -792,10 +792,10 @@ type Component struct {
 	RowIdx  []int // indices of the component's rows in the parent
 }
 
-// Components splits the problem into its connected components: rows
-// are connected when they share a column.  Solving each component
-// independently and uniting the solutions solves the whole problem.
-func Components(p *Problem) []Component {
+// componentRoots runs the union-find over rows (rows are connected
+// when they share a column) and returns the parent forest plus a find
+// function with path compression applied.
+func componentRoots(p *Problem) func(int) int {
 	n := len(p.Rows)
 	parent := make([]int, n)
 	for i := range parent {
@@ -824,25 +824,61 @@ func Components(p *Problem) []Component {
 			}
 		}
 	}
-	groups := make(map[int][]int)
+	return find
+}
+
+// Components splits the problem into its connected components: rows
+// are connected when they share a column.  Solving each component
+// independently and uniting the solutions solves the whole problem.
+//
+// Components are ordered by their smallest row index (the order the
+// components first appear scanning rows top to bottom), and each
+// component's rows keep their relative input order.  This makes the
+// decomposition canonical: any process that discovers the same
+// components — in particular the streaming partitioner of
+// internal/shard, which never sees the assembled matrix — arrives at
+// the same ordering.
+func Components(p *Problem) []Component {
+	return components(p, false)
+}
+
+// Partition is Components for callers on the partition-first solve
+// path: it returns nil when the problem has at most one connected
+// component (including the empty problem), so the common connected
+// case costs one union-find pass and no row copies.
+func Partition(p *Problem) []Component {
+	return components(p, true)
+}
+
+func components(p *Problem, nilIfConnected bool) []Component {
+	n := len(p.Rows)
+	find := componentRoots(p)
+	// Assign component indices in order of first appearance: component
+	// k's smallest row index grows with k.
+	compOf := make([]int, n)
+	rootComp := make(map[int]int)
+	ncomp := 0
 	for i := 0; i < n; i++ {
 		root := find(i)
-		groups[root] = append(groups[root], i)
-	}
-	roots := make([]int, 0, len(groups))
-	for r := range groups {
-		roots = append(roots, r)
-	}
-	sort.Ints(roots)
-	out := make([]Component, 0, len(roots))
-	for _, root := range roots {
-		idx := groups[root]
-		sort.Ints(idx)
-		sub := &Problem{NCol: p.NCol, Cost: p.Cost}
-		for _, i := range idx {
-			sub.Rows = append(sub.Rows, append([]int(nil), p.Rows[i]...))
+		c, ok := rootComp[root]
+		if !ok {
+			c = ncomp
+			rootComp[root] = c
+			ncomp++
 		}
-		out = append(out, Component{Problem: sub, RowIdx: idx})
+		compOf[i] = c
+	}
+	if nilIfConnected && ncomp <= 1 {
+		return nil
+	}
+	out := make([]Component, ncomp)
+	for i := 0; i < n; i++ {
+		c := compOf[i]
+		if out[c].Problem == nil {
+			out[c].Problem = &Problem{NCol: p.NCol, Cost: p.Cost}
+		}
+		out[c].Problem.Rows = append(out[c].Problem.Rows, append([]int(nil), p.Rows[i]...))
+		out[c].RowIdx = append(out[c].RowIdx, i)
 	}
 	return out
 }
@@ -864,6 +900,48 @@ func (p *Problem) Compact() (*Problem, []int) {
 		q.Cost[k] = p.Cost[j]
 	}
 	flat := make([]int, p.NNZ())
+	for i, r := range p.Rows {
+		rr := flat[:len(r):len(r)]
+		flat = flat[len(r):]
+		for t, j := range r {
+			rr[t] = int(newID[j])
+		}
+		q.Rows[i] = rr
+	}
+	return q, active
+}
+
+// CompactSparse is Compact without the O(NCol) scratch: the active
+// columns are gathered from the rows alone, so the cost scales with
+// the problem's nonzeros, not the column universe.  A connected
+// component carved out of a huge instance keeps the parent's NCol;
+// compacting thousands of such components through Compact would cost
+// O(components × NCol), which this variant avoids.  The result is
+// bit-identical to Compact's.
+func (p *Problem) CompactSparse() (*Problem, []int) {
+	nnz := p.NNZ()
+	all := make([]int, 0, nnz)
+	for _, r := range p.Rows {
+		all = append(all, r...)
+	}
+	sort.Ints(all)
+	active := all[:0]
+	for k, j := range all {
+		if k > 0 && all[k-1] == j {
+			continue
+		}
+		active = append(active, j)
+	}
+	active = append([]int(nil), active...) // free the nnz-sized backing
+	newID := make(map[int]int32, len(active))
+	for k, j := range active {
+		newID[j] = int32(k)
+	}
+	q := &Problem{NCol: len(active), Cost: make([]int, len(active)), Rows: make([][]int, len(p.Rows))}
+	for k, j := range active {
+		q.Cost[k] = p.Cost[j]
+	}
+	flat := make([]int, nnz)
 	for i, r := range p.Rows {
 		rr := flat[:len(r):len(r)]
 		flat = flat[len(r):]

@@ -43,7 +43,8 @@ import (
 // the deterministic merge.
 type compState struct {
 	core *matrix.Problem
-	idx  int // block index, part of every restart's RNG seed
+	idx  int // block index within its part, half of the RNG stream id
+	part int // canonical index of the connected input part (see solvePart)
 
 	// capture asks init to snapshot the initial phase's multipliers
 	// (for later warm starts across solves); warm, when non-nil, seeds
@@ -94,13 +95,16 @@ type runResult struct {
 }
 
 // solveBlocks runs the portfolio: one init job per block, then one job
-// per (block, restart), all on the shared worker pool.  obs (may be
-// nil) collects per-block incumbents for the OnImprove hook.
-func solveBlocks(comps []matrix.Component, opt Options, tr *budget.Tracker, obs *anytime) []*compState {
+// per (block, restart), all on the shared worker pool.  partIdx is the
+// canonical index of the connected input part the blocks belong to
+// (zero for the whole problem), folded into every restart's RNG
+// stream.  obs (may be nil) collects per-block incumbents for the
+// OnImprove hook.
+func solveBlocks(comps []matrix.Component, partIdx int, opt Options, tr *budget.Tracker, obs *anytime) []*compState {
 	states := make([]*compState, len(comps))
 	pend := make([]int, len(comps))
 	for c, comp := range comps {
-		states[c] = &compState{core: comp.Problem, idx: c}
+		states[c] = &compState{core: comp.Problem, idx: c, part: partIdx}
 		pend[c] = c
 	}
 	runStates(states, pend, opt, tr, obs)
@@ -213,7 +217,7 @@ func (cs *compState) runJob(r int, opt Options, tr *budget.Tracker, sc *lagrangi
 	if r > 1 {
 		window = opt.BestCol + (r - 2)
 	}
-	rng := rand.New(rand.NewSource(runSeed(opt.Seed, cs.idx, r)))
+	rng := rand.New(rand.NewSource(runSeed(opt.Seed, streamID(cs.part, cs.idx), r)))
 	sol, cost, lbRun, iters, steps := runOnce(cs.core, cs.bestCost, opt, rng, window, tr, sc)
 	obs.update(cs.idx, sol, cost, lbRun)
 
@@ -314,10 +318,18 @@ func parallelDo(n, workers int, tr *budget.Tracker, pool *sync.Pool, fn func(k i
 	wg.Wait()
 }
 
-// runSeed derives the RNG seed of restart run on block comp from the
-// user's Seed with splitmix64 mixing: well-separated streams, and a
-// fixed (comp, run) → seed map independent of scheduling.
-func runSeed(seed int64, comp, run int) int64 {
+// streamID packs a block's (part, block) identity into the 64-bit RNG
+// stream selector.  Part 0 reduces to the bare block index, so solves
+// of connected problems — every solve before the partition-first
+// pipeline existed — keep their historical streams.
+func streamID(part, idx int) int64 {
+	return int64(part)<<32 | int64(idx)
+}
+
+// runSeed derives the RNG seed of restart run on block stream comp
+// from the user's Seed with splitmix64 mixing: well-separated streams,
+// and a fixed (comp, run) → seed map independent of scheduling.
+func runSeed(seed int64, comp int64, run int) int64 {
 	x := uint64(seed) ^ 0x9e3779b97f4a7c15
 	x = mix64(x + uint64(comp)*0xbf58476d1ce4e5b9)
 	x = mix64(x + uint64(run)*0x94d049bb133111eb)

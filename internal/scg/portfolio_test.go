@@ -126,7 +126,7 @@ func TestDirtyScratchPoolBitIdentical(t *testing.T) {
 func TestRunSeedStreamsDistinct(t *testing.T) {
 	seen := map[int64]bool{}
 	for _, seed := range []int64{0, 1, 42, -7} {
-		for comp := 0; comp < 16; comp++ {
+		for comp := int64(0); comp < 16; comp++ {
 			for run := 1; run <= 64; run++ {
 				s := runSeed(seed, comp, run)
 				if seen[s] {

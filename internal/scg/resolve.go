@@ -234,7 +234,13 @@ func solveKept(p *matrix.Problem, opt Options, st *SolveState, d *matrix.Delta, 
 		lbSum += lb
 		ceilSum += int(math.Ceil(lb - 1e-9))
 	}
-	res.finish(p, best, lbSum, ceilSum, t0)
+	best = p.Irredundant(best)
+	sort.Ints(best)
+	res.Solution = best
+	res.Cost = p.CostOf(best)
+	res.LB = lbSum
+	res.ProvedOptimal = res.Cost <= ceilSum
+	res.Stats.TotalTime = time.Since(t0)
 	return res
 }
 

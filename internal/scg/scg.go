@@ -90,6 +90,20 @@ type Options struct {
 	// it is excluded from the Cache digest; a solve answered from the
 	// cache emits no intermediate incumbents, only the final Result.
 	OnImprove func(sol []int, cost int, lb float64)
+	// MemBudget, when positive, asks for the out-of-core
+	// component-sharded driver: ucp.SolveSCG (and the serve layer)
+	// route the solve through internal/shard, which partitions the
+	// input into connected components, schedules them largest-first
+	// under this many bytes of tracked decoded-instance memory, and
+	// spills not-yet-scheduled components to disk.  scg.Solve itself
+	// ignores the field — the sharded result is bit-identical to the
+	// direct one by construction (see DESIGN.md §17), which is also why
+	// it is excluded from the Cache digest.  Sharded solves bypass the
+	// Cache.
+	MemBudget int64
+	// SpillDir is where the sharded driver keeps its spill files
+	// (empty: the OS temp directory).  Ignored by scg.Solve.
+	SpillDir string
 	// Cache, when non-nil, memoizes whole solves across calls: the
 	// problem is canonicalised to a 128-bit fingerprint, folded with a
 	// digest of the result-relevant options (everything above except
@@ -150,6 +164,21 @@ type Stats struct {
 	// else).
 	CacheHits   int64
 	CacheMisses int64
+	// Shard counters, populated only by the out-of-core sharded driver
+	// (internal/shard); all zero on direct solves.  ShardComponents is
+	// the number of connected components the partitioner found and
+	// ShardSpilled how many of them went to disk before solving — both
+	// deterministic for a given instance and budget.  ShardRespilled
+	// (components evicted after decode and re-read later),
+	// ShardPeakBytes (high-water tracked decoded bytes) and
+	// ShardDegraded (components completed greedily after the deadline)
+	// depend on scheduling, so like the timing fields they are exempt
+	// from the bit-identity contracts.
+	ShardComponents int
+	ShardSpilled    int
+	ShardRespilled  int
+	ShardPeakBytes  int64
+	ShardDegraded   int
 }
 
 // Result of a ZDD_SCG solve.
@@ -181,6 +210,16 @@ func Solve(p *matrix.Problem, opt Options) *Result {
 }
 
 // solve is the uncached solver core; opt is already filled.
+//
+// The input first splits into its connected parts (rows share no
+// column across parts), and each part runs the full pipeline —
+// implicit reduction, explicit reduction, core-block portfolio,
+// irredundant cleanup — independently; MergeParts folds the per-part
+// results in canonical part order.  The sharded driver
+// (internal/shard) runs the identical per-part pipeline under its own
+// scheduler, so a sharded solve is bit-identical to this one by
+// construction.  Connected inputs (and DisablePartition) take the
+// single-part path, which is the historical pipeline unchanged.
 func solve(p *matrix.Problem, opt Options) *Result {
 	t0 := time.Now()
 	res := &Result{}
@@ -192,6 +231,109 @@ func solve(p *matrix.Problem, opt Options) *Result {
 		}
 	}()
 
+	var parts []matrix.Component
+	if !opt.DisablePartition {
+		parts = matrix.Partition(p)
+	}
+	if parts == nil {
+		// Connected input (or partitioning disabled): one part, no row
+		// copies, no column compaction.
+		pr := solvePart(p, 0, opt, tr, opt.OnImprove)
+		mergeParts(res, []*PartResult{pr})
+		res.Stats.TotalTime = time.Since(t0)
+		return res
+	}
+
+	// Independent parts solve sequentially, each against its compacted
+	// column universe; the portfolio inside each part still spreads its
+	// blocks and restarts across the worker budget.  OnImprove
+	// composes: each part's incumbents feed one slot of an outer
+	// assembler that emits whole-problem covers.
+	var outer *anytime
+	if opt.OnImprove != nil {
+		outer = newAnytime(nil, 0, len(parts), opt.OnImprove)
+	}
+	prs := make([]*PartResult, 0, len(parts))
+	for k, part := range parts {
+		var emit func([]int, int, float64)
+		if outer != nil {
+			kk := k
+			emit = func(sol []int, cost int, lb float64) { outer.update(kk, sol, cost, lb) }
+		}
+		pr := solvePartCompact(part.Problem, k, opt, tr, emit)
+		prs = append(prs, pr)
+		if pr.Solution == nil {
+			break // an uncoverable part: the whole problem is infeasible
+		}
+	}
+	mergeParts(res, prs)
+	res.Stats.TotalTime = time.Since(t0)
+	return res
+}
+
+// PartResult is the complete solve outcome of one connected part of an
+// input problem: the part's irredundant cover (essential columns
+// included; nil when the part is uncoverable), its cost, the float and
+// integer-rounded lower bounds, and the part-local Stats.  Parts
+// compose: MergeParts folds a slice of these, in canonical part order
+// (matrix.Components order: ascending smallest row index), into the
+// whole-problem Result.
+type PartResult struct {
+	Solution []int
+	Cost     int
+	LB       float64
+	CeilLB   int
+	Stats    Stats
+}
+
+// SolvePart runs the full per-part pipeline on one connected part of
+// an input problem.  partIdx is the part's canonical index, which
+// seeds the part's restart RNG streams; column ids in part (and in the
+// returned Solution) are the input problem's.  The caller owns the
+// decomposition contract: part really is one connected component and
+// partIdx its canonical position, or the solve is still valid but no
+// longer bit-comparable with solving the whole input.  Options.Cache
+// and Options.OnImprove are ignored at part level.
+func SolvePart(part *matrix.Problem, partIdx int, opt Options, tr *budget.Tracker) *PartResult {
+	opt.fill()
+	return solvePart(part, partIdx, opt, tr, nil)
+}
+
+// SolvePartCompact is SolvePart for parts carved out of a much wider
+// column universe: the part is first compacted to its active columns
+// (an O(nnz) operation, see matrix.CompactSparse) and the solution is
+// mapped back, so per-part costs never scale with the parent's NCol.
+func SolvePartCompact(part *matrix.Problem, partIdx int, opt Options, tr *budget.Tracker) *PartResult {
+	opt.fill()
+	return solvePartCompact(part, partIdx, opt, tr, nil)
+}
+
+// solvePartCompact compacts the part's columns, solves, and maps the
+// solution (and emitted incumbents) back to input column ids.
+func solvePartCompact(part *matrix.Problem, partIdx int, opt Options, tr *budget.Tracker, emit func([]int, int, float64)) *PartResult {
+	sub, ids := part.CompactSparse()
+	inner := emit
+	if emit != nil {
+		inner = func(sol []int, cost int, lb float64) {
+			emit(mapCols(sol, ids), cost, lb)
+		}
+	}
+	pr := solvePart(sub, partIdx, opt, tr, inner)
+	if pr.Solution != nil {
+		pr.Solution = mapCols(pr.Solution, ids)
+		sort.Ints(pr.Solution)
+	}
+	return pr
+}
+
+// solvePart is the historical single-pipeline solve applied to one
+// part: implicit reduction, explicit reduction, block portfolio over
+// the cyclic core, per-part irredundant cleanup.  emit (may be nil)
+// receives the part's improving incumbents.
+func solvePart(part *matrix.Problem, partIdx int, opt Options, tr *budget.Tracker, emit func([]int, int, float64)) *PartResult {
+	t0 := time.Now()
+	pr := &PartResult{}
+
 	// The reduction fixpoints shard their dominance passes across the
 	// same worker budget the restart portfolio uses; the merge is
 	// deterministic, so the cyclic core is bit-identical for any count.
@@ -202,21 +344,20 @@ func solve(p *matrix.Problem, opt Options) *Result {
 
 	// ----- implicit reduction to (near) cyclic core -----
 	var essential []int
-	work := p
+	work := part
 	if !opt.DisableImplicit {
-		ir := ImplicitReduceBudgetWorkers(p, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr, workers)
-		res.Stats.ZDDNodes = ir.ZDDNodes
-		res.Stats.ZDDCollections = ir.Collections
-		res.Stats.ZDDLiveNodes = ir.LiveNodes
-		res.Stats.ZDDPlainNodes = ir.PlainNodes
-		res.Stats.ImplicitDense = ir.Dense
+		ir := ImplicitReduceBudgetWorkers(part, opt.MaxR, opt.MaxC, opt.Budget.NodeCap, tr, workers)
+		pr.Stats.ZDDNodes = ir.ZDDNodes
+		pr.Stats.ZDDCollections = ir.Collections
+		pr.Stats.ZDDLiveNodes = ir.LiveNodes
+		pr.Stats.ZDDPlainNodes = ir.PlainNodes
+		pr.Stats.ImplicitDense = ir.Dense
 		if ir.Aborted {
 			// Node cap or deadline: degrade to the explicit reduction
 			// path on the original matrix (the DisableImplicit route).
-			res.Stats.ImplicitAborted = true
+			pr.Stats.ImplicitAborted = true
 		} else if ir.Infeasible {
-			res.Stats.TotalTime = time.Since(t0)
-			return res
+			return pr
 		} else {
 			essential = append(essential, ir.Essential...)
 			work = ir.Core
@@ -226,29 +367,27 @@ func solve(p *matrix.Problem, opt Options) *Result {
 	// ----- explicit reductions -----
 	red := matrix.ReduceBudgetWorkers(work, tr, workers)
 	if red.Infeasible {
-		res.Stats.TotalTime = time.Since(t0)
-		return res
+		return pr
 	}
 	essential = append(essential, red.Essential...)
 	core := red.Core
-	res.Stats.CyclicCoreTime = time.Since(t0)
-	res.Stats.CoreRows = len(core.Rows)
-	res.Stats.CoreCols = len(core.ActiveCols())
+	pr.Stats.CyclicCoreTime = time.Since(t0)
+	pr.Stats.CoreRows = len(core.Rows)
+	pr.Stats.CoreCols = len(core.ActiveCols())
 
-	essCost := p.CostOf(essential)
+	essCost := part.CostOf(essential)
 	if len(core.Rows) == 0 {
-		// The reductions solved the problem outright; essentials form
-		// a minimum cover.
+		// The reductions solved the part outright; essentials form a
+		// minimum cover of it.
 		if essential == nil {
 			essential = []int{} // nil would read as "infeasible"
 		}
 		sort.Ints(essential)
-		res.Solution = essential
-		res.Cost = essCost
-		res.LB = float64(essCost)
-		res.ProvedOptimal = true
-		res.Stats.TotalTime = time.Since(t0)
-		return res
+		pr.Solution = essential
+		pr.Cost = essCost
+		pr.LB = float64(essCost)
+		pr.CeilLB = essCost
+		return pr
 	}
 
 	// ----- solve the cyclic core, one independent block at a time;
@@ -261,38 +400,86 @@ func solve(p *matrix.Problem, opt Options) *Result {
 		}
 	}
 	var obs *anytime
-	if opt.OnImprove != nil {
-		obs = newAnytime(essential, essCost, len(comps), opt.OnImprove)
+	if emit != nil {
+		obs = newAnytime(essential, essCost, len(comps), emit)
 	}
-	states := solveBlocks(comps, opt, tr, obs)
+	states := solveBlocks(comps, partIdx, opt, tr, obs)
 	best := append([]int(nil), essential...)
 	lbSum := float64(essCost)
 	ceilSum := essCost
 	for _, cs := range states {
-		sol, lb, ok := cs.merge(&res.Stats)
+		sol, lb, ok := cs.merge(&pr.Stats)
 		if !ok {
-			res.Stats.TotalTime = time.Since(t0)
-			return res
+			return pr // uncoverable block (Solution stays nil)
 		}
 		best = append(best, sol...)
 		lbSum += lb
 		ceilSum += int(math.Ceil(lb - 1e-9))
 	}
-	res.finish(p, best, lbSum, ceilSum, t0)
+	best = part.Irredundant(best)
+	sort.Ints(best)
+	pr.Solution = best
+	pr.Cost = part.CostOf(best)
+	pr.LB = lbSum
+	pr.CeilLB = ceilSum
+	return pr
+}
+
+// MergeParts folds per-part results — in canonical part order — into
+// one whole-problem Result: covers concatenate (parts share no
+// columns, and each part's cover is already irredundant, so the union
+// is too), costs and bounds add, counters fold.  The fold stops at the
+// first uncoverable part, mirroring solve's early return, so a
+// scheduler that solved later parts anyway merges to the identical
+// Result.  Interrupted/StopReason stay for the caller, which owns the
+// budget tracker.
+func MergeParts(prs []*PartResult) *Result {
+	res := &Result{}
+	mergeParts(res, prs)
 	return res
 }
 
-// finish cleans up and records the combined solution.  ceilLB is the
-// sum of the per-block integer-rounded bounds plus the essential cost,
-// which certifies optimality when the final cost matches it.
-func (r *Result) finish(p *matrix.Problem, best []int, lb float64, ceilLB int, t0 time.Time) {
-	best = p.Irredundant(best)
-	sort.Ints(best)
-	r.Solution = best
-	r.Cost = p.CostOf(best)
-	r.LB = lb
-	r.ProvedOptimal = r.Cost <= ceilLB
-	r.Stats.TotalTime = time.Since(t0)
+func mergeParts(res *Result, prs []*PartResult) {
+	sol := []int{}
+	cost, ceilSum := 0, 0
+	lbSum := 0.0
+	for _, pr := range prs {
+		foldStats(&res.Stats, &pr.Stats)
+		if pr.Solution == nil {
+			res.Solution = nil
+			return
+		}
+		sol = append(sol, pr.Solution...)
+		cost += pr.Cost
+		lbSum += pr.LB
+		ceilSum += pr.CeilLB
+	}
+	sort.Ints(sol)
+	res.Solution = sol
+	res.Cost = cost
+	res.LB = lbSum
+	res.ProvedOptimal = cost <= ceilSum
+}
+
+// foldStats accumulates one part's counters into the whole-solve
+// Stats: everything sums except ZDDNodes — each part runs its own ZDD
+// manager, so the high-water store is the max over parts — and the
+// two implicit-phase flags, which latch.
+func foldStats(dst, src *Stats) {
+	dst.CyclicCoreTime += src.CyclicCoreTime
+	dst.CoreRows += src.CoreRows
+	dst.CoreCols += src.CoreCols
+	if src.ZDDNodes > dst.ZDDNodes {
+		dst.ZDDNodes = src.ZDDNodes
+	}
+	dst.ZDDCollections += src.ZDDCollections
+	dst.ZDDLiveNodes += src.ZDDLiveNodes
+	dst.ZDDPlainNodes += src.ZDDPlainNodes
+	dst.FixSteps += src.FixSteps
+	dst.Runs += src.Runs
+	dst.SubgradIters += src.SubgradIters
+	dst.ImplicitAborted = dst.ImplicitAborted || src.ImplicitAborted
+	dst.ImplicitDense = dst.ImplicitDense || src.ImplicitDense
 }
 
 // runOnce executes one constructive run of the fixing loop on a copy

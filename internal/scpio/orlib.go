@@ -1,0 +1,90 @@
+package scpio
+
+import (
+	"fmt"
+	"io"
+)
+
+// ORLibReader streams a Beasley OR-Library "scp" instance:
+//
+//	m n
+//	cost_1 ... cost_n
+//	k_1  col ... col      (for each row i: its column count, then the
+//	k_2  col ... col       1-based columns covering it, free-format)
+//	...
+//
+// All tokens are whitespace separated and may wrap lines arbitrarily.
+// The header (counts and the n costs) is read eagerly — O(n) memory —
+// and rows stream one at a time through Next, so an instance with
+// millions of rows never materialises.
+type ORLibReader struct {
+	lx    *Lexer
+	nrows int
+	ncols int
+	cost  []int
+	next  int
+}
+
+// NewORLibReader parses the header: the row/column counts and the
+// column costs.
+func NewORLibReader(r io.Reader) (*ORLibReader, error) {
+	lx := NewLexer(r)
+	m, err := lx.Int()
+	if err != nil {
+		return nil, fmt.Errorf("line %d: reading row count: %w", lx.Line(), err)
+	}
+	n, err := lx.Int()
+	if err != nil {
+		return nil, fmt.Errorf("line %d: reading column count: %w", lx.Line(), err)
+	}
+	if m < 0 || n <= 0 || m > MaxDim || n > MaxDim {
+		return nil, lx.Errf("invalid size %d x %d", m, n)
+	}
+	cost := make([]int, n)
+	for j := range cost {
+		if cost[j], err = lx.Int(); err != nil {
+			return nil, fmt.Errorf("line %d: reading cost %d: %w", lx.Line(), j, err)
+		}
+	}
+	return &ORLibReader{lx: lx, nrows: m, ncols: n, cost: cost}, nil
+}
+
+// NumRows returns the declared row count.
+func (o *ORLibReader) NumRows() int { return o.nrows }
+
+// NumCols returns the declared column count.
+func (o *ORLibReader) NumCols() int { return o.ncols }
+
+// Cost returns the column cost vector (owned by the reader).
+func (o *ORLibReader) Cost() []int { return o.cost }
+
+// Next returns the next row's 0-based column ids, in file order,
+// appended to buf[:0] (pass the previous return value to reuse its
+// backing).  After the declared number of rows it returns io.EOF;
+// trailing bytes are ignored, as the historical reader did.
+func (o *ORLibReader) Next(buf []int) ([]int, error) {
+	if o.next >= o.nrows {
+		return nil, io.EOF
+	}
+	i := o.next
+	o.next++
+	k, err := o.lx.Int()
+	if err != nil {
+		return nil, fmt.Errorf("line %d: reading degree of row %d: %w", o.lx.Line(), i, err)
+	}
+	if k < 0 {
+		return nil, o.lx.Errf("row %d has negative degree", i)
+	}
+	row := buf[:0]
+	for t := 0; t < k; t++ {
+		col, err := o.lx.Int()
+		if err != nil {
+			return nil, fmt.Errorf("line %d: reading row %d: %w", o.lx.Line(), i, err)
+		}
+		if col < 1 || col > o.ncols {
+			return nil, o.lx.Errf("row %d references column %d of %d", i, col, o.ncols)
+		}
+		row = append(row, col-1)
+	}
+	return row, nil
+}

@@ -51,6 +51,15 @@ type Config struct {
 	// CacheSize is the shared cross-solve cache capacity in entries;
 	// default ucp.DefaultCacheSize.  Negative disables the cache.
 	CacheSize int
+	// MemBudget, when positive, routes SCG covering solves (plain and
+	// PLA) through the out-of-core sharded driver with this many bytes
+	// of tracked instance memory per solve.  Sharded solves bypass the
+	// cross-solve cache; the incremental (keep) path stays direct.
+	// Default 0: direct in-memory solves.
+	MemBudget int64
+	// SpillDir is where sharded solves keep their spill files (empty:
+	// the OS temp directory).
+	SpillDir string
 	// Fault, when non-nil, wires the failure-injection hooks in; nil
 	// in production.
 	Fault *faultinject.Injector
@@ -107,6 +116,7 @@ type Stats struct {
 	Cache   ucp.CacheStats `json:"cache"`
 	Resolve ResolveStats   `json:"resolve"`
 	ZDD     ZDDStats       `json:"zdd"`
+	Shard   ShardStats     `json:"shard"`
 }
 
 // ZDDStats aggregates the implicit-phase engine profile across every
@@ -121,6 +131,20 @@ type ZDDStats struct {
 	PlainNodes  int64   `json:"plain_nodes"`
 	ChainRatio  float64 `json:"chain_ratio"`
 	Collections int64   `json:"collections"`
+}
+
+// ShardStats aggregates the out-of-core driver's counters across every
+// sharded solve (all zero while Config.MemBudget is unset): components
+// partitioned, components spilled to disk before solving, components
+// evicted-and-reloaded under memory pressure, components degraded to
+// greedy completion by their deadline, and the largest tracked byte
+// high-water any single solve reached.
+type ShardStats struct {
+	Components int64 `json:"components"`
+	Spilled    int64 `json:"spilled"`
+	Respilled  int64 `json:"respilled"`
+	Degraded   int64 `json:"degraded"`
+	PeakBytes  int64 `json:"peak_bytes"`
 }
 
 // statusClientGone marks a job whose client disconnected; nothing is
@@ -154,6 +178,10 @@ type Server struct {
 	zddPeak                         atomic.Int64 // max over solves
 	zddLive, zddPlain, zddCollected atomic.Int64 // sums over solves
 
+	shardComps, shardSpilled      atomic.Int64 // sums over sharded solves
+	shardRespilled, shardDegraded atomic.Int64
+	shardPeak                     atomic.Int64 // max over sharded solves
+
 	unknownParents atomic.Int64 // parent ids that missed the keep store
 }
 
@@ -173,6 +201,25 @@ func (s *Server) recordZDD(peak, live, plain, collections int) {
 	s.zddLive.Add(int64(live))
 	s.zddPlain.Add(int64(plain))
 	s.zddCollected.Add(int64(collections))
+}
+
+// recordShard folds one sharded solve's scheduling profile into the
+// /stats aggregates; direct solves report zero components and are
+// skipped.
+func (s *Server) recordShard(components, spilled, respilled, degraded int, peak int64) {
+	if components == 0 {
+		return
+	}
+	s.shardComps.Add(int64(components))
+	s.shardSpilled.Add(int64(spilled))
+	s.shardRespilled.Add(int64(respilled))
+	s.shardDegraded.Add(int64(degraded))
+	for {
+		old := s.shardPeak.Load()
+		if peak <= old || s.shardPeak.CompareAndSwap(old, peak) {
+			break
+		}
+	}
 }
 
 // New builds the service and starts its worker pool.
@@ -225,6 +272,13 @@ func (s *Server) Stats() Stats {
 			PlainNodes:  s.zddPlain.Load(),
 			ChainRatio:  chainRatio(s.zddLive.Load(), s.zddPlain.Load()),
 			Collections: s.zddCollected.Load(),
+		},
+		Shard: ShardStats{
+			Components: s.shardComps.Load(),
+			Spilled:    s.shardSpilled.Load(),
+			Respilled:  s.shardRespilled.Load(),
+			Degraded:   s.shardDegraded.Load(),
+			PeakBytes:  s.shardPeak.Load(),
 		},
 	}
 }
@@ -595,9 +649,11 @@ func (s *Server) solveSCG(j *job, bud ucp.Budget) (Response, int) {
 	}
 	bud.IterCap = j.req.IterCap
 	opt := ucp.SCGOptions{
-		Seed:    j.req.Seed,
-		NumIter: j.req.NumIter,
-		Budget:  bud,
+		Seed:      j.req.Seed,
+		NumIter:   j.req.NumIter,
+		Budget:    bud,
+		MemBudget: s.cfg.MemBudget,
+		SpillDir:  s.cfg.SpillDir,
 	}
 	if j.events != nil {
 		events := j.events
@@ -607,6 +663,8 @@ func (s *Server) solveSCG(j *job, bud ucp.Budget) (Response, int) {
 	}
 	res := s.solver.SolveSCG(j.prob, opt)
 	s.recordZDD(res.Stats.ZDDNodes, res.Stats.ZDDLiveNodes, res.Stats.ZDDPlainNodes, res.Stats.ZDDCollections)
+	s.recordShard(res.Stats.ShardComponents, res.Stats.ShardSpilled,
+		res.Stats.ShardRespilled, res.Stats.ShardDegraded, res.Stats.ShardPeakBytes)
 	if res.Solution == nil {
 		if res.Interrupted {
 			err := res.StopReason.Err()
@@ -649,9 +707,11 @@ func (s *Server) solvePLA(j *job, bud ucp.Budget) (Response, int) {
 		})
 	} else {
 		res, err = s.solver.MinimizeSCG(j.pla, ucp.SCGOptions{
-			Seed:    j.req.Seed,
-			NumIter: j.req.NumIter,
-			Budget:  bud,
+			Seed:      j.req.Seed,
+			NumIter:   j.req.NumIter,
+			Budget:    bud,
+			MemBudget: s.cfg.MemBudget,
+			SpillDir:  s.cfg.SpillDir,
 		})
 	}
 	if err != nil {
@@ -665,6 +725,8 @@ func (s *Server) solvePLA(j *job, bud ucp.Budget) (Response, int) {
 		}
 	}
 	s.recordZDD(res.ZDDNodes, res.ZDDLiveNodes, res.ZDDPlainNodes, res.ZDDCollections)
+	s.recordShard(res.ShardComponents, res.ShardSpilled,
+		res.ShardRespilled, res.ShardDegraded, res.ShardPeakBytes)
 	if j.pla.F.S.Inputs() <= equivalentCheckMaxInputs && !ucp.Equivalent(j.pla, res.Cover) {
 		return Response{Error: "internal error: minimiser returned a non-equivalent cover"},
 			http.StatusInternalServerError

@@ -1,0 +1,46 @@
+package shard
+
+// partitioner is a streaming union-find over the column universe: each
+// incoming row unions its columns, so after one pass the sets of
+// mutually reachable columns are exactly the connected components of
+// the instance (rows join a component through any of their columns).
+// 4 bytes per column, no per-row state.
+type partitioner struct {
+	parent []int32
+}
+
+func newPartitioner(ncols int) *partitioner {
+	pt := &partitioner{parent: make([]int32, ncols)}
+	for j := range pt.parent {
+		pt.parent[j] = int32(j)
+	}
+	return pt
+}
+
+func (pt *partitioner) find(j int32) int32 {
+	for pt.parent[j] != j {
+		pt.parent[j] = pt.parent[pt.parent[j]] // path halving
+		j = pt.parent[j]
+	}
+	return j
+}
+
+// addRow unions all the row's columns into one set.
+func (pt *partitioner) addRow(cols []int) {
+	if len(cols) < 2 {
+		return
+	}
+	a := pt.find(int32(cols[0]))
+	for _, c := range cols[1:] {
+		b := pt.find(int32(c))
+		if a == b {
+			continue
+		}
+		// Smaller root wins: keeps find deterministic and cheap without
+		// a rank array.
+		if b < a {
+			a, b = b, a
+		}
+		pt.parent[b] = a
+	}
+}

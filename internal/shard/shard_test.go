@@ -1,0 +1,361 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ucp/internal/benchmarks"
+	"ucp/internal/matrix"
+	"ucp/internal/scg"
+)
+
+// stripSchedulingStats zeroes the fields exempt from the bit-identity
+// contract: timings and the shard scheduling counters.
+func stripSchedulingStats(st scg.Stats) scg.Stats {
+	st.CyclicCoreTime = 0
+	st.TotalTime = 0
+	st.ShardComponents = 0
+	st.ShardSpilled = 0
+	st.ShardRespilled = 0
+	st.ShardPeakBytes = 0
+	st.ShardDegraded = 0
+	return st
+}
+
+func requireIdentical(t *testing.T, direct, sharded *scg.Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(direct.Solution, sharded.Solution) {
+		t.Fatalf("%s: solution %v != %v", label, sharded.Solution, direct.Solution)
+	}
+	if direct.Cost != sharded.Cost || direct.LB != sharded.LB || direct.ProvedOptimal != sharded.ProvedOptimal {
+		t.Fatalf("%s: cost/LB/proved (%d %v %v) != (%d %v %v)", label,
+			sharded.Cost, sharded.LB, sharded.ProvedOptimal, direct.Cost, direct.LB, direct.ProvedOptimal)
+	}
+	if ds, ss := stripSchedulingStats(direct.Stats), stripSchedulingStats(sharded.Stats); ds != ss {
+		t.Fatalf("%s: stats diverged\ndirect  %+v\nsharded %+v", label, ds, ss)
+	}
+}
+
+// testProblems is a spread of instance shapes: multi-component,
+// connected, with empty (uncoverable) rows, and single-row edge cases.
+func testProblems(t *testing.T) map[string]*matrix.Problem {
+	t.Helper()
+	multi, err := benchmarks.ComponentCovering(benchmarks.ComponentSpec{
+		Seed: 11, Components: 9, RowsPerComp: 14, ColsPerComp: 10, RowDegree: 3, MaxCost: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uneven, err := benchmarks.ComponentCovering(benchmarks.ComponentSpec{
+		Seed: 12, Components: 4, RowsPerComp: 30, ColsPerComp: 12, RowDegree: 4, MaxCost: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*matrix.Problem{
+		"multi":     multi,
+		"uneven":    uneven,
+		"connected": benchmarks.RandomCovering(3, 40, 25, 0.15, 6),
+		"cyclic":    benchmarks.CyclicCovering(4, 30, 20, 3),
+		"singleton": matrix.MustNew([][]int{{0}}, 1, nil),
+		"empty":     matrix.MustNew(nil, 3, nil),
+	}
+}
+
+// TestShardedMatchesDirect is the differential acceptance test: the
+// sharded solve is bit-identical to scg.Solve across Workers 1/2/4/8,
+// both fully in RAM and with spilling forced by a tiny budget.
+func TestShardedMatchesDirect(t *testing.T) {
+	for name, p := range testProblems(t) {
+		for _, workers := range []int{1, 2, 4, 8} {
+			opt := scg.Options{Seed: 7, NumIter: 3, Workers: workers}
+			direct := scg.Solve(p, opt)
+			for _, budgetBytes := range []int64{1 << 30, 16 << 10} {
+				opt.MemBudget = budgetBytes
+				res, err := SolveProblem(p, opt)
+				if err != nil {
+					t.Fatalf("%s workers=%d budget=%d: %v", name, workers, budgetBytes, err)
+				}
+				requireIdentical(t, direct, res, name)
+				if res.Stats.ShardComponents == 0 && len(p.Rows) > 0 {
+					t.Fatalf("%s: no components reported", name)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedInfeasible: an uncoverable row surfaces as a nil solution
+// at the same canonical fold position as the direct solve.
+func TestShardedInfeasible(t *testing.T) {
+	p := matrix.MustNew([][]int{{0, 1}, {}, {2}}, 3, nil)
+	opt := scg.Options{Seed: 1, MemBudget: 1 << 20}
+	direct := scg.Solve(p, scg.Options{Seed: 1})
+	res, err := SolveProblem(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Solution != nil || res.Solution != nil {
+		t.Fatalf("expected infeasible: direct %v sharded %v", direct.Solution, res.Solution)
+	}
+	requireIdentical(t, direct, res, "infeasible")
+}
+
+// TestShardedSources: the ORLib and matrix-text streaming sources
+// produce the same result as the in-memory source.
+func TestShardedSources(t *testing.T) {
+	spec := benchmarks.ComponentSpec{Seed: 21, Components: 5, RowsPerComp: 12, ColsPerComp: 9, RowDegree: 3, MaxCost: 4}
+	p, err := benchmarks.ComponentCovering(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := scg.Options{Seed: 9, MemBudget: 8 << 10}
+	want, err := SolveProblem(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var orl bytes.Buffer
+	if err := spec.WriteORLib(&orl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Solve(ORLib(&orl), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got, "orlib source")
+
+	var mtx bytes.Buffer
+	if err := spec.WriteMatrix(&mtx); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Solve(MatrixText(&mtx), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got, "matrix source")
+}
+
+// TestShardedUnderBudget is the out-of-core acceptance test: an
+// instance whose decoded size is more than 4× the memory budget solves
+// to a verified feasible cover while the tracked peak stays under the
+// budget.
+func TestShardedUnderBudget(t *testing.T) {
+	spec := benchmarks.ComponentSpec{Seed: 31, Components: 80, RowsPerComp: 300, ColsPerComp: 40, RowDegree: 4, MaxCost: 6}
+	p, err := benchmarks.ComponentCovering(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := decSize(len(p.Rows), p.NNZ())
+	memBudget := int64(256 << 10)
+	if decoded < 4*memBudget {
+		t.Fatalf("instance too small for the test: %d decoded bytes vs %d budget", decoded, memBudget)
+	}
+	opt := scg.Options{Seed: 5, MemBudget: memBudget, Workers: 4}
+	res, err := SolveProblem(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution == nil {
+		t.Fatal("no cover found")
+	}
+	if err := verifyCover(p, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShardPeakBytes > memBudget {
+		t.Fatalf("peak tracked bytes %d exceed budget %d", res.Stats.ShardPeakBytes, memBudget)
+	}
+	if res.Stats.ShardSpilled == 0 {
+		t.Fatal("expected spilled components at this budget")
+	}
+	if res.Stats.ShardComponents != spec.Components {
+		t.Fatalf("components %d, want %d", res.Stats.ShardComponents, spec.Components)
+	}
+	// And it is still the bit-identical answer.
+	direct := scg.Solve(p, scg.Options{Seed: 5, Workers: 4})
+	requireIdentical(t, direct, res, "under-budget")
+}
+
+func verifyCover(p *matrix.Problem, sol []int) error {
+	in := make(map[int]bool, len(sol))
+	for _, j := range sol {
+		in[j] = true
+	}
+	for i, r := range p.Rows {
+		ok := false
+		for _, j := range r {
+			if in[j] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return &rowUncovered{i}
+		}
+	}
+	return nil
+}
+
+type rowUncovered struct{ row int }
+
+func (e *rowUncovered) Error() string { return "row not covered" }
+
+// TestShardedDeadlineDegrades: with an already-expired deadline every
+// component completes greedily (the bottom rung of the ladder) and the
+// result is still a feasible cover.
+func TestShardedDeadlineDegrades(t *testing.T) {
+	p, err := benchmarks.ComponentCovering(benchmarks.ComponentSpec{
+		Seed: 41, Components: 6, RowsPerComp: 25, ColsPerComp: 10, RowDegree: 3, MaxCost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the deadline has already passed when the solve starts
+	opt := scg.Options{Seed: 2, MemBudget: 1 << 20}
+	opt.Budget.Context = ctx
+	res, err := SolveProblem(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution == nil {
+		t.Fatal("degraded solve must still produce a feasible cover")
+	}
+	if err := verifyCover(p, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("interrupted flag not set")
+	}
+	if res.Stats.ShardDegraded == 0 {
+		t.Fatal("expected greedy-degraded components")
+	}
+}
+
+// TestEvictionRespill drives the scheduler's eviction path directly: a
+// spilled high-priority component admitted while a decoded-but-
+// unstarted one holds the budget must re-spill the latter.
+func TestEvictionRespill(t *testing.T) {
+	g := &gauge{}
+	spill := newSpillFile(t.TempDir())
+	defer spill.close()
+
+	mk := func(id int, rows [][]int, state int) *comp {
+		nnz := 0
+		var fb int64
+		for _, r := range rows {
+			nnz += len(r)
+			fb += frameSize(r)
+		}
+		c := &comp{id: id, rows: len(rows), nnz: nnz, frameBytes: fb, decBytes: decSize(len(rows), nnz), state: state}
+		if state == stResident {
+			c.data = rows
+		}
+		return c
+	}
+	big := mk(0, [][]int{{0, 1, 2}, {1, 2, 3}, {0, 3}}, stSpilled)
+	small := mk(1, [][]int{{4, 5}}, stResident)
+	// Write big's frames where its extent says they are.
+	off, err := spill.alloc(big.frameBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.off = off
+	var enc []byte
+	for _, r := range [][]int{{0, 1, 2}, {1, 2, 3}, {0, 3}} {
+		enc = appendFrame(enc, r)
+	}
+	if err := spill.writeAt(enc, off); err != nil {
+		t.Fatal(err)
+	}
+
+	s := &sched{order: []*comp{big, small}, g: g, spill: spill}
+	s.cond = sync.NewCond(&s.mu)
+	s.decodedNow = small.decBytes
+	s.decodeCap = big.decBytes + small.decBytes/2 // room for big only after evicting small
+
+	s.mu.Lock()
+	if !s.evictLocked() {
+		t.Fatal("eviction did not fire")
+	}
+	s.mu.Unlock()
+	if small.state != stSpilled || small.data != nil {
+		t.Fatal("evicted component not re-spilled")
+	}
+	if s.respilled != 1 {
+		t.Fatalf("respilled = %d, want 1", s.respilled)
+	}
+	// The evicted component must round-trip back off disk.
+	rows, err := s.loadComp(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, [][]int{{4, 5}}) {
+		t.Fatalf("re-loaded rows = %v", rows)
+	}
+	rows, err = s.loadComp(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, [][]int{{0, 1, 2}, {1, 2, 3}, {0, 3}}) {
+		t.Fatalf("big rows = %v", rows)
+	}
+}
+
+// TestFrameRoundTrip: the binary frame encoding decodes to exactly the
+// input across random rows, including empty ones.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var enc []byte
+	var rows [][]int
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12)
+		row := make([]int, 0, n)
+		c := 0
+		for k := 0; k < n; k++ {
+			c += 1 + rng.Intn(1<<uint(rng.Intn(20)))
+			row = append(row, c)
+		}
+		rows = append(rows, row)
+		enc = appendFrame(enc, row)
+		if int64(len(enc)) != sumFrameSizes(rows) {
+			t.Fatalf("frameSize disagrees with appendFrame at trial %d", trial)
+		}
+	}
+	br := bytes.NewReader(enc)
+	for i, want := range rows {
+		got, err := readFrame(br, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func sumFrameSizes(rows [][]int) int64 {
+	var n int64
+	for _, r := range rows {
+		n += frameSize(r)
+	}
+	return n
+}
+
+// TestShardedMalformedSources: parse failures stream back as errors
+// with line numbers, not panics or partial results.
+func TestShardedMalformedSources(t *testing.T) {
+	if _, err := Solve(ORLib(bytes.NewReader([]byte("2 2\n1 1\n1 9\n"))), scg.Options{MemBudget: 1 << 20}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if _, err := Solve(MatrixText(bytes.NewReader([]byte("p 2 2\nr 0\n"))), scg.Options{MemBudget: 1 << 20}); err == nil {
+		t.Fatal("row count mismatch accepted")
+	}
+	if _, err := Solve(MatrixText(bytes.NewReader([]byte("p 1 2\nr 7\n"))), scg.Options{MemBudget: 1 << 20}); err == nil {
+		t.Fatal("column outside universe accepted")
+	}
+}

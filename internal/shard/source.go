@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"io"
+
+	"ucp/internal/matrix"
+	"ucp/internal/scpio"
+)
+
+// Header carries an instance's dimensions and costs — everything the
+// driver must know before the rows stream.  Cost may be nil for
+// uniform unit costs.
+type Header struct {
+	Rows int
+	Cols int
+	Cost []int
+}
+
+// RowReader hands out one row per call, in instance order: the row's
+// 0-based column ids appended to buf[:0] (so callers can recycle the
+// backing array), io.EOF after the last row.  Rows need not be sorted
+// or duplicate-free — the driver normalizes them exactly as
+// matrix.New would.
+type RowReader interface {
+	Next(buf []int) ([]int, error)
+}
+
+// Source opens a set-covering instance as a header plus a row stream.
+// Reader-backed sources are one-shot: Solve consumes them in a single
+// pass.
+type Source interface {
+	Open() (Header, RowReader, error)
+}
+
+// ORLib streams a Beasley OR-Library "scp" instance from r.
+func ORLib(r io.Reader) Source { return orlibSource{r} }
+
+type orlibSource struct{ r io.Reader }
+
+func (s orlibSource) Open() (Header, RowReader, error) {
+	or, err := scpio.NewORLibReader(s.r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return Header{Rows: or.NumRows(), Cols: or.NumCols(), Cost: or.Cost()}, or, nil
+}
+
+// MatrixText streams an instance in the repo's covering-matrix text
+// format from r.
+func MatrixText(r io.Reader) Source { return matrixSource{r} }
+
+type matrixSource struct{ r io.Reader }
+
+func (s matrixSource) Open() (Header, RowReader, error) {
+	mr, err := scpio.NewMatrixReader(s.r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return Header{Rows: mr.NumRows(), Cols: mr.NumCols(), Cost: mr.Cost()}, mr, nil
+}
+
+// FromProblem adapts an in-memory problem, so an already-materialised
+// instance can still be solved under a memory budget (its decoded
+// per-component copies, not the input itself, are what the budget
+// governs).
+func FromProblem(p *matrix.Problem) Source { return problemSource{p} }
+
+type problemSource struct{ p *matrix.Problem }
+
+func (s problemSource) Open() (Header, RowReader, error) {
+	return Header{Rows: len(s.p.Rows), Cols: s.p.NCol, Cost: s.p.Cost}, &problemRows{p: s.p}, nil
+}
+
+type problemRows struct {
+	p *matrix.Problem
+	i int
+}
+
+func (r *problemRows) Next(buf []int) ([]int, error) {
+	if r.i >= len(r.p.Rows) {
+		return nil, io.EOF
+	}
+	row := append(buf[:0], r.p.Rows[r.i]...)
+	r.i++
+	return row, nil
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// spillFile is the driver's single scratch file: an append-allocated
+// region store, created lazily on the first spill and unlinked
+// immediately so it can never outlive the process.  Regions are
+// allocated once and accessed with positioned reads/writes, so
+// concurrent workers never share a file offset.
+type spillFile struct {
+	dir string
+
+	mu  sync.Mutex
+	f   *os.File
+	end int64
+}
+
+func newSpillFile(dir string) *spillFile { return &spillFile{dir: dir} }
+
+// alloc reserves n bytes and returns the region's offset.
+func (s *spillFile) alloc(n int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		f, err := os.CreateTemp(s.dir, "ucp-shard-*.spill")
+		if err != nil {
+			return 0, fmt.Errorf("shard: creating spill file: %w", err)
+		}
+		// Unlink right away: the data is reachable only through the open
+		// descriptor and vanishes with the process.
+		os.Remove(f.Name())
+		s.f = f
+	}
+	off := s.end
+	s.end += n
+	return off, nil
+}
+
+func (s *spillFile) writeAt(p []byte, off int64) error {
+	if _, err := s.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("shard: spill write: %w", err)
+	}
+	return nil
+}
+
+func (s *spillFile) readAt(p []byte, off int64) error {
+	if _, err := s.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("shard: spill read: %w", err)
+	}
+	return nil
+}
+
+// file exposes the backing descriptor for positioned section reads.
+// Only valid after an alloc created it.
+func (s *spillFile) file() *os.File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f
+}
+
+func (s *spillFile) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// gauge tracks the driver's accounted bytes — decoded component data,
+// resident row-log segments, and the fixed per-solve overhead — and
+// remembers the high-water mark reported as Stats.ShardPeakBytes.
+type gauge struct {
+	mu   sync.Mutex
+	used int64
+	peak int64
+}
+
+func (g *gauge) add(n int64) {
+	g.mu.Lock()
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+	g.mu.Unlock()
+}
+
+func (g *gauge) current() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+func (g *gauge) peakBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}

@@ -2,6 +2,7 @@ package ucp
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -96,5 +97,31 @@ func TestWriteProblemOmitsUniformCosts(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "c ") {
 		t.Fatalf("uniform costs should be omitted:\n%s", buf.String())
+	}
+}
+
+// TestReadORLibProblemErrorLines: OR-Library parse failures carry the
+// 1-based line number they were detected on and wrap ErrMalformedInput.
+func TestReadORLibProblemErrorLines(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad cost", "2 2\n1 x\n", "line 2"},
+		{"column out of range", "1 2\n1 1\n1 5\n", "line 3"},
+		{"negative degree", "1 2\n1 1\n-3\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadORLibProblem(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("input unexpectedly accepted")
+			}
+			if !errors.Is(err, ErrMalformedInput) {
+				t.Fatalf("error %v does not wrap ErrMalformedInput", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not carry %q", err, tc.want)
+			}
+		})
 	}
 }

@@ -90,6 +90,14 @@ type TwoLevelResult struct {
 	ZDDLiveNodes   int
 	ZDDPlainNodes  int
 	ZDDCollections int
+	// Shard counters of the out-of-core sharded covering solve
+	// (SCGOptions.MemBudget > 0); all zero on direct solves.  See
+	// scg.Stats.
+	ShardComponents int
+	ShardSpilled    int
+	ShardRespilled  int
+	ShardPeakBytes  int64
+	ShardDegraded   int
 }
 
 // BuildCovering reformulates the minimisation of f (ON-set F, DC-set
@@ -136,25 +144,30 @@ func MinimizeSCG(f *PLA, opt SCGOptions) (out *TwoLevelResult, err error) {
 	}
 	cover := primes.CoverFromColumns(prs, res.Solution)
 	out = &TwoLevelResult{
-		Cover:          cover,
-		Products:       res.Cost,
-		Literals:       cover.Literals(),
-		LB:             res.LB,
-		ProvedOptimal:  res.ProvedOptimal,
-		Primes:         prs.Len(),
-		Rows:           len(prob.Rows),
-		CoreRows:       res.Stats.CoreRows,
-		CoreCols:       res.Stats.CoreCols,
-		CyclicCoreTime: res.Stats.CyclicCoreTime,
-		TotalTime:      time.Since(t0),
-		Interrupted:    res.Interrupted || !complete,
-		StopReason:     res.StopReason,
-		CacheHits:      res.Stats.CacheHits,
-		CacheMisses:    res.Stats.CacheMisses,
-		ZDDNodes:       res.Stats.ZDDNodes,
-		ZDDLiveNodes:   res.Stats.ZDDLiveNodes,
-		ZDDPlainNodes:  res.Stats.ZDDPlainNodes,
-		ZDDCollections: res.Stats.ZDDCollections,
+		Cover:           cover,
+		Products:        res.Cost,
+		Literals:        cover.Literals(),
+		LB:              res.LB,
+		ProvedOptimal:   res.ProvedOptimal,
+		Primes:          prs.Len(),
+		Rows:            len(prob.Rows),
+		CoreRows:        res.Stats.CoreRows,
+		CoreCols:        res.Stats.CoreCols,
+		CyclicCoreTime:  res.Stats.CyclicCoreTime,
+		TotalTime:       time.Since(t0),
+		Interrupted:     res.Interrupted || !complete,
+		StopReason:      res.StopReason,
+		CacheHits:       res.Stats.CacheHits,
+		CacheMisses:     res.Stats.CacheMisses,
+		ZDDNodes:        res.Stats.ZDDNodes,
+		ZDDLiveNodes:    res.Stats.ZDDLiveNodes,
+		ZDDPlainNodes:   res.Stats.ZDDPlainNodes,
+		ZDDCollections:  res.Stats.ZDDCollections,
+		ShardComponents: res.Stats.ShardComponents,
+		ShardSpilled:    res.Stats.ShardSpilled,
+		ShardRespilled:  res.Stats.ShardRespilled,
+		ShardPeakBytes:  res.Stats.ShardPeakBytes,
+		ShardDegraded:   res.Stats.ShardDegraded,
 	}
 	if !complete {
 		// The covering ranged over a partial implicant set: its bound

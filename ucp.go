@@ -27,7 +27,9 @@
 package ucp
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"ucp/internal/bnb"
@@ -36,6 +38,7 @@ import (
 	"ucp/internal/lagrangian"
 	"ucp/internal/matrix"
 	"ucp/internal/scg"
+	"ucp/internal/shard"
 	"ucp/internal/simplex"
 )
 
@@ -105,8 +108,50 @@ type SCGOptions = scg.Options
 // bound and run statistics.
 type SCGResult = scg.Result
 
-// SolveSCG runs the paper's heuristic on a covering problem.
-func SolveSCG(p *Problem, opt SCGOptions) *SCGResult { return scg.Solve(p, opt) }
+// SolveSCG runs the paper's heuristic on a covering problem.  With
+// Options.MemBudget set, the solve routes through the out-of-core
+// component-sharded driver (internal/shard): connected components are
+// scheduled largest-first under the byte budget with
+// not-yet-scheduled components spilled to disk, and the result is
+// bit-identical to the direct solve (Stats.Shard* report how the
+// scheduling went).  Sharded solves bypass Options.Cache; should the
+// spill file fail (an environmental IO error), the solve transparently
+// falls back to the direct in-memory path.
+func SolveSCG(p *Problem, opt SCGOptions) *SCGResult {
+	if opt.MemBudget > 0 {
+		if res, err := shard.SolveProblem(p, opt); err == nil {
+			return res
+		}
+		// Spill IO failed: the instance is already in memory, so the
+		// direct solve still answers (without the budget's protection).
+	}
+	return scg.Solve(p, opt)
+}
+
+// SolveSCGORLib streams a Beasley OR-Library instance from r through
+// the sharded driver without materialising it, honouring
+// Options.MemBudget (0 keeps everything resident).  Parse failures
+// wrap ErrMalformedInput with the offending line number; spill-file IO
+// failures pass through unwrapped.
+func SolveSCGORLib(r io.Reader, opt SCGOptions) (res *SCGResult, err error) {
+	defer guard(&err)
+	return tagShardInput(shard.Solve(shard.ORLib(r), opt))
+}
+
+// SolveSCGMatrix is SolveSCGORLib for the covering-matrix text format.
+func SolveSCGMatrix(r io.Reader, opt SCGOptions) (res *SCGResult, err error) {
+	defer guard(&err)
+	return tagShardInput(shard.Solve(shard.MatrixText(r), opt))
+}
+
+// tagShardInput maps the sharded driver's input-error sentinel onto
+// the public taxonomy.
+func tagShardInput(res *SCGResult, err error) (*SCGResult, error) {
+	if err != nil && errors.Is(err, shard.ErrInput) {
+		err = fmt.Errorf("%w: %w", ErrMalformedInput, err)
+	}
+	return res, err
+}
 
 // ExactOptions configures the exact branch-and-bound solver.
 type ExactOptions = bnb.Options
